@@ -1,0 +1,93 @@
+//! One Criterion benchmark per figure of the GRASS paper's evaluation.
+//!
+//! Each benchmark runs the corresponding experiment harness end to end (workload
+//! generation → simulation of every policy involved → improvement tables) at a
+//! reduced scale, so `cargo bench` both times the harness and regenerates the
+//! figure's numbers. The full-scale numbers are produced by the `repro` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grass_experiments::{run_experiment, ExpConfig};
+
+/// Reduced-scale configuration so each figure regenerates in a bench-friendly time.
+fn bench_config() -> ExpConfig {
+    let mut cfg = ExpConfig::tiny();
+    cfg.jobs_per_run = 8;
+    cfg.seeds = vec![11];
+    cfg
+}
+
+fn bench_figure(c: &mut Criterion, id: &'static str) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let report = run_experiment(id, &cfg).expect("known experiment id");
+            criterion::black_box(report.tables.len())
+        })
+    });
+    group.finish();
+}
+
+fn fig3(c: &mut Criterion) {
+    bench_figure(c, "fig3");
+}
+fn fig4(c: &mut Criterion) {
+    bench_figure(c, "fig4");
+}
+fn fig5(c: &mut Criterion) {
+    bench_figure(c, "fig5");
+}
+fn fig6(c: &mut Criterion) {
+    bench_figure(c, "fig6");
+}
+fn fig7(c: &mut Criterion) {
+    bench_figure(c, "fig7");
+}
+fn fig8(c: &mut Criterion) {
+    bench_figure(c, "fig8");
+}
+fn fig9(c: &mut Criterion) {
+    bench_figure(c, "fig9");
+}
+fn fig10(c: &mut Criterion) {
+    bench_figure(c, "fig10");
+}
+fn fig11(c: &mut Criterion) {
+    bench_figure(c, "fig11");
+}
+fn fig12(c: &mut Criterion) {
+    bench_figure(c, "fig12");
+}
+fn fig13(c: &mut Criterion) {
+    bench_figure(c, "fig13");
+}
+fn fig14(c: &mut Criterion) {
+    bench_figure(c, "fig14");
+}
+fn fig15(c: &mut Criterion) {
+    bench_figure(c, "fig15");
+}
+
+criterion_group!(
+    figures,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15
+);
+criterion_main!(figures);

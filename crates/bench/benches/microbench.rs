@@ -1,0 +1,158 @@
+//! Micro-benchmarks of the building blocks: policy decision latency, simulator event
+//! throughput, workload generation and the Hill estimator. These are the overheads a
+//! production scheduler would care about — the paper's schedulers make a decision
+//! every time a slot frees, so `choose()` must be cheap.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use grass_core::{
+    Bound, GrassFactory, GsFactory, JobId, JobSpec, JobView, PolicyFactory, RasFactory, StageId,
+    TaskId, TaskView,
+};
+use grass_model::tail_index;
+use grass_policies::{LateFactory, MantriFactory};
+use grass_sim::{run_simulation, ClusterConfig, SimConfig};
+use grass_workload::{generate, BoundSpec, Framework, TraceProfile, WorkloadConfig};
+
+/// Build a job view with `n` tasks, half of them running, for decision benchmarks.
+fn synthetic_view(n: u32) -> (Vec<TaskView>, JobSpec) {
+    let tasks: Vec<TaskView> = (0..n)
+        .map(|i| {
+            let running = i % 2 == 0;
+            TaskView {
+                id: TaskId(i),
+                stage: StageId::INPUT,
+                eligible: true,
+                running_copies: u32::from(running),
+                elapsed: if running { 5.0 } else { 0.0 },
+                progress: if running { 0.5 } else { 0.0 },
+                progress_rate: if running { 0.05 } else { 0.0 },
+                trem: if running { 4.0 + (i % 7) as f64 } else { f64::INFINITY },
+                tnew: 2.0 + (i % 5) as f64,
+                true_remaining: 4.0 + (i % 7) as f64,
+                true_new_hint: 2.0 + (i % 5) as f64,
+                work: 2.0 + (i % 5) as f64,
+            }
+        })
+        .collect();
+    let spec = JobSpec::single_stage(1, 0.0, Bound::Deadline(100.0), vec![2.0; n as usize]);
+    (tasks, spec)
+}
+
+fn view_of(tasks: &[TaskView]) -> JobView<'_> {
+    JobView {
+        job: JobId(1),
+        now: 10.0,
+        arrival: 0.0,
+        bound: Bound::Deadline(100.0),
+        input_deadline: None,
+        total_input_tasks: tasks.len() + 10,
+        completed_input_tasks: 10,
+        total_tasks: tasks.len() + 10,
+        completed_tasks: 10,
+        tasks,
+        wave_width: 20,
+        cluster_utilization: 0.8,
+        estimation_accuracy: 0.75,
+    }
+}
+
+fn policy_decision_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_choose_500_tasks");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let (tasks, spec) = synthetic_view(500);
+    let factories: Vec<(&str, Box<dyn PolicyFactory>)> = vec![
+        ("GS", Box::new(GsFactory)),
+        ("RAS", Box::new(RasFactory)),
+        ("GRASS", Box::new(GrassFactory::new(1))),
+        ("LATE", Box::new(LateFactory::default())),
+        ("Mantri", Box::new(MantriFactory::default())),
+    ];
+    for (name, factory) in &factories {
+        group.bench_function(*name, |b| {
+            b.iter_batched(
+                || factory.create(&spec),
+                |mut policy| {
+                    let view = view_of(&tasks);
+                    criterion::black_box(policy.choose(&view))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let workload = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+        .with_jobs(20)
+        .with_bound(BoundSpec::paper_errors());
+    let jobs = generate(&workload, 7);
+    let sim = SimConfig {
+        cluster: ClusterConfig {
+            machines: 20,
+            slots_per_machine: 4,
+            ..ClusterConfig::ec2_scaled()
+        },
+        ..SimConfig::default()
+    };
+    group.bench_function("20_error_bound_jobs_gs", |b| {
+        b.iter(|| {
+            let result = run_simulation(&sim, jobs.clone(), &GsFactory);
+            criterion::black_box(result.total_copies)
+        })
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let cfg = WorkloadConfig::new(TraceProfile::bing(Framework::Hadoop)).with_jobs(500);
+    group.bench_function("generate_500_jobs", |b| {
+        b.iter(|| criterion::black_box(generate(&cfg, 3).len()))
+    });
+    group.finish();
+}
+
+fn hill_estimation(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut group = c.benchmark_group("hill");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples: Vec<f64> = (0..50_000)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            u.powf(-1.0 / 1.259)
+        })
+        .collect();
+    group.bench_function("tail_index_50k_samples", |b| {
+        b.iter(|| criterion::black_box(tail_index(&samples)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    policy_decision_latency,
+    simulator_throughput,
+    workload_generation,
+    hill_estimation
+);
+criterion_main!(micro);

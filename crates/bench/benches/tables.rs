@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the paper's non-figure results: Table 1, the §2.3
+//! potential-gains numbers, and the §6.2.2 exact-job speed-up.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grass_experiments::{run_experiment, ExpConfig};
+
+fn bench_config() -> ExpConfig {
+    let mut cfg = ExpConfig::tiny();
+    cfg.jobs_per_run = 8;
+    cfg.seeds = vec![11];
+    cfg
+}
+
+fn bench_table(c: &mut Criterion, id: &'static str) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("tables");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let report = run_experiment(id, &cfg).expect("known experiment id");
+            criterion::black_box(report.tables.len())
+        })
+    });
+    group.finish();
+}
+
+fn table1_traces(c: &mut Criterion) {
+    bench_table(c, "table1");
+}
+
+fn potential_gains(c: &mut Criterion) {
+    bench_table(c, "sec2-3");
+}
+
+fn exact_jobs(c: &mut Criterion) {
+    bench_table(c, "exact");
+}
+
+criterion_group!(tables, table1_traces, potential_gains, exact_jobs);
+criterion_main!(tables);

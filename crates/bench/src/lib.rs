@@ -1,0 +1,4 @@
+//! Benchmark-only crate: see the `benches/` directory. The library target exists only
+//! so the crate participates in the workspace; the benchmark harnesses in
+//! `benches/figures.rs`, `benches/tables.rs` and `benches/microbench.rs` regenerate
+//! the paper's figures and tables under Criterion timing.

@@ -1,0 +1,231 @@
+//! Task-duration estimation utilities (§5.1 of the paper).
+//!
+//! The GRASS prototypes estimate two quantities per task:
+//!
+//! * `trem` — remaining duration of a running copy, extrapolated from progress reports,
+//! * `tnew` — duration of a fresh copy, sampled from completed-task durations
+//!   (normalised to input size).
+//!
+//! Both estimates are imperfect; the paper measures average accuracies of ~72% and
+//! ~76% in production and shows (§4.1, §6.3.2) that this accuracy is one of the three
+//! factors GRASS learns its switching point from. The simulator therefore degrades the
+//! ground-truth values to a configurable *target accuracy* and tracks the *measured*
+//! accuracy the way a real scheduler would — by comparing past predictions against the
+//! durations that actually materialised.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the estimator noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Target accuracy of `trem` estimates in `(0, 1]`. 1.0 means oracle-exact.
+    pub trem_accuracy: f64,
+    /// Target accuracy of `tnew` estimates in `(0, 1]`.
+    pub tnew_accuracy: f64,
+    /// If true the estimator reports ground truth regardless of the accuracies above
+    /// (used by the oracle baseline).
+    pub oracle: bool,
+}
+
+impl EstimatorConfig {
+    /// Accuracies measured in the paper's prototypes (§5.1): 72% for `trem`, 76% for
+    /// `tnew`.
+    pub fn paper_default() -> Self {
+        EstimatorConfig {
+            trem_accuracy: 0.72,
+            tnew_accuracy: 0.76,
+            oracle: false,
+        }
+    }
+
+    /// Perfect estimates.
+    pub fn oracle() -> Self {
+        EstimatorConfig {
+            trem_accuracy: 1.0,
+            tnew_accuracy: 1.0,
+            oracle: true,
+        }
+    }
+
+    /// Uniform accuracy for both estimates.
+    pub fn with_accuracy(accuracy: f64) -> Self {
+        EstimatorConfig {
+            trem_accuracy: accuracy,
+            tnew_accuracy: accuracy,
+            oracle: false,
+        }
+    }
+
+    /// Average of the two accuracies — what a scheduler would report as "estimation
+    /// accuracy" before having measured anything.
+    pub fn nominal_accuracy(&self) -> f64 {
+        if self.oracle {
+            1.0
+        } else {
+            0.5 * (self.trem_accuracy + self.tnew_accuracy)
+        }
+    }
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig::paper_default()
+    }
+}
+
+/// Degrade a ground-truth duration to an estimate with the given target accuracy.
+///
+/// Accuracy `a` is defined as `1 − E[|est − true| / true]` (mean relative error of
+/// `1 − a`). The noise is multiplicative, zero-mean-relative Gaussian with the standard
+/// deviation chosen so the expected absolute relative error equals `1 − a`
+/// (`E|N(0, σ)| = σ·√(2/π)` ⇒ `σ = (1 − a)·√(π/2)`), truncated so estimates stay
+/// positive.
+pub fn degrade_estimate<R: Rng + ?Sized>(true_value: f64, accuracy: f64, rng: &mut R) -> f64 {
+    if !(0.0..1.0).contains(&accuracy) {
+        // Accuracy of exactly 1.0 (or any out-of-range value) means "don't degrade".
+        return true_value;
+    }
+    if true_value <= 0.0 {
+        return 0.0;
+    }
+    let sigma = (1.0 - accuracy) * (std::f64::consts::PI / 2.0).sqrt();
+    // Box–Muller using the provided RNG: keeps us independent of rand_distr here.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let factor = (1.0 + sigma * z).clamp(0.05, 4.0);
+    true_value * factor
+}
+
+/// Running measurement of how accurate past estimates turned out to be.
+///
+/// Each time a task completes, the scheduler compares the estimate it had for that
+/// task against the actual duration and folds `1 − |est − actual| / actual` into an
+/// exponentially weighted moving average. This measured accuracy is the third factor
+/// of GRASS's switching decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccuracyTracker {
+    ewma: f64,
+    samples: usize,
+    alpha: f64,
+}
+
+impl AccuracyTracker {
+    /// New tracker seeded with a prior accuracy (typically
+    /// [`EstimatorConfig::nominal_accuracy`]).
+    pub fn new(prior: f64) -> Self {
+        AccuracyTracker {
+            ewma: prior.clamp(0.0, 1.0),
+            samples: 0,
+            alpha: 0.1,
+        }
+    }
+
+    /// Record one (estimate, actual) pair.
+    pub fn record(&mut self, estimate: f64, actual: f64) {
+        if actual <= 0.0 || !estimate.is_finite() {
+            return;
+        }
+        let accuracy = (1.0 - (estimate - actual).abs() / actual).max(0.0);
+        self.ewma = self.alpha * accuracy + (1.0 - self.alpha) * self.ewma;
+        self.samples += 1;
+    }
+
+    /// Current measured accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        self.ewma
+    }
+
+    /// Number of (estimate, actual) pairs observed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+}
+
+impl Default for AccuracyTracker {
+    fn default() -> Self {
+        AccuracyTracker::new(EstimatorConfig::paper_default().nominal_accuracy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_accuracy_returns_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(degrade_estimate(10.0, 1.0, &mut rng), 10.0);
+        assert_eq!(degrade_estimate(10.0, 1.5, &mut rng), 10.0);
+    }
+
+    #[test]
+    fn degraded_estimates_hit_target_mean_relative_error() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &target in &[0.6_f64, 0.76, 0.9] {
+            let n = 20_000;
+            let mut err_sum = 0.0;
+            for _ in 0..n {
+                let est = degrade_estimate(100.0, target, &mut rng);
+                err_sum += (est - 100.0).abs() / 100.0;
+            }
+            let mean_err = err_sum / n as f64;
+            let expected = 1.0 - target;
+            assert!(
+                (mean_err - expected).abs() < 0.03,
+                "target accuracy {target}: mean relative error {mean_err}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_estimates_stay_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let est = degrade_estimate(5.0, 0.3, &mut rng);
+            assert!(est > 0.0);
+        }
+        assert_eq!(degrade_estimate(0.0, 0.5, &mut rng), 0.0);
+        assert_eq!(degrade_estimate(-1.0, 0.5, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn accuracy_tracker_converges_to_observed_accuracy() {
+        let mut tracker = AccuracyTracker::new(0.5);
+        // Perfect predictions should drive the EWMA towards 1.
+        for _ in 0..200 {
+            tracker.record(10.0, 10.0);
+        }
+        assert!(tracker.accuracy() > 0.95);
+        assert_eq!(tracker.samples(), 200);
+        // 50% relative error drives it towards 0.5.
+        let mut tracker = AccuracyTracker::new(1.0);
+        for _ in 0..200 {
+            tracker.record(15.0, 10.0);
+        }
+        assert!((tracker.accuracy() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn accuracy_tracker_ignores_degenerate_samples() {
+        let mut tracker = AccuracyTracker::new(0.7);
+        tracker.record(10.0, 0.0);
+        tracker.record(f64::INFINITY, 10.0);
+        assert_eq!(tracker.samples(), 0);
+        assert!((tracker.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_constructors() {
+        let c = EstimatorConfig::paper_default();
+        assert!((c.nominal_accuracy() - 0.74).abs() < 1e-12);
+        assert!(EstimatorConfig::oracle().oracle);
+        assert_eq!(EstimatorConfig::oracle().nominal_accuracy(), 1.0);
+        let c = EstimatorConfig::with_accuracy(0.9);
+        assert_eq!(c.trem_accuracy, 0.9);
+        assert_eq!(c.tnew_accuracy, 0.9);
+    }
+}

@@ -1,0 +1,569 @@
+//! GRASS's shared sample store (§4.1–4.2 of the paper).
+//!
+//! GRASS learns *when to switch* from RAS to GS by comparing the performance of past
+//! jobs that ran **pure GS** or **pure RAS** throughout (those samples are produced by
+//! the ξ-perturbation in [`crate::grass::GrassFactory`]). Samples are bucketed by job
+//! size and annotated with the three factors the paper identifies (§4.1):
+//!
+//! 1. the approximation bound (remaining deadline / tasks still needed),
+//! 2. cluster utilisation,
+//! 3. estimation accuracy of `trem` / `tnew`.
+//!
+//! A query asks: "for a job of roughly this size, under these cluster conditions, how
+//! fast does GS (or RAS) complete tasks?" The answer is a *task completion rate*
+//! (tasks per second), estimated as a similarity-weighted average over stored samples.
+//! Which factors participate in the similarity weighting is controlled by a
+//! [`FactorSet`], which is how the Best-1 / Best-2 ablations of §6.3.2 are expressed.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::bins::SizeBucket;
+use crate::job::Bound;
+use crate::outcome::JobOutcome;
+use crate::speculation::SpeculationMode;
+
+/// Which of the three learning factors participate in sample matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FactorSet {
+    /// Match on the approximation bound (remaining deadline / tasks needed).
+    pub bound: bool,
+    /// Match on cluster utilisation.
+    pub utilization: bool,
+    /// Match on estimation accuracy.
+    pub accuracy: bool,
+}
+
+impl FactorSet {
+    /// All three factors — full GRASS.
+    pub fn all() -> Self {
+        FactorSet {
+            bound: true,
+            utilization: true,
+            accuracy: true,
+        }
+    }
+
+    /// Only the approximation bound (the paper's "Best-1" configuration: when a single
+    /// factor is used, the bound gives the best results).
+    pub fn best_one() -> Self {
+        FactorSet {
+            bound: true,
+            utilization: false,
+            accuracy: false,
+        }
+    }
+
+    /// Bound + cluster utilisation (the paper's "Best-2" for the Hadoop prototype).
+    pub fn best_two_utilization() -> Self {
+        FactorSet {
+            bound: true,
+            utilization: true,
+            accuracy: false,
+        }
+    }
+
+    /// Bound + estimation accuracy (the paper's "Best-2" for the Spark prototype).
+    pub fn best_two_accuracy() -> Self {
+        FactorSet {
+            bound: true,
+            utilization: false,
+            accuracy: true,
+        }
+    }
+
+    /// Number of active factors.
+    pub fn count(&self) -> usize {
+        usize::from(self.bound) + usize::from(self.utilization) + usize::from(self.accuracy)
+    }
+}
+
+impl Default for FactorSet {
+    fn default() -> Self {
+        FactorSet::all()
+    }
+}
+
+/// Whether a sample (or query) concerns a deadline-bound or error-bound job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoundKind {
+    /// Deadline-bound: performance is "input tasks completed within the deadline".
+    Deadline,
+    /// Error-bound: performance is "seconds to complete the needed tasks".
+    Error,
+}
+
+impl BoundKind {
+    /// Classify a [`Bound`].
+    pub fn of(bound: &Bound) -> Self {
+        match bound {
+            Bound::Deadline(_) => BoundKind::Deadline,
+            Bound::Error(_) => BoundKind::Error,
+        }
+    }
+}
+
+/// One recorded sample: a job that ran pure GS or pure RAS throughout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Which algorithm the job ran.
+    pub mode: SpeculationMode,
+    /// Deadline- or error-bound.
+    pub kind: BoundKind,
+    /// Geometric size bucket of the job.
+    pub size_bucket: SizeBucket,
+    /// The bound value: deadline seconds (deadline jobs) or number of tasks that had
+    /// to complete (error jobs).
+    pub bound_value: f64,
+    /// The measured performance: input tasks completed (deadline jobs) or job duration
+    /// in seconds (error jobs).
+    pub performance: f64,
+    /// Average cluster utilisation observed while the job ran, in `[0, 1]`.
+    pub utilization: f64,
+    /// Average measured estimation accuracy while the job ran, in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+impl Sample {
+    /// Task completion rate implied by this sample, in tasks per second.
+    ///
+    /// * Deadline jobs: `completed tasks / deadline`.
+    /// * Error jobs: `tasks needed / duration`.
+    pub fn rate(&self) -> f64 {
+        match self.kind {
+            BoundKind::Deadline => {
+                if self.bound_value <= 0.0 {
+                    0.0
+                } else {
+                    self.performance / self.bound_value
+                }
+            }
+            BoundKind::Error => {
+                if self.performance <= 0.0 {
+                    0.0
+                } else {
+                    self.bound_value / self.performance
+                }
+            }
+        }
+    }
+
+    /// Build a sample from a completed job outcome. Returns `None` for outcomes that
+    /// carry no usable signal (zero tasks, zero duration).
+    pub fn from_outcome(mode: SpeculationMode, outcome: &JobOutcome) -> Option<Sample> {
+        let kind = BoundKind::of(&outcome.bound);
+        let (bound_value, performance) = match outcome.bound {
+            Bound::Deadline(d) => {
+                if d <= 0.0 {
+                    return None;
+                }
+                (d, outcome.completed_input_tasks as f64)
+            }
+            Bound::Error(e) => {
+                let needed = Bound::Error(e).tasks_needed(outcome.input_tasks);
+                let duration = outcome.duration();
+                if needed == 0 || duration <= 0.0 {
+                    return None;
+                }
+                (needed as f64, duration)
+            }
+        };
+        Some(Sample {
+            mode,
+            kind,
+            size_bucket: SizeBucket::of(outcome.input_tasks),
+            bound_value,
+            performance,
+            utilization: outcome.avg_cluster_utilization,
+            accuracy: outcome.avg_estimation_accuracy,
+        })
+    }
+}
+
+/// Query context for a rate prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryContext {
+    /// Deadline- or error-bound job.
+    pub kind: BoundKind,
+    /// Size bucket of the querying job.
+    pub size_bucket: SizeBucket,
+    /// The bound value being considered (remaining deadline seconds / tasks still
+    /// needed for the segment in question).
+    pub bound_value: f64,
+    /// Current cluster utilisation.
+    pub utilization: f64,
+    /// Current measured estimation accuracy.
+    pub accuracy: f64,
+}
+
+/// Thread-safe store of GS / RAS performance samples shared by every GRASS job in a
+/// simulation run.
+#[derive(Debug, Default)]
+pub struct SampleStore {
+    samples: RwLock<Vec<Sample>>,
+    max_samples: usize,
+}
+
+/// Default cap on retained samples; old samples are evicted FIFO beyond this, which
+/// mirrors the paper's choice to keep adapting to changing cluster conditions rather
+/// than damping learning over time (§4.2).
+const DEFAULT_MAX_SAMPLES: usize = 50_000;
+
+impl SampleStore {
+    /// Empty store with the default retention cap.
+    pub fn new() -> Self {
+        SampleStore {
+            samples: RwLock::new(Vec::new()),
+            max_samples: DEFAULT_MAX_SAMPLES,
+        }
+    }
+
+    /// Empty store with an explicit retention cap (primarily for tests).
+    pub fn with_capacity(max_samples: usize) -> Self {
+        SampleStore {
+            samples: RwLock::new(Vec::new()),
+            max_samples: max_samples.max(1),
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.read().len()
+    }
+
+    /// Whether the store holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a raw sample.
+    pub fn record(&self, sample: Sample) {
+        let mut guard = self.samples.write();
+        if guard.len() >= self.max_samples {
+            let excess = guard.len() + 1 - self.max_samples;
+            guard.drain(0..excess);
+        }
+        guard.push(sample);
+    }
+
+    /// Record a completed job that ran pure `mode` throughout.
+    pub fn record_outcome(&self, mode: SpeculationMode, outcome: &JobOutcome) {
+        if let Some(sample) = Sample::from_outcome(mode, outcome) {
+            self.record(sample);
+        }
+    }
+
+    /// Count samples available for a given mode and bound kind.
+    pub fn count_for(&self, mode: SpeculationMode, kind: BoundKind) -> usize {
+        self.samples
+            .read()
+            .iter()
+            .filter(|s| s.mode == mode && s.kind == kind)
+            .count()
+    }
+
+    /// Predict the task-completion rate (tasks/second) of running pure `mode` under
+    /// the query context, as a similarity-weighted mean over stored samples. Returns
+    /// `None` when fewer than `min_samples` relevant samples exist.
+    pub fn predict_rate(
+        &self,
+        mode: SpeculationMode,
+        ctx: &QueryContext,
+        factors: FactorSet,
+        min_samples: usize,
+    ) -> Option<f64> {
+        let guard = self.samples.read();
+        let mut weight_sum = 0.0;
+        let mut weighted_rate = 0.0;
+        let mut count = 0usize;
+        for s in guard.iter().filter(|s| s.mode == mode && s.kind == ctx.kind) {
+            let mut w = 1.0 / (1.0 + f64::from(s.size_bucket.distance(&ctx.size_bucket)));
+            if factors.bound {
+                let ratio = log_ratio(s.bound_value, ctx.bound_value);
+                w *= 1.0 / (1.0 + ratio);
+            }
+            if factors.utilization {
+                w *= 1.0 / (1.0 + 5.0 * (s.utilization - ctx.utilization).abs());
+            }
+            if factors.accuracy {
+                w *= 1.0 / (1.0 + 5.0 * (s.accuracy - ctx.accuracy).abs());
+            }
+            weight_sum += w;
+            weighted_rate += w * s.rate();
+            count += 1;
+        }
+        if count < min_samples || weight_sum <= 0.0 {
+            return None;
+        }
+        Some(weighted_rate / weight_sum)
+    }
+
+    /// Predict how many input tasks a job of this context would complete if it ran
+    /// pure `mode` for `seconds` seconds.
+    pub fn predict_deadline_completion(
+        &self,
+        mode: SpeculationMode,
+        seconds: f64,
+        ctx: &QueryContext,
+        factors: FactorSet,
+        min_samples: usize,
+    ) -> Option<f64> {
+        if seconds <= 0.0 {
+            return Some(0.0);
+        }
+        let ctx = QueryContext {
+            bound_value: seconds,
+            ..*ctx
+        };
+        self.predict_rate(mode, &ctx, factors, min_samples)
+            .map(|rate| rate * seconds)
+    }
+
+    /// Predict how long pure `mode` would take to complete `tasks` more tasks.
+    pub fn predict_error_duration(
+        &self,
+        mode: SpeculationMode,
+        tasks: f64,
+        ctx: &QueryContext,
+        factors: FactorSet,
+        min_samples: usize,
+    ) -> Option<f64> {
+        if tasks <= 0.0 {
+            return Some(0.0);
+        }
+        let ctx = QueryContext {
+            bound_value: tasks,
+            ..*ctx
+        };
+        let rate = self.predict_rate(mode, &ctx, factors, min_samples)?;
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(tasks / rate)
+    }
+
+    /// Drop every stored sample.
+    pub fn clear(&self) {
+        self.samples.write().clear();
+    }
+}
+
+/// `|log2(a / b)|`, guarded against non-positive inputs.
+fn log_ratio(a: f64, b: f64) -> f64 {
+    if a <= 0.0 || b <= 0.0 {
+        return f64::INFINITY;
+    }
+    (a / b).log2().abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::JobId;
+
+    fn sample(mode: SpeculationMode, kind: BoundKind, bound: f64, perf: f64) -> Sample {
+        Sample {
+            mode,
+            kind,
+            size_bucket: SizeBucket(5),
+            bound_value: bound,
+            performance: perf,
+            utilization: 0.5,
+            accuracy: 0.75,
+        }
+    }
+
+    fn ctx(kind: BoundKind, bound: f64) -> QueryContext {
+        QueryContext {
+            kind,
+            size_bucket: SizeBucket(5),
+            bound_value: bound,
+            utilization: 0.5,
+            accuracy: 0.75,
+        }
+    }
+
+    #[test]
+    fn factor_sets() {
+        assert_eq!(FactorSet::all().count(), 3);
+        assert_eq!(FactorSet::best_one().count(), 1);
+        assert_eq!(FactorSet::best_two_utilization().count(), 2);
+        assert_eq!(FactorSet::best_two_accuracy().count(), 2);
+        assert_eq!(FactorSet::default(), FactorSet::all());
+    }
+
+    #[test]
+    fn sample_rates() {
+        // Deadline: 20 tasks in a 10s deadline => 2 tasks/s.
+        assert_eq!(
+            sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0).rate(),
+            2.0
+        );
+        // Error: 30 tasks needed, 15s duration => 2 tasks/s.
+        assert_eq!(
+            sample(SpeculationMode::Gs, BoundKind::Error, 30.0, 15.0).rate(),
+            2.0
+        );
+        assert_eq!(
+            sample(SpeculationMode::Gs, BoundKind::Deadline, 0.0, 20.0).rate(),
+            0.0
+        );
+        assert_eq!(
+            sample(SpeculationMode::Gs, BoundKind::Error, 30.0, 0.0).rate(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn store_records_and_counts() {
+        let store = SampleStore::new();
+        assert!(store.is_empty());
+        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
+        store.record(sample(SpeculationMode::Ras, BoundKind::Deadline, 10.0, 25.0));
+        store.record(sample(SpeculationMode::Gs, BoundKind::Error, 30.0, 15.0));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.count_for(SpeculationMode::Gs, BoundKind::Deadline), 1);
+        assert_eq!(store.count_for(SpeculationMode::Ras, BoundKind::Deadline), 1);
+        assert_eq!(store.count_for(SpeculationMode::Ras, BoundKind::Error), 0);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn store_evicts_oldest_beyond_capacity() {
+        let store = SampleStore::with_capacity(3);
+        for i in 0..5 {
+            store.record(sample(
+                SpeculationMode::Gs,
+                BoundKind::Deadline,
+                10.0,
+                i as f64,
+            ));
+        }
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn prediction_requires_min_samples() {
+        let store = SampleStore::new();
+        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
+        let c = ctx(BoundKind::Deadline, 10.0);
+        assert!(store
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 2)
+            .is_none());
+        assert!(store
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .is_some());
+        assert!(store
+            .predict_rate(SpeculationMode::Ras, &c, FactorSet::all(), 1)
+            .is_none());
+    }
+
+    #[test]
+    fn prediction_is_weighted_mean_of_rates() {
+        let store = SampleStore::new();
+        for _ in 0..5 {
+            store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
+        }
+        let c = ctx(BoundKind::Deadline, 10.0);
+        let rate = store
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        assert!((rate - 2.0).abs() < 1e-9);
+        let completed = store
+            .predict_deadline_completion(SpeculationMode::Gs, 5.0, &c, FactorSet::all(), 1)
+            .unwrap();
+        assert!((completed - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_factor_prefers_similar_bounds() {
+        let store = SampleStore::new();
+        // Short-deadline samples show GS completing fast, long-deadline samples slow.
+        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 2.0, 10.0)); // 5 tasks/s
+        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 100.0, 100.0)); // 1 task/s
+        let short = ctx(BoundKind::Deadline, 2.0);
+        let long = ctx(BoundKind::Deadline, 100.0);
+        let with_bound = FactorSet::best_one();
+        let r_short = store
+            .predict_rate(SpeculationMode::Gs, &short, with_bound, 1)
+            .unwrap();
+        let r_long = store
+            .predict_rate(SpeculationMode::Gs, &long, with_bound, 1)
+            .unwrap();
+        assert!(r_short > r_long, "{r_short} should exceed {r_long}");
+        // Without the bound factor both queries see the same mixture.
+        let without = FactorSet {
+            bound: false,
+            utilization: false,
+            accuracy: false,
+        };
+        let r1 = store
+            .predict_rate(SpeculationMode::Gs, &short, without, 1)
+            .unwrap();
+        let r2 = store
+            .predict_rate(SpeculationMode::Gs, &long, without, 1)
+            .unwrap();
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_duration_prediction_scales_with_tasks() {
+        let store = SampleStore::new();
+        store.record(sample(SpeculationMode::Ras, BoundKind::Error, 30.0, 15.0)); // 2 tasks/s
+        let c = ctx(BoundKind::Error, 10.0);
+        let d = store
+            .predict_error_duration(SpeculationMode::Ras, 10.0, &c, FactorSet::all(), 1)
+            .unwrap();
+        assert!((d - 5.0).abs() < 1e-9);
+        assert_eq!(
+            store.predict_error_duration(SpeculationMode::Ras, 0.0, &c, FactorSet::all(), 1),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn sample_from_outcome_round_trips() {
+        let outcome = JobOutcome {
+            job: JobId(9),
+            policy: "GS".to_string(),
+            bound: Bound::Deadline(40.0),
+            input_tasks: 100,
+            total_tasks: 100,
+            dag_length: 1,
+            arrival: 0.0,
+            finish: 40.0,
+            completed_input_tasks: 60,
+            completed_tasks: 60,
+            speculative_copies: 5,
+            killed_copies: 2,
+            slot_seconds: 500.0,
+            avg_wave_width: 10.0,
+            avg_cluster_utilization: 0.8,
+            avg_estimation_accuracy: 0.7,
+        };
+        let s = Sample::from_outcome(SpeculationMode::Gs, &outcome).unwrap();
+        assert_eq!(s.kind, BoundKind::Deadline);
+        assert_eq!(s.bound_value, 40.0);
+        assert_eq!(s.performance, 60.0);
+        assert_eq!(s.size_bucket, SizeBucket::of(100));
+
+        let error_outcome = JobOutcome {
+            bound: Bound::Error(0.2),
+            finish: 25.0,
+            ..outcome.clone()
+        };
+        let s = Sample::from_outcome(SpeculationMode::Ras, &error_outcome).unwrap();
+        assert_eq!(s.kind, BoundKind::Error);
+        assert_eq!(s.bound_value, 80.0);
+        assert_eq!(s.performance, 25.0);
+
+        // Degenerate outcomes produce no sample.
+        let zero_duration = JobOutcome {
+            bound: Bound::Error(0.2),
+            finish: 0.0,
+            ..outcome
+        };
+        assert!(Sample::from_outcome(SpeculationMode::Ras, &zero_duration).is_none());
+    }
+}

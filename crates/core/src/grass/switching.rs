@@ -1,0 +1,428 @@
+//! Switching-point evaluation: when should a GRASS job stop running RAS and switch to
+//! GS?
+//!
+//! Two strategies are implemented:
+//!
+//! * [`SwitchStrategy::Learned`] — the full GRASS approach of §4.1: step through every
+//!   candidate switch point in the job's remaining work, predict the composite
+//!   performance of a RAS prefix followed by a GS suffix using the shared
+//!   [`SampleStore`], and switch when "now" is the best point.
+//! * [`SwitchStrategy::Strawman`] — the static rule derived directly from Guideline 3
+//!   and used as a comparison point in §6.3.2: switch when roughly two waves of work
+//!   remain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grass::samples::{BoundKind, FactorSet, QueryContext, SampleStore};
+use crate::job::{Bound, JobView};
+use crate::speculation::SpeculationMode;
+
+/// Configuration of the strawman (static two-wave) switcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrawmanConfig {
+    /// How many waves of remaining work trigger the switch. The paper's strawman uses
+    /// two (Guideline 3).
+    pub waves: f64,
+}
+
+impl Default for StrawmanConfig {
+    fn default() -> Self {
+        StrawmanConfig { waves: 2.0 }
+    }
+}
+
+/// Which switching rule a GRASS instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SwitchStrategy {
+    /// Learned switching over the sample store (the real GRASS).
+    Learned,
+    /// Static two-wave strawman (§6.3.2).
+    Strawman(StrawmanConfig),
+    /// Never switch (pure RAS, useful for tests and ablations).
+    Never,
+}
+
+impl Default for SwitchStrategy {
+    fn default() -> Self {
+        SwitchStrategy::Learned
+    }
+}
+
+/// Parameters of the learned evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnedParams {
+    /// Which factors participate in sample matching.
+    pub factors: FactorSet,
+    /// Minimum number of relevant samples (per mode) before predictions are trusted.
+    pub min_samples: usize,
+    /// Number of candidate switch points evaluated across the remaining work.
+    pub candidate_points: usize,
+}
+
+impl Default for LearnedParams {
+    fn default() -> Self {
+        LearnedParams {
+            factors: FactorSet::all(),
+            min_samples: 3,
+            candidate_points: 10,
+        }
+    }
+}
+
+/// Decision returned by the evaluators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchDecision {
+    /// Switch to GS now.
+    SwitchNow,
+    /// Stay on RAS for the moment.
+    Stay,
+}
+
+/// Evaluate the strawman rule: switch once at most `cfg.waves` waves of work remain.
+pub fn strawman_decision(view: &JobView, cfg: &StrawmanConfig) -> SwitchDecision {
+    match view.bound {
+        Bound::Deadline(_) => {
+            // "The point when the time to the deadline is sufficient for at most two
+            // waves of tasks": compare remaining deadline against `waves` × the median
+            // duration of a task (approximated by the median tnew of unfinished tasks).
+            let remaining = view.remaining_deadline().unwrap_or(f64::INFINITY);
+            let median = median_tnew(view);
+            if median <= 0.0 {
+                return SwitchDecision::Stay;
+            }
+            if remaining <= cfg.waves * median {
+                SwitchDecision::SwitchNow
+            } else {
+                SwitchDecision::Stay
+            }
+        }
+        Bound::Error(_) => {
+            // "When the number of (unique) scheduled tasks needed to satisfy the
+            // error-bound make up two waves."
+            let needed = view.input_tasks_still_needed().unwrap_or(0);
+            let wave = view.wave_width.max(1);
+            if needed <= (cfg.waves * wave as f64).ceil() as usize {
+                SwitchDecision::SwitchNow
+            } else {
+                SwitchDecision::Stay
+            }
+        }
+    }
+}
+
+/// Evaluate the learned rule against the sample store. Falls back to the strawman rule
+/// when the store does not yet hold enough samples for a prediction (a freshly started
+/// cluster has nothing to learn from).
+pub fn learned_decision(
+    view: &JobView,
+    store: &SampleStore,
+    params: &LearnedParams,
+) -> SwitchDecision {
+    match view.bound {
+        Bound::Deadline(_) => learned_deadline(view, store, params),
+        Bound::Error(_) => learned_error(view, store, params),
+    }
+    .unwrap_or_else(|| strawman_decision(view, &StrawmanConfig::default()))
+}
+
+/// Deadline-bound learned evaluation (§4.1's worked example: with 6s to the deadline,
+/// compare switching now against switching after 1s, 2s, … using samples of jobs with
+/// matching deadlines run pure-RAS / pure-GS).
+fn learned_deadline(
+    view: &JobView,
+    store: &SampleStore,
+    params: &LearnedParams,
+) -> Option<SwitchDecision> {
+    let remaining = view.remaining_deadline()?;
+    if remaining <= 0.0 {
+        return Some(SwitchDecision::SwitchNow);
+    }
+    let ctx = query_context(view, BoundKind::Deadline, remaining);
+    let points = params.candidate_points.max(1);
+    let step = remaining / points as f64;
+
+    let mut best_value = f64::NEG_INFINITY;
+    let mut best_switch_delay = 0.0;
+    let mut any_prediction = false;
+    for i in 0..=points {
+        let delay = step * i as f64; // run RAS for `delay`, then GS for the rest
+        let ras_part =
+            store.predict_deadline_completion(SpeculationMode::Ras, delay, &ctx, params.factors, params.min_samples);
+        let gs_part = store.predict_deadline_completion(
+            SpeculationMode::Gs,
+            remaining - delay,
+            &ctx,
+            params.factors,
+            params.min_samples,
+        );
+        let (Some(r), Some(g)) = (ras_part, gs_part) else {
+            continue;
+        };
+        any_prediction = true;
+        let value = r + g;
+        if value > best_value + 1e-9 {
+            best_value = value;
+            best_switch_delay = delay;
+        }
+    }
+    if !any_prediction {
+        return None;
+    }
+    Some(if best_switch_delay <= step * 0.5 {
+        SwitchDecision::SwitchNow
+    } else {
+        SwitchDecision::Stay
+    })
+}
+
+/// Error-bound learned evaluation: split the remaining needed tasks into a RAS-handled
+/// prefix and a GS-handled suffix and pick the split with the smallest predicted total
+/// duration.
+fn learned_error(
+    view: &JobView,
+    store: &SampleStore,
+    params: &LearnedParams,
+) -> Option<SwitchDecision> {
+    let needed = view.input_tasks_still_needed()? as f64;
+    if needed <= 0.0 {
+        return Some(SwitchDecision::SwitchNow);
+    }
+    let ctx = query_context(view, BoundKind::Error, needed);
+    let points = params.candidate_points.max(1);
+    let step = needed / points as f64;
+
+    let mut best_value = f64::INFINITY;
+    let mut best_ras_tasks = 0.0;
+    let mut any_prediction = false;
+    for i in 0..=points {
+        let ras_tasks = step * i as f64;
+        let ras_part = store.predict_error_duration(
+            SpeculationMode::Ras,
+            ras_tasks,
+            &ctx,
+            params.factors,
+            params.min_samples,
+        );
+        let gs_part = store.predict_error_duration(
+            SpeculationMode::Gs,
+            needed - ras_tasks,
+            &ctx,
+            params.factors,
+            params.min_samples,
+        );
+        let (Some(r), Some(g)) = (ras_part, gs_part) else {
+            continue;
+        };
+        any_prediction = true;
+        let value = r + g;
+        if value < best_value - 1e-9 {
+            best_value = value;
+            best_ras_tasks = ras_tasks;
+        }
+    }
+    if !any_prediction {
+        return None;
+    }
+    Some(if best_ras_tasks <= step * 0.5 {
+        SwitchDecision::SwitchNow
+    } else {
+        SwitchDecision::Stay
+    })
+}
+
+fn query_context(view: &JobView, kind: BoundKind, bound_value: f64) -> QueryContext {
+    QueryContext {
+        kind,
+        size_bucket: crate::bins::SizeBucket::of(view.total_input_tasks),
+        bound_value,
+        utilization: view.cluster_utilization,
+        accuracy: view.estimation_accuracy,
+    }
+}
+
+fn median_tnew(view: &JobView) -> f64 {
+    let mut values: Vec<f64> = view
+        .tasks
+        .iter()
+        .filter(|t| t.eligible)
+        .map(|t| t.tnew)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values[values.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::SizeBucket;
+    use crate::grass::samples::Sample;
+    use crate::task::{JobId, StageId, TaskId, TaskView};
+
+    fn unscheduled(id: u32, tnew: f64) -> TaskView {
+        TaskView {
+            id: TaskId(id),
+            stage: StageId::INPUT,
+            eligible: true,
+            running_copies: 0,
+            elapsed: 0.0,
+            progress: 0.0,
+            progress_rate: 0.0,
+            trem: f64::INFINITY,
+            tnew,
+            true_remaining: tnew,
+            true_new_hint: tnew,
+            work: tnew,
+        }
+    }
+
+    fn view<'a>(
+        tasks: &'a [TaskView],
+        bound: Bound,
+        now: f64,
+        wave_width: usize,
+        completed: usize,
+        total: usize,
+    ) -> JobView<'a> {
+        JobView {
+            job: JobId(1),
+            now,
+            arrival: 0.0,
+            bound,
+            input_deadline: None,
+            total_input_tasks: total,
+            completed_input_tasks: completed,
+            total_tasks: total,
+            completed_tasks: completed,
+            tasks,
+            wave_width,
+            cluster_utilization: 0.5,
+            estimation_accuracy: 0.75,
+        }
+    }
+
+    fn store_with_rates(gs_rate: f64, ras_rate: f64, kind: BoundKind) -> SampleStore {
+        let store = SampleStore::new();
+        for _ in 0..5 {
+            let (bound, perf_gs, perf_ras) = match kind {
+                BoundKind::Deadline => (10.0, gs_rate * 10.0, ras_rate * 10.0),
+                BoundKind::Error => (10.0, 10.0 / gs_rate, 10.0 / ras_rate),
+            };
+            store.record(Sample {
+                mode: SpeculationMode::Gs,
+                kind,
+                size_bucket: SizeBucket::of(20),
+                bound_value: bound,
+                performance: perf_gs,
+                utilization: 0.5,
+                accuracy: 0.75,
+            });
+            store.record(Sample {
+                mode: SpeculationMode::Ras,
+                kind,
+                size_bucket: SizeBucket::of(20),
+                bound_value: bound,
+                performance: perf_ras,
+                utilization: 0.5,
+                accuracy: 0.75,
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn strawman_deadline_switches_inside_two_waves() {
+        let tasks: Vec<TaskView> = (0..6).map(|i| unscheduled(i, 4.0)).collect();
+        // Remaining deadline 20s, median task 4s, two waves = 8s => stay.
+        let v = view(&tasks, Bound::Deadline(20.0), 0.0, 2, 0, 20);
+        assert_eq!(
+            strawman_decision(&v, &StrawmanConfig::default()),
+            SwitchDecision::Stay
+        );
+        // Remaining 6s <= 8s => switch.
+        let v = view(&tasks, Bound::Deadline(20.0), 14.0, 2, 0, 20);
+        assert_eq!(
+            strawman_decision(&v, &StrawmanConfig::default()),
+            SwitchDecision::SwitchNow
+        );
+    }
+
+    #[test]
+    fn strawman_error_switches_when_needed_tasks_fit_in_two_waves() {
+        let tasks: Vec<TaskView> = (0..30).map(|i| unscheduled(i, 4.0)).collect();
+        // 100 input tasks, ε = 0.2 => 80 needed; 50 done => 30 still needed.
+        let v = view(&tasks, Bound::Error(0.2), 10.0, 5, 50, 100);
+        // Two waves of 5 slots = 10 < 30 => stay.
+        assert_eq!(
+            strawman_decision(&v, &StrawmanConfig::default()),
+            SwitchDecision::Stay
+        );
+        // 72 done => 8 still needed <= 10 => switch.
+        let v = view(&tasks, Bound::Error(0.2), 10.0, 5, 72, 100);
+        assert_eq!(
+            strawman_decision(&v, &StrawmanConfig::default()),
+            SwitchDecision::SwitchNow
+        );
+    }
+
+    #[test]
+    fn strawman_stays_when_no_duration_information() {
+        let tasks: Vec<TaskView> = vec![];
+        let v = view(&tasks, Bound::Deadline(20.0), 0.0, 2, 0, 20);
+        assert_eq!(
+            strawman_decision(&v, &StrawmanConfig::default()),
+            SwitchDecision::Stay
+        );
+    }
+
+    #[test]
+    fn learned_deadline_switches_when_gs_rate_dominates() {
+        let tasks: Vec<TaskView> = (0..20).map(|i| unscheduled(i, 4.0)).collect();
+        let v = view(&tasks, Bound::Deadline(40.0), 0.0, 2, 0, 20);
+        // GS completes 3 tasks/s, RAS 1 task/s everywhere => best to switch now.
+        let store = store_with_rates(3.0, 1.0, BoundKind::Deadline);
+        let d = learned_decision(&v, &store, &LearnedParams::default());
+        assert_eq!(d, SwitchDecision::SwitchNow);
+        // RAS dominates => stay.
+        let store = store_with_rates(1.0, 3.0, BoundKind::Deadline);
+        let d = learned_decision(&v, &store, &LearnedParams::default());
+        assert_eq!(d, SwitchDecision::Stay);
+    }
+
+    #[test]
+    fn learned_error_switches_when_gs_is_faster() {
+        let tasks: Vec<TaskView> = (0..40).map(|i| unscheduled(i, 4.0)).collect();
+        let v = view(&tasks, Bound::Error(0.1), 0.0, 4, 10, 100);
+        let store = store_with_rates(3.0, 1.0, BoundKind::Error);
+        assert_eq!(
+            learned_decision(&v, &store, &LearnedParams::default()),
+            SwitchDecision::SwitchNow
+        );
+        let store = store_with_rates(1.0, 3.0, BoundKind::Error);
+        assert_eq!(
+            learned_decision(&v, &store, &LearnedParams::default()),
+            SwitchDecision::Stay
+        );
+    }
+
+    #[test]
+    fn learned_falls_back_to_strawman_without_samples() {
+        let store = SampleStore::new();
+        let tasks: Vec<TaskView> = (0..6).map(|i| unscheduled(i, 4.0)).collect();
+        // Far from the deadline: strawman says stay.
+        let v = view(&tasks, Bound::Deadline(100.0), 0.0, 2, 0, 20);
+        assert_eq!(
+            learned_decision(&v, &store, &LearnedParams::default()),
+            SwitchDecision::Stay
+        );
+        // Close to the deadline: strawman says switch.
+        let v = view(&tasks, Bound::Deadline(100.0), 95.0, 2, 0, 20);
+        assert_eq!(
+            learned_decision(&v, &store, &LearnedParams::default()),
+            SwitchDecision::SwitchNow
+        );
+    }
+}

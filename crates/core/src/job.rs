@@ -1,0 +1,436 @@
+//! Job specifications, approximation bounds and the per-job view handed to policies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::{JobId, StageId, TaskId, TaskSpec, TaskView, Time};
+use crate::{Error, Result};
+
+/// The approximation bound of a job (§2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Deadline-bound job: maximise accuracy (fraction of input tasks completed)
+    /// within `deadline` seconds of the job's arrival.
+    Deadline(Time),
+    /// Error-bound job: minimise the time to complete a `1 − ε` fraction of the input
+    /// tasks. `Error(0.0)` is an exact job that needs every task.
+    Error(f64),
+}
+
+impl Bound {
+    /// An exact job (error bound of zero), which the paper treats as a special case of
+    /// an error-bound job.
+    pub const EXACT: Bound = Bound::Error(0.0);
+
+    /// Validate the bound value.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            Bound::Deadline(d) if d.is_finite() && d > 0.0 => Ok(()),
+            Bound::Deadline(d) => Err(Error::InvalidBound(format!(
+                "deadline must be positive and finite, got {d}"
+            ))),
+            Bound::Error(e) if (0.0..1.0).contains(&e) => Ok(()),
+            Bound::Error(e) => Err(Error::InvalidBound(format!(
+                "error fraction must be in [0, 1), got {e}"
+            ))),
+        }
+    }
+
+    /// Whether this is a deadline bound.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, Bound::Deadline(_))
+    }
+
+    /// Whether this is an error bound (including exact jobs).
+    pub fn is_error(&self) -> bool {
+        matches!(self, Bound::Error(_))
+    }
+
+    /// Whether this is an exact computation (error bound of zero).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Bound::Error(e) if *e == 0.0)
+    }
+
+    /// Number of input tasks that must complete to satisfy the bound, out of `total`.
+    /// For deadline bounds every completed task improves accuracy, so this returns
+    /// `total`.
+    pub fn tasks_needed(&self, total: usize) -> usize {
+        match *self {
+            Bound::Deadline(_) => total,
+            Bound::Error(e) => {
+                let needed = ((1.0 - e) * total as f64).ceil() as usize;
+                needed.clamp(usize::from(total > 0), total)
+            }
+        }
+    }
+}
+
+/// Static description of one DAG stage of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Human-readable name ("map", "reduce-1", …). Informational only.
+    pub name: String,
+    /// Number of tasks in this stage.
+    pub task_count: usize,
+}
+
+/// Static description of a job: arrival time, approximation bound, DAG stages and the
+/// per-task work amounts.
+///
+/// Tasks are stored stage-by-stage: all tasks of stage 0 first, then stage 1, and so
+/// on. [`TaskId`]s index into this flat vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job identifier, unique within a trace.
+    pub id: JobId,
+    /// Arrival (submission) time in seconds from the start of the trace.
+    pub arrival: Time,
+    /// Approximation bound.
+    pub bound: Bound,
+    /// DAG stages, input stage first. Always at least one stage.
+    pub stages: Vec<StageSpec>,
+    /// Flat task list, grouped by stage in stage order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl JobSpec {
+    /// Build a single-stage (input-only) job from raw per-task work values.
+    pub fn single_stage(id: u64, arrival: Time, bound: Bound, work: Vec<f64>) -> Self {
+        let tasks: Vec<TaskSpec> = work.into_iter().map(TaskSpec::input).collect();
+        JobSpec {
+            id: JobId(id),
+            arrival,
+            bound,
+            stages: vec![StageSpec {
+                name: "input".to_string(),
+                task_count: tasks.len(),
+            }],
+            tasks,
+        }
+    }
+
+    /// Build a multi-stage job. `stage_work[s]` holds the work values of stage `s`.
+    pub fn multi_stage(id: u64, arrival: Time, bound: Bound, stage_work: Vec<Vec<f64>>) -> Self {
+        let mut stages = Vec::with_capacity(stage_work.len());
+        let mut tasks = Vec::new();
+        for (s, work) in stage_work.into_iter().enumerate() {
+            stages.push(StageSpec {
+                name: if s == 0 {
+                    "input".to_string()
+                } else {
+                    format!("stage-{s}")
+                },
+                task_count: work.len(),
+            });
+            tasks.extend(work.into_iter().map(|w| TaskSpec::in_stage(w, s as u8)));
+        }
+        JobSpec {
+            id: JobId(id),
+            arrival,
+            bound,
+            stages,
+            tasks,
+        }
+    }
+
+    /// Validate internal consistency (bound domain, per-stage task counts, non-empty).
+    pub fn validate(&self) -> Result<()> {
+        if self.tasks.is_empty() || self.stages.is_empty() {
+            return Err(Error::EmptyJob(self.id));
+        }
+        self.bound.validate()?;
+        let declared: usize = self.stages.iter().map(|s| s.task_count).sum();
+        if declared != self.tasks.len() {
+            return Err(Error::InvalidBound(format!(
+                "job {:?}: stage task counts sum to {declared} but {} tasks are declared",
+                self.id,
+                self.tasks.len()
+            )));
+        }
+        for t in &self.tasks {
+            if t.stage.value() as usize >= self.stages.len() {
+                return Err(Error::UnknownStage {
+                    job: self.id,
+                    stage: t.stage,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of tasks in the input stage (stage 0) — the stage that determines result
+    /// accuracy.
+    pub fn input_tasks(&self) -> usize {
+        self.stages.first().map_or(0, |s| s.task_count)
+    }
+
+    /// Number of DAG stages.
+    pub fn dag_length(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of input-stage tasks that must complete to satisfy the bound.
+    pub fn input_tasks_needed(&self) -> usize {
+        self.bound.tasks_needed(self.input_tasks())
+    }
+
+    /// Total work (seconds of unit-speed slot time) summed over every task.
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+
+    /// Median work of the input-stage tasks. Used for the paper's "ideal duration"
+    /// deadline calibration (§6.1) and by the strawman switcher.
+    pub fn median_input_work(&self) -> f64 {
+        let mut w: Vec<f64> = self
+            .tasks
+            .iter()
+            .filter(|t| t.stage.is_input())
+            .map(|t| t.work)
+            .collect();
+        if w.is_empty() {
+            return 0.0;
+        }
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        w[w.len() / 2]
+    }
+
+    /// Task ids belonging to the given stage.
+    pub fn tasks_of_stage(&self, stage: StageId) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.stage == stage)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+}
+
+/// Snapshot of a job's state handed to its [`crate::SpeculationPolicy`] whenever a slot
+/// allocated to the job becomes free.
+#[derive(Debug, Clone)]
+pub struct JobView<'a> {
+    /// Which job this is.
+    pub job: JobId,
+    /// Current simulation time.
+    pub now: Time,
+    /// The job's arrival time.
+    pub arrival: Time,
+    /// The job's approximation bound.
+    pub bound: Bound,
+    /// Effective deadline for the *input stage*, relative to arrival. For single-stage
+    /// deadline jobs this equals the bound; for DAG jobs the simulator subtracts its
+    /// estimate of the intermediate stages' duration (§5.2 of the paper). `None` for
+    /// error-bound jobs.
+    pub input_deadline: Option<Time>,
+    /// Total number of input-stage tasks.
+    pub total_input_tasks: usize,
+    /// Input-stage tasks completed so far.
+    pub completed_input_tasks: usize,
+    /// Total tasks (all stages).
+    pub total_tasks: usize,
+    /// Completed tasks (all stages).
+    pub completed_tasks: usize,
+    /// Views of every *unfinished* task of the job (running or not, eligible or not).
+    pub tasks: &'a [TaskView],
+    /// Number of slots currently allocated to this job (its current wave width).
+    pub wave_width: usize,
+    /// Fraction of the cluster's slots that are currently busy, in `[0, 1]`.
+    pub cluster_utilization: f64,
+    /// Measured estimation accuracy of `trem`/`tnew` (1.0 = perfect), as tracked by
+    /// the scheduler from completed tasks.
+    pub estimation_accuracy: f64,
+}
+
+impl<'a> JobView<'a> {
+    /// Seconds left until the (input-stage) deadline, or `None` for error-bound jobs.
+    /// Saturates at zero.
+    pub fn remaining_deadline(&self) -> Option<Time> {
+        let deadline = self.input_deadline.or(match self.bound {
+            Bound::Deadline(d) => Some(d),
+            Bound::Error(_) => None,
+        })?;
+        Some((self.arrival + deadline - self.now).max(0.0))
+    }
+
+    /// How many more *input-stage* tasks must complete to satisfy an error bound.
+    /// Returns `None` for deadline-bound jobs.
+    pub fn input_tasks_still_needed(&self) -> Option<usize> {
+        match self.bound {
+            Bound::Deadline(_) => None,
+            Bound::Error(e) => {
+                let needed = Bound::Error(e).tasks_needed(self.total_input_tasks);
+                Some(needed.saturating_sub(self.completed_input_tasks))
+            }
+        }
+    }
+
+    /// Current accuracy of the result: fraction of input tasks completed.
+    pub fn current_accuracy(&self) -> f64 {
+        if self.total_input_tasks == 0 {
+            return 0.0;
+        }
+        self.completed_input_tasks as f64 / self.total_input_tasks as f64
+    }
+
+    /// Unfinished tasks that are eligible to run (their stage is unlocked).
+    pub fn eligible_tasks(&self) -> impl Iterator<Item = &TaskView> {
+        self.tasks.iter().filter(|t| t.eligible)
+    }
+
+    /// Number of unfinished, eligible tasks that have no running copy yet.
+    pub fn unscheduled_eligible(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.eligible && !t.is_running())
+            .count()
+    }
+
+    /// Rough estimate of the number of waves of work remaining: unfinished eligible
+    /// tasks divided by the current wave width.
+    pub fn remaining_waves(&self) -> f64 {
+        let unfinished = self.tasks.iter().filter(|t| t.eligible).count();
+        if self.wave_width == 0 {
+            return f64::INFINITY;
+        }
+        unfinished as f64 / self.wave_width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_with(bound: Bound, tasks: &[TaskView]) -> JobView<'_> {
+        JobView {
+            job: JobId(1),
+            now: 10.0,
+            arrival: 0.0,
+            bound,
+            input_deadline: None,
+            total_input_tasks: 10,
+            completed_input_tasks: 4,
+            total_tasks: 10,
+            completed_tasks: 4,
+            tasks,
+            wave_width: 2,
+            cluster_utilization: 0.5,
+            estimation_accuracy: 0.75,
+        }
+    }
+
+    #[test]
+    fn bound_validation() {
+        assert!(Bound::Deadline(10.0).validate().is_ok());
+        assert!(Bound::Deadline(0.0).validate().is_err());
+        assert!(Bound::Deadline(f64::NAN).validate().is_err());
+        assert!(Bound::Error(0.0).validate().is_ok());
+        assert!(Bound::Error(0.3).validate().is_ok());
+        assert!(Bound::Error(1.0).validate().is_err());
+        assert!(Bound::Error(-0.1).validate().is_err());
+    }
+
+    #[test]
+    fn tasks_needed_rounds_up() {
+        assert_eq!(Bound::Error(0.0).tasks_needed(10), 10);
+        assert_eq!(Bound::Error(0.25).tasks_needed(10), 8);
+        assert_eq!(Bound::Error(0.21).tasks_needed(10), 8);
+        assert_eq!(Bound::Error(0.5).tasks_needed(3), 2);
+        assert_eq!(Bound::Deadline(5.0).tasks_needed(10), 10);
+        // Never zero for a non-empty job.
+        assert_eq!(Bound::Error(0.99).tasks_needed(10), 1);
+    }
+
+    #[test]
+    fn exact_detection() {
+        assert!(Bound::EXACT.is_exact());
+        assert!(!Bound::Error(0.1).is_exact());
+        assert!(!Bound::Deadline(5.0).is_exact());
+    }
+
+    #[test]
+    fn single_stage_job_shape() {
+        let job = JobSpec::single_stage(3, 1.0, Bound::Deadline(20.0), vec![1.0, 2.0, 3.0]);
+        assert!(job.validate().is_ok());
+        assert_eq!(job.total_tasks(), 3);
+        assert_eq!(job.input_tasks(), 3);
+        assert_eq!(job.dag_length(), 1);
+        assert_eq!(job.total_work(), 6.0);
+        assert_eq!(job.median_input_work(), 2.0);
+    }
+
+    #[test]
+    fn multi_stage_job_shape() {
+        let job = JobSpec::multi_stage(
+            4,
+            0.0,
+            Bound::Error(0.2),
+            vec![vec![1.0; 10], vec![2.0; 4], vec![3.0; 1]],
+        );
+        assert!(job.validate().is_ok());
+        assert_eq!(job.total_tasks(), 15);
+        assert_eq!(job.input_tasks(), 10);
+        assert_eq!(job.dag_length(), 3);
+        assert_eq!(job.input_tasks_needed(), 8);
+        assert_eq!(job.tasks_of_stage(StageId(1)).len(), 4);
+        assert_eq!(job.tasks_of_stage(StageId(2)), vec![TaskId(14)]);
+    }
+
+    #[test]
+    fn validation_catches_empty_and_mismatched_jobs() {
+        let empty = JobSpec::single_stage(1, 0.0, Bound::Deadline(5.0), vec![]);
+        assert!(matches!(empty.validate(), Err(Error::EmptyJob(_))));
+
+        let mut bad = JobSpec::single_stage(1, 0.0, Bound::Deadline(5.0), vec![1.0]);
+        bad.stages[0].task_count = 2;
+        assert!(bad.validate().is_err());
+
+        let mut bad_stage = JobSpec::single_stage(1, 0.0, Bound::Deadline(5.0), vec![1.0]);
+        bad_stage.tasks[0].stage = StageId(3);
+        assert!(matches!(
+            bad_stage.validate(),
+            Err(Error::UnknownStage { .. })
+        ));
+    }
+
+    #[test]
+    fn remaining_deadline_saturates_at_zero() {
+        let tasks: Vec<TaskView> = vec![];
+        let mut v = view_with(Bound::Deadline(8.0), &tasks);
+        assert_eq!(v.remaining_deadline(), Some(0.0));
+        v.now = 3.0;
+        assert_eq!(v.remaining_deadline(), Some(5.0));
+        let v = view_with(Bound::Error(0.1), &tasks);
+        assert_eq!(v.remaining_deadline(), None);
+    }
+
+    #[test]
+    fn input_deadline_overrides_bound_for_dag_jobs() {
+        let tasks: Vec<TaskView> = vec![];
+        let mut v = view_with(Bound::Deadline(8.0), &tasks);
+        v.now = 2.0;
+        v.input_deadline = Some(6.0);
+        assert_eq!(v.remaining_deadline(), Some(4.0));
+    }
+
+    #[test]
+    fn error_bound_tasks_still_needed() {
+        let tasks: Vec<TaskView> = vec![];
+        let v = view_with(Bound::Error(0.3), &tasks);
+        // needed = ceil(0.7 * 10) = 7, completed 4 => 3 more.
+        assert_eq!(v.input_tasks_still_needed(), Some(3));
+        let v = view_with(Bound::Deadline(5.0), &tasks);
+        assert_eq!(v.input_tasks_still_needed(), None);
+    }
+
+    #[test]
+    fn current_accuracy_is_completed_fraction() {
+        let tasks: Vec<TaskView> = vec![];
+        let v = view_with(Bound::Deadline(5.0), &tasks);
+        assert!((v.current_accuracy() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-job outcomes reported by the simulator and consumed by metrics and GRASS's
+//! learning machinery.
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::Bound;
+use crate::task::{JobId, Time};
+
+/// Everything we record about a finished job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Which job this outcome belongs to.
+    pub job: JobId,
+    /// Name of the policy that scheduled the job (as reported by the policy itself;
+    /// for ξ-perturbed GRASS jobs this is "GS" or "RAS").
+    pub policy: String,
+    /// The job's approximation bound.
+    pub bound: Bound,
+    /// Number of input-stage tasks.
+    pub input_tasks: usize,
+    /// Total number of tasks across all stages.
+    pub total_tasks: usize,
+    /// Number of DAG stages.
+    pub dag_length: usize,
+    /// Arrival time.
+    pub arrival: Time,
+    /// Time at which the job finished: bound satisfied (error-bound) or the deadline
+    /// fired (deadline-bound).
+    pub finish: Time,
+    /// Input-stage tasks completed by `finish`.
+    pub completed_input_tasks: usize,
+    /// Tasks completed across all stages by `finish`.
+    pub completed_tasks: usize,
+    /// Number of speculative copies launched for this job.
+    pub speculative_copies: usize,
+    /// Number of copies killed because a sibling copy finished first.
+    pub killed_copies: usize,
+    /// Total slot-seconds consumed by the job (all copies, including killed ones).
+    pub slot_seconds: f64,
+    /// Time-averaged number of slots allocated to the job while it was active.
+    pub avg_wave_width: f64,
+    /// Time-averaged cluster utilisation observed while the job was active.
+    pub avg_cluster_utilization: f64,
+    /// Time-averaged measured estimation accuracy while the job was active.
+    pub avg_estimation_accuracy: f64,
+}
+
+impl JobOutcome {
+    /// Wall-clock duration of the job.
+    pub fn duration(&self) -> Time {
+        (self.finish - self.arrival).max(0.0)
+    }
+
+    /// Result accuracy: fraction of input tasks completed. For error-bound jobs that
+    /// ran to their bound this is `>= 1 − ε` by construction.
+    pub fn accuracy(&self) -> f64 {
+        if self.input_tasks == 0 {
+            return 0.0;
+        }
+        self.completed_input_tasks as f64 / self.input_tasks as f64
+    }
+
+    /// Whether an error-bound job actually met its bound (always true for jobs the
+    /// simulator ran to completion; false only if the run was truncated).
+    pub fn met_error_bound(&self) -> bool {
+        match self.bound {
+            Bound::Deadline(_) => true,
+            Bound::Error(e) => self.completed_input_tasks >= Bound::Error(e).tasks_needed(self.input_tasks),
+        }
+    }
+
+    /// Estimated number of waves the job ran in (input tasks over average wave width).
+    pub fn waves(&self) -> f64 {
+        if self.avg_wave_width <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.input_tasks as f64 / self.avg_wave_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(bound: Bound, input: usize, done: usize) -> JobOutcome {
+        JobOutcome {
+            job: JobId(1),
+            policy: "GS".to_string(),
+            bound,
+            input_tasks: input,
+            total_tasks: input,
+            dag_length: 1,
+            arrival: 5.0,
+            finish: 25.0,
+            completed_input_tasks: done,
+            completed_tasks: done,
+            speculative_copies: 2,
+            killed_copies: 1,
+            slot_seconds: 100.0,
+            avg_wave_width: 4.0,
+            avg_cluster_utilization: 0.8,
+            avg_estimation_accuracy: 0.75,
+        }
+    }
+
+    #[test]
+    fn duration_and_accuracy() {
+        let o = outcome(Bound::Deadline(20.0), 10, 7);
+        assert_eq!(o.duration(), 20.0);
+        assert!((o.accuracy() - 0.7).abs() < 1e-12);
+        assert_eq!(o.waves(), 2.5);
+    }
+
+    #[test]
+    fn error_bound_met_detection() {
+        let o = outcome(Bound::Error(0.3), 10, 7);
+        assert!(o.met_error_bound());
+        let o = outcome(Bound::Error(0.1), 10, 7);
+        assert!(!o.met_error_bound());
+        let o = outcome(Bound::Deadline(20.0), 10, 1);
+        assert!(o.met_error_bound());
+    }
+
+    #[test]
+    fn empty_job_accuracy_is_zero() {
+        let o = outcome(Bound::Deadline(20.0), 0, 0);
+        assert_eq!(o.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,515 @@
+//! GS (Greedy Speculative) and RAS (Resource Aware Speculative) scheduling,
+//! implemented after Pseudocode 1 (deadline-bound jobs) and Pseudocode 2 (error-bound
+//! jobs) of the paper.
+//!
+//! Both algorithms run in two stages:
+//!
+//! 1. **Pruning** — drop tasks that cannot help: tasks whose fresh copy would miss the
+//!    deadline (deadline-bound), tasks outside the earliest `(1 − ε)` set (error-bound),
+//!    running tasks whose speculative copy would not beat the running copy (GS) or
+//!    would not save resources (RAS).
+//! 2. **Selection** — GS picks the candidate that improves the approximation goal
+//!    soonest (lowest `tnew` for deadlines — SJF; largest remaining work for error
+//!    bounds — LJF). RAS picks the speculation with the largest resource saving
+//!    `c·trem − (c+1)·tnew`, and otherwise falls back to the same default ordering of
+//!    unscheduled tasks ("at default, both algorithms schedule the task with the
+//!    lowest `tnew` / highest `trem`").
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{Bound, JobSpec, JobView};
+use crate::policy::{Action, BoxedPolicy, PolicyFactory, SpeculationPolicy};
+use crate::task::TaskView;
+
+/// Which of the two building-block algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeculationMode {
+    /// Greedy Speculative scheduling (`OC = 0` in the pseudocode).
+    Gs,
+    /// Resource Aware Speculative scheduling (`OC = 1`).
+    Ras,
+}
+
+impl SpeculationMode {
+    /// Policy name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpeculationMode::Gs => "GS",
+            SpeculationMode::Ras => "RAS",
+        }
+    }
+}
+
+/// Upper limit on concurrently running copies of a single task. Guideline 1 of the
+/// paper shows ≤ 2 copies is optimal during early waves; we allow one more in the
+/// final wave where aggressive speculation is called for, and cap there to avoid
+/// pathological duplication when estimates are badly wrong.
+pub const MAX_COPIES_PER_TASK: u32 = 3;
+
+/// Choose the next action for a job under GS or RAS. Shared by the plain [`GsPolicy`]
+/// / [`RasPolicy`] wrappers, by GRASS (which alternates between the two modes), and by
+/// the oracle baseline (which feeds ground-truth estimates through the same logic).
+pub fn choose(view: &JobView, mode: SpeculationMode) -> Option<Action> {
+    match view.bound {
+        Bound::Deadline(_) => choose_deadline(view, mode),
+        Bound::Error(_) => choose_error(view, mode),
+    }
+}
+
+/// Pseudocode 1: deadline-bound jobs.
+fn choose_deadline(view: &JobView, mode: SpeculationMode) -> Option<Action> {
+    let remaining = view.remaining_deadline().unwrap_or(f64::INFINITY);
+    if remaining <= 0.0 {
+        return None;
+    }
+
+    // Pruning stage.
+    let mut fresh: Vec<&TaskView> = Vec::new();
+    let mut speculative: Vec<&TaskView> = Vec::new();
+    for t in view.eligible_tasks() {
+        // A copy launched now must be expected to finish before the deadline.
+        if t.tnew > remaining {
+            continue;
+        }
+        if t.is_running() {
+            if t.running_copies >= MAX_COPIES_PER_TASK {
+                continue;
+            }
+            match mode {
+                SpeculationMode::Gs => {
+                    if t.new_copy_beats_running() {
+                        speculative.push(t);
+                    }
+                }
+                SpeculationMode::Ras => {
+                    if t.speculation_saving().is_some_and(|s| s > 0.0) {
+                        speculative.push(t);
+                    }
+                }
+            }
+        } else {
+            fresh.push(t);
+        }
+    }
+
+    // Selection stage.
+    match mode {
+        SpeculationMode::Gs => {
+            // SJF over the union of fresh tasks and admissible speculative copies:
+            // schedule whatever finishes soonest.
+            let best_fresh = fresh
+                .into_iter()
+                .min_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap());
+            let best_spec = speculative
+                .into_iter()
+                .min_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap());
+            match (best_fresh, best_spec) {
+                (Some(f), Some(s)) => {
+                    if s.tnew < f.tnew {
+                        Some(Action::speculate(s.id))
+                    } else {
+                        Some(Action::launch(f.id))
+                    }
+                }
+                (Some(f), None) => Some(Action::launch(f.id)),
+                (None, Some(s)) => Some(Action::speculate(s.id)),
+                (None, None) => None,
+            }
+        }
+        SpeculationMode::Ras => {
+            // Speculating only happens when it frees resources; in that case it is a
+            // strict win and takes priority (Figure 1, right). Otherwise launch the
+            // shortest fresh task that fits the deadline.
+            if let Some(s) = speculative.into_iter().max_by(|a, b| {
+                a.speculation_saving()
+                    .unwrap()
+                    .partial_cmp(&b.speculation_saving().unwrap())
+                    .unwrap()
+            }) {
+                return Some(Action::speculate(s.id));
+            }
+            fresh
+                .into_iter()
+                .min_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap())
+                .map(|f| Action::launch(f.id))
+        }
+    }
+}
+
+/// Pseudocode 2: error-bound jobs.
+fn choose_error(view: &JobView, mode: SpeculationMode) -> Option<Action> {
+    // Rank unfinished *input* tasks by effective duration and keep only the earliest
+    // ones that will make up the (1 − ε) result, plus every eligible non-input task
+    // (intermediate stages must run in full for the completed fraction).
+    let mut input_tasks: Vec<&TaskView> = view
+        .eligible_tasks()
+        .filter(|t| t.stage.is_input())
+        .collect();
+    input_tasks.sort_by(|a, b| {
+        a.effective_duration()
+            .partial_cmp(&b.effective_duration())
+            .unwrap()
+    });
+    let still_needed = view
+        .input_tasks_still_needed()
+        .unwrap_or(input_tasks.len())
+        .min(input_tasks.len());
+    let candidates = input_tasks
+        .into_iter()
+        .take(still_needed)
+        .chain(view.eligible_tasks().filter(|t| !t.stage.is_input()));
+
+    // Pruning stage.
+    let mut fresh: Vec<&TaskView> = Vec::new();
+    let mut speculative: Vec<&TaskView> = Vec::new();
+    for t in candidates {
+        if t.is_running() {
+            if t.running_copies >= MAX_COPIES_PER_TASK {
+                continue;
+            }
+            match mode {
+                SpeculationMode::Gs => {
+                    if t.new_copy_beats_running() {
+                        speculative.push(t);
+                    }
+                }
+                SpeculationMode::Ras => {
+                    if t.speculation_saving().is_some_and(|s| s > 0.0) {
+                        speculative.push(t);
+                    }
+                }
+            }
+        } else {
+            fresh.push(t);
+        }
+    }
+
+    // Selection stage. The goal is to minimise the makespan of the needed tasks, so
+    // the default ordering is LJF: longest work first.
+    match mode {
+        SpeculationMode::Gs => {
+            // GS picks the candidate with the largest remaining time: the task that
+            // most threatens the makespan, whether by launching it (fresh) or by
+            // racing a copy against its straggling original.
+            let best_fresh = fresh
+                .into_iter()
+                .max_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap());
+            let best_spec = speculative
+                .into_iter()
+                .max_by(|a, b| a.trem.partial_cmp(&b.trem).unwrap());
+            match (best_fresh, best_spec) {
+                (Some(f), Some(s)) => {
+                    if s.trem > f.tnew {
+                        Some(Action::speculate(s.id))
+                    } else {
+                        Some(Action::launch(f.id))
+                    }
+                }
+                (Some(f), None) => Some(Action::launch(f.id)),
+                (None, Some(s)) => Some(Action::speculate(s.id)),
+                (None, None) => None,
+            }
+        }
+        SpeculationMode::Ras => {
+            if let Some(s) = speculative.into_iter().max_by(|a, b| {
+                a.speculation_saving()
+                    .unwrap()
+                    .partial_cmp(&b.speculation_saving().unwrap())
+                    .unwrap()
+            }) {
+                return Some(Action::speculate(s.id));
+            }
+            fresh
+                .into_iter()
+                .max_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap())
+                .map(|f| Action::launch(f.id))
+        }
+    }
+}
+
+/// Greedy Speculative scheduling as a standalone per-job policy ("GS-only" in §6.3.1).
+#[derive(Debug, Default, Clone)]
+pub struct GsPolicy;
+
+impl SpeculationPolicy for GsPolicy {
+    fn name(&self) -> &str {
+        "GS"
+    }
+
+    fn choose(&mut self, view: &JobView) -> Option<Action> {
+        choose(view, SpeculationMode::Gs)
+    }
+}
+
+/// Resource Aware Speculative scheduling as a standalone per-job policy ("RAS-only").
+#[derive(Debug, Default, Clone)]
+pub struct RasPolicy;
+
+impl SpeculationPolicy for RasPolicy {
+    fn name(&self) -> &str {
+        "RAS"
+    }
+
+    fn choose(&mut self, view: &JobView) -> Option<Action> {
+        choose(view, SpeculationMode::Ras)
+    }
+}
+
+/// Factory producing [`GsPolicy`] instances.
+#[derive(Debug, Default, Clone)]
+pub struct GsFactory;
+
+impl PolicyFactory for GsFactory {
+    fn name(&self) -> &str {
+        "GS"
+    }
+
+    fn create(&self, _job: &JobSpec) -> BoxedPolicy {
+        Box::new(GsPolicy)
+    }
+}
+
+/// Factory producing [`RasPolicy`] instances.
+#[derive(Debug, Default, Clone)]
+pub struct RasFactory;
+
+impl PolicyFactory for RasFactory {
+    fn name(&self) -> &str {
+        "RAS"
+    }
+
+    fn create(&self, _job: &JobSpec) -> BoxedPolicy {
+        Box::new(RasPolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ActionKind;
+    use crate::task::{JobId, StageId, TaskId};
+
+    fn task(id: u32, running: bool, trem: f64, tnew: f64, copies: u32) -> TaskView {
+        TaskView {
+            id: TaskId(id),
+            stage: StageId::INPUT,
+            eligible: true,
+            running_copies: if running { copies } else { 0 },
+            elapsed: if running { 1.0 } else { 0.0 },
+            progress: if running { 0.5 } else { 0.0 },
+            progress_rate: 0.1,
+            trem: if running { trem } else { f64::INFINITY },
+            tnew,
+            true_remaining: trem,
+            true_new_hint: tnew,
+            work: tnew,
+        }
+    }
+
+    fn deadline_view<'a>(tasks: &'a [TaskView], now: f64, deadline: f64) -> JobView<'a> {
+        JobView {
+            job: JobId(1),
+            now,
+            arrival: 0.0,
+            bound: Bound::Deadline(deadline),
+            input_deadline: None,
+            total_input_tasks: tasks.len() + 2,
+            completed_input_tasks: 2,
+            total_tasks: tasks.len() + 2,
+            completed_tasks: 2,
+            tasks,
+            wave_width: 2,
+            cluster_utilization: 0.8,
+            estimation_accuracy: 0.75,
+        }
+    }
+
+    fn error_view<'a>(tasks: &'a [TaskView], epsilon: f64, total: usize, done: usize) -> JobView<'a> {
+        JobView {
+            job: JobId(1),
+            now: 5.0,
+            arrival: 0.0,
+            bound: Bound::Error(epsilon),
+            input_deadline: None,
+            total_input_tasks: total,
+            completed_input_tasks: done,
+            total_tasks: total,
+            completed_tasks: done,
+            tasks,
+            wave_width: 3,
+            cluster_utilization: 0.8,
+            estimation_accuracy: 0.75,
+        }
+    }
+
+    /// Figure 1 of the paper: nine tasks, two slots, T2 just finished at t = 2.
+    /// T1 is running with trem = 5, tnew = 2; T3..T9 are unscheduled with
+    /// tnew = 2, 3, 3, 4, 4, 5, 5.
+    fn figure1_tasks() -> Vec<TaskView> {
+        let mut tasks = vec![task(1, true, 5.0, 2.0, 1)];
+        for (i, &w) in [2.0, 3.0, 3.0, 4.0, 4.0, 5.0, 5.0].iter().enumerate() {
+            tasks.push(task(3 + i as u32, false, 0.0, w, 0));
+        }
+        tasks
+    }
+
+    #[test]
+    fn figure1_gs_launches_shortest_fresh_task() {
+        let tasks = figure1_tasks();
+        let view = deadline_view(&tasks, 2.0, 6.0);
+        let a = choose(&view, SpeculationMode::Gs).unwrap();
+        // GS schedules T3 (lowest tnew among all candidates; ties broken by order).
+        assert_eq!(a.task, TaskId(3));
+        assert_eq!(a.kind, ActionKind::Launch);
+    }
+
+    #[test]
+    fn figure1_ras_speculates_t1() {
+        let tasks = figure1_tasks();
+        let view = deadline_view(&tasks, 2.0, 6.0);
+        let a = choose(&view, SpeculationMode::Ras).unwrap();
+        // RAS speculates T1: saving = 1*5 − 2*2 = 1 > 0.
+        assert_eq!(a.task, TaskId(1));
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn deadline_pruning_drops_tasks_that_cannot_finish() {
+        // Remaining deadline of 1s: only a task with tnew <= 1 survives.
+        let tasks = vec![task(1, false, 0.0, 3.0, 0), task(2, false, 0.0, 0.8, 0)];
+        let view = deadline_view(&tasks, 5.0, 6.0);
+        let a = choose(&view, SpeculationMode::Gs).unwrap();
+        assert_eq!(a.task, TaskId(2));
+        // With nothing fitting, no action at all.
+        let tasks = vec![task(1, false, 0.0, 3.0, 0)];
+        let view = deadline_view(&tasks, 5.0, 6.0);
+        assert!(choose(&view, SpeculationMode::Gs).is_none());
+        assert!(choose(&view, SpeculationMode::Ras).is_none());
+    }
+
+    #[test]
+    fn past_deadline_yields_no_action() {
+        let tasks = vec![task(1, false, 0.0, 0.5, 0)];
+        let view = deadline_view(&tasks, 10.0, 6.0);
+        assert!(choose(&view, SpeculationMode::Gs).is_none());
+    }
+
+    #[test]
+    fn gs_requires_new_copy_to_beat_running_copy() {
+        // Running task with trem = 2, tnew = 3: a new copy is slower, GS must not copy.
+        let tasks = vec![task(1, true, 2.0, 3.0, 1)];
+        let view = deadline_view(&tasks, 0.0, 10.0);
+        assert!(choose(&view, SpeculationMode::Gs).is_none());
+        // trem = 4, tnew = 3: now GS speculates.
+        let tasks = vec![task(1, true, 4.0, 3.0, 1)];
+        let view = deadline_view(&tasks, 0.0, 10.0);
+        let a = choose(&view, SpeculationMode::Gs).unwrap();
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn ras_requires_positive_resource_saving() {
+        // trem = 4, tnew = 3: GS would speculate but saving = 4 − 6 = −2 < 0.
+        let tasks = vec![task(1, true, 4.0, 3.0, 1)];
+        let view = deadline_view(&tasks, 0.0, 10.0);
+        assert!(choose(&view, SpeculationMode::Ras).is_none());
+        // trem = 7, tnew = 3: saving = 1 > 0.
+        let tasks = vec![task(1, true, 7.0, 3.0, 1)];
+        let view = deadline_view(&tasks, 0.0, 10.0);
+        let a = choose(&view, SpeculationMode::Ras).unwrap();
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn copy_cap_is_enforced() {
+        let tasks = vec![task(1, true, 100.0, 1.0, MAX_COPIES_PER_TASK)];
+        let view = deadline_view(&tasks, 0.0, 1000.0);
+        assert!(choose(&view, SpeculationMode::Gs).is_none());
+        assert!(choose(&view, SpeculationMode::Ras).is_none());
+    }
+
+    /// Figure 2 of the paper: six tasks, three slots, at t = 5 T1/T2/T4 are done,
+    /// T3 is running with trem = 6, tnew = 3; T5, T6 are unscheduled with tnew 2 and 3.
+    fn figure2_tasks() -> Vec<TaskView> {
+        vec![
+            task(3, true, 6.0, 3.0, 1),
+            task(5, false, 0.0, 2.0, 0),
+            task(6, false, 0.0, 3.0, 0),
+        ]
+    }
+
+    #[test]
+    fn figure2_gs_speculates_longest_straggler() {
+        let tasks = figure2_tasks();
+        // Error limit 20% of 6 tasks => 5 tasks needed, 3 done => 2 more needed.
+        let view = error_view(&tasks, 0.2, 6, 3);
+        let a = choose(&view, SpeculationMode::Gs).unwrap();
+        // T3 has the highest trem among the earliest-needed tasks.
+        // needed = 2, earliest by effective duration: T5 (2), T6 (3) — wait, T3's
+        // effective duration is min(6, 3) = 3, tie with T6; the two earliest are
+        // T5 and either T3/T6. GS picks the largest remaining among candidates.
+        assert!(a.task == TaskId(3) || a.task == TaskId(6));
+    }
+
+    #[test]
+    fn figure2_ras_declines_speculation() {
+        let tasks = figure2_tasks();
+        let view = error_view(&tasks, 0.2, 6, 3);
+        let a = choose(&view, SpeculationMode::Ras).unwrap();
+        // saving for T3 = 6 − 2*3 = 0, not > 0, so RAS launches a fresh task from the
+        // needed set instead of duplicating T3.
+        assert_eq!(a.kind, ActionKind::Launch);
+        assert_eq!(a.task, TaskId(5));
+    }
+
+    #[test]
+    fn error_bound_ignores_tasks_beyond_needed_set() {
+        // 10 input tasks, ε = 0.5 => 5 needed, 4 done => only the single earliest
+        // unfinished task is a candidate.
+        let tasks = vec![
+            task(1, false, 0.0, 9.0, 0),
+            task(2, false, 0.0, 1.0, 0),
+            task(3, false, 0.0, 5.0, 0),
+        ];
+        let view = error_view(&tasks, 0.5, 10, 4);
+        let a = choose(&view, SpeculationMode::Gs).unwrap();
+        // Only the earliest (T2, effective duration 1.0) is in the needed set, so it
+        // is scheduled even though LJF would otherwise prefer T1.
+        assert_eq!(a.task, TaskId(2));
+    }
+
+    #[test]
+    fn exact_jobs_schedule_longest_first() {
+        let tasks = vec![
+            task(1, false, 0.0, 2.0, 0),
+            task(2, false, 0.0, 8.0, 0),
+            task(3, false, 0.0, 5.0, 0),
+        ];
+        let view = error_view(&tasks, 0.0, 10, 7);
+        let a = choose(&view, SpeculationMode::Gs).unwrap();
+        assert_eq!(a.task, TaskId(2));
+        let a = choose(&view, SpeculationMode::Ras).unwrap();
+        assert_eq!(a.task, TaskId(2));
+    }
+
+    #[test]
+    fn policies_expose_names() {
+        assert_eq!(GsPolicy.name(), "GS");
+        assert_eq!(RasPolicy.name(), "RAS");
+        assert_eq!(GsFactory.name(), "GS");
+        assert_eq!(RasFactory.name(), "RAS");
+        assert_eq!(SpeculationMode::Gs.name(), "GS");
+        assert_eq!(SpeculationMode::Ras.name(), "RAS");
+    }
+
+    #[test]
+    fn factories_create_working_policies() {
+        let job = JobSpec::single_stage(1, 0.0, Bound::Deadline(10.0), vec![1.0, 2.0]);
+        let tasks = vec![task(0, false, 0.0, 1.0, 0), task(1, false, 0.0, 2.0, 0)];
+        let view = deadline_view(&tasks, 0.0, 10.0);
+        let mut gs = GsFactory.create(&job);
+        assert_eq!(gs.choose(&view).unwrap().task, TaskId(0));
+        let mut ras = RasFactory.create(&job);
+        assert_eq!(ras.choose(&view).unwrap().task, TaskId(0));
+    }
+}

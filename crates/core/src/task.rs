@@ -1,0 +1,232 @@
+//! Task-level identifiers and the per-task view a speculation policy sees.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in seconds. The simulator is a continuous-time discrete-event model,
+/// so plain `f64` seconds are the natural representation.
+pub type Time = f64;
+
+/// Identifier of a job within a trace / simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Identifier of a task *within its job* (dense index, `0..job.total_tasks()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a DAG stage within a job. Stage 0 is always the input stage
+/// (map / extract); later stages are intermediate (reduce / join) stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StageId(pub u8);
+
+impl JobId {
+    /// Raw numeric value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl TaskId {
+    /// Raw numeric value, usable as an index into per-job task arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StageId {
+    /// The input stage (stage 0) drives result accuracy.
+    pub const INPUT: StageId = StageId(0);
+
+    /// Raw numeric value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the input stage.
+    pub fn is_input(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Static description of a task: how much *work* it represents and which DAG stage it
+/// belongs to.
+///
+/// `work` is expressed in seconds on an unloaded, unit-speed slot with no straggling.
+/// The simulator turns work into an actual copy duration by multiplying with the
+/// machine speed factor and a per-copy straggler multiplier, which is what makes
+/// speculative copies worthwhile: a second copy of the same work can be much faster
+/// than an original that drew a bad multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Normalised work in seconds (input-size-normalised duration, as in the paper's
+    /// footnote 2: task durations are normalised by input size to resist data skew).
+    pub work: f64,
+    /// DAG stage this task belongs to.
+    pub stage: StageId,
+}
+
+impl TaskSpec {
+    /// A task in the input stage.
+    pub fn input(work: f64) -> Self {
+        TaskSpec {
+            work,
+            stage: StageId::INPUT,
+        }
+    }
+
+    /// A task in an arbitrary stage.
+    pub fn in_stage(work: f64, stage: u8) -> Self {
+        TaskSpec {
+            work,
+            stage: StageId(stage),
+        }
+    }
+}
+
+/// Snapshot of one unfinished task handed to a [`crate::SpeculationPolicy`] when it has
+/// to pick what to run on a freed slot.
+///
+/// `trem` / `tnew` are the *estimates* the scheduler would have in a real deployment
+/// (progress-report extrapolation and completed-task sampling, degraded to the
+/// configured estimation accuracy). `true_remaining` / `true_new_hint` carry the
+/// simulator's ground truth so that oracle baselines can be expressed; honest policies
+/// must not read them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskView {
+    /// Task identifier within the job.
+    pub id: TaskId,
+    /// DAG stage of the task.
+    pub stage: StageId,
+    /// Whether the task's stage has been unlocked (its upstream stage met its
+    /// completion requirement). Only eligible tasks may be scheduled.
+    pub eligible: bool,
+    /// Number of copies of this task currently running (`c` in the paper's notation).
+    pub running_copies: u32,
+    /// Time the *oldest running copy* has been executing, in seconds. Zero if the task
+    /// is not running.
+    pub elapsed: Time,
+    /// Progress fraction in `[0, 1]` of the most advanced running copy. Zero if the
+    /// task is not running.
+    pub progress: f64,
+    /// Progress per second of the most advanced running copy (used by LATE-style
+    /// baselines). Zero if the task is not running.
+    pub progress_rate: f64,
+    /// Estimated remaining duration of the best (soonest-finishing) running copy.
+    /// `f64::INFINITY` if the task is not running.
+    pub trem: Time,
+    /// Estimated duration of a freshly launched copy.
+    pub tnew: Time,
+    /// Ground-truth remaining duration of the best running copy (oracle only).
+    pub true_remaining: Time,
+    /// Ground-truth duration a new copy would take on a typical slot (oracle only).
+    pub true_new_hint: Time,
+    /// Normalised work of the task (from [`TaskSpec::work`]).
+    pub work: f64,
+}
+
+impl TaskView {
+    /// Whether at least one copy of the task is currently running.
+    pub fn is_running(&self) -> bool {
+        self.running_copies > 0
+    }
+
+    /// Effective duration of the task as defined in Pseudocode 2 of the paper:
+    /// `min(trem, tnew)` — the soonest this task could possibly contribute to the
+    /// result, over both its running copies and a hypothetical new copy.
+    pub fn effective_duration(&self) -> Time {
+        self.trem.min(self.tnew)
+    }
+
+    /// Resource saving of launching one more speculative copy, as defined for RAS:
+    /// `c * trem − (c + 1) * tnew`. Positive iff speculating saves both time and
+    /// resources. Returns `None` for tasks that are not running (launching the first
+    /// copy is not speculation).
+    pub fn speculation_saving(&self) -> Option<f64> {
+        if !self.is_running() {
+            return None;
+        }
+        let c = f64::from(self.running_copies);
+        Some(c * self.trem - (c + 1.0) * self.tnew)
+    }
+
+    /// Whether a new copy is expected to beat the best running copy (`tnew < trem`),
+    /// the GS speculation criterion.
+    pub fn new_copy_beats_running(&self) -> bool {
+        self.is_running() && self.tnew < self.trem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_task(trem: f64, tnew: f64, copies: u32) -> TaskView {
+        TaskView {
+            id: TaskId(0),
+            stage: StageId::INPUT,
+            eligible: true,
+            running_copies: copies,
+            elapsed: 1.0,
+            progress: 0.5,
+            progress_rate: 0.1,
+            trem,
+            tnew,
+            true_remaining: trem,
+            true_new_hint: tnew,
+            work: tnew,
+        }
+    }
+
+    #[test]
+    fn ids_expose_raw_values() {
+        assert_eq!(JobId(7).value(), 7);
+        assert_eq!(TaskId(3).index(), 3);
+        assert_eq!(StageId(2).value(), 2);
+        assert!(StageId::INPUT.is_input());
+        assert!(!StageId(1).is_input());
+    }
+
+    #[test]
+    fn task_spec_constructors_set_stage() {
+        assert_eq!(TaskSpec::input(4.0).stage, StageId::INPUT);
+        assert_eq!(TaskSpec::in_stage(4.0, 3).stage, StageId(3));
+    }
+
+    #[test]
+    fn effective_duration_is_min_of_trem_and_tnew() {
+        let t = running_task(5.0, 4.0, 1);
+        assert_eq!(t.effective_duration(), 4.0);
+        let t = running_task(3.0, 4.0, 1);
+        assert_eq!(t.effective_duration(), 3.0);
+    }
+
+    #[test]
+    fn speculation_saving_matches_paper_formula() {
+        // Figure 1 (right): T1 has trem = 5, tnew = 2 with one running copy.
+        // saving = 1*5 - 2*2 = 1 > 0, so RAS speculates.
+        let t = running_task(5.0, 2.0, 1);
+        assert_eq!(t.speculation_saving(), Some(1.0));
+        // Two copies already running: saving = 2*5 - 3*2 = 4.
+        let t = running_task(5.0, 2.0, 2);
+        assert_eq!(t.speculation_saving(), Some(4.0));
+        // Not running => no speculation saving defined.
+        let mut t = running_task(5.0, 2.0, 0);
+        t.running_copies = 0;
+        assert_eq!(t.speculation_saving(), None);
+    }
+
+    #[test]
+    fn saving_negative_when_new_copy_too_slow() {
+        // trem = 3, tnew = 2: a new copy helps time-wise (GS would copy) but
+        // saving = 3 - 4 = -1 < 0, so RAS refuses.
+        let t = running_task(3.0, 2.0, 1);
+        assert!(t.new_copy_beats_running());
+        assert!(t.speculation_saving().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn gs_criterion_requires_running_copy() {
+        let t = running_task(3.0, 2.0, 0);
+        assert!(!t.new_copy_beats_running());
+    }
+}

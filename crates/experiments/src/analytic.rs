@@ -1,0 +1,111 @@
+//! Analytic experiments: the Figure 3 Hill plot of task durations and the Figure 4
+//! model sweep over reactive speculation thresholds.
+
+use grass_metrics::{Cell, Report, Series, Table};
+use grass_model::{figure4_curves, hill_plot, tail_index, Pareto};
+use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
+
+use crate::common::{sample_task_durations, ExpConfig};
+
+/// Number of task durations sampled for the Hill plot.
+const HILL_SAMPLES: usize = 60_000;
+
+/// Figure 3: Hill plot of task durations from the (synthetic) Facebook workload. The
+/// paper reads off β ≈ 1.259 from the flat region; the generated workload is
+/// calibrated to the same tail, so the recovered index should be close.
+pub fn fig3(exp: &ExpConfig) -> Report {
+    let mut report = Report::new("fig3");
+    let wl = WorkloadConfig::new(TraceProfile::facebook(Framework::Hadoop))
+        .with_bound(BoundSpec::Exact);
+    let samples = exp.seeds.first().copied().unwrap_or(1);
+    let durations = sample_task_durations(&wl, &exp.cluster, HILL_SAMPLES, samples);
+
+    let plot = hill_plot(&durations, 60);
+    report.add_series(Series::new(
+        "hill-plot",
+        plot.iter()
+            .map(|p| (p.order_statistics as f64, p.beta))
+            .collect(),
+    ));
+
+    let mut table = Table::new(
+        "Figure 3: Hill estimate of the task-duration tail index",
+        vec!["Quantity", "Value"],
+    );
+    table.push_row("paper beta", vec![Cell::Number(1.259)]);
+    if let Some(beta) = tail_index(&durations) {
+        table.push_row("measured beta", vec![Cell::Number(beta)]);
+    }
+    let mut sorted = durations.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let p999 = sorted[(sorted.len() as f64 * 0.999) as usize];
+    table.push_row("p99.9 / median duration", vec![Cell::Number(p999 / median)]);
+    report.add_table(table);
+    report
+}
+
+/// The ω grid used for the Figure 4 sweep.
+pub fn omega_grid() -> Vec<f64> {
+    (1..=50).map(|i| i as f64 * 0.1).collect()
+}
+
+/// Figure 4: response time of the wait-ω reactive policy, normalised by the best
+/// achievable, for jobs of one to five waves under Pareto(β = 1.259) task durations;
+/// GS and RAS correspond to ω = β·xm and ω = 2·β·xm respectively.
+pub fn fig4(_exp: &ExpConfig) -> Report {
+    let mut report = Report::new("fig4");
+    let dist = Pareto::paper();
+    let waves = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let omegas = omega_grid();
+    let curves = figure4_curves(dist, 50.0, &waves, &omegas);
+
+    let mut table = Table::new(
+        "Figure 4: processing time / optimal at the GS and RAS operating points",
+        vec!["Waves", "GS ratio", "RAS ratio"],
+    );
+    for curve in &curves {
+        report.add_series(Series::new(
+            format!("waves-{:.0}", curve.waves),
+            curve.points.clone(),
+        ));
+        table.push_row(
+            format!("{:.0}", curve.waves),
+            vec![Cell::Number(curve.gs_ratio), Cell::Number(curve.ras_ratio)],
+        );
+    }
+    let gs_omega = curves.first().map(|c| c.gs_omega).unwrap_or_default();
+    let ras_omega = curves.first().map(|c| c.ras_omega).unwrap_or_default();
+    table.push_row(
+        "omega (GS, RAS)",
+        vec![Cell::Number(gs_omega), Cell::Number(ras_omega)],
+    );
+    report.add_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_grid_spans_zero_to_five() {
+        let grid = omega_grid();
+        assert_eq!(grid.len(), 50);
+        assert!((grid[0] - 0.1).abs() < 1e-12);
+        assert!((grid[49] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_recovers_a_heavy_tail() {
+        let report = fig3(&ExpConfig::tiny());
+        let table = &report.tables[0];
+        let measured = table.value("measured beta", "Value").unwrap();
+        assert!(
+            measured > 0.9 && measured < 2.0,
+            "measured beta {measured} should be heavy-tailed"
+        );
+        assert!(table.value("p99.9 / median duration", "Value").unwrap() > 5.0);
+        assert!(!report.series["hill-plot"].points.is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! `repro` — regenerate the tables and figures of the GRASS paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] [--csv] [<experiment-id>...]
+//! ```
+//!
+//! With no experiment ids, every experiment is run in paper order. `--quick` uses the
+//! reduced configuration (fewer jobs, one seed, smaller cluster) intended for smoke
+//! tests; the default configuration averages three seeds on the 200-slot cluster.
+
+use std::process::ExitCode;
+
+use grass_experiments::{experiment_ids, run_experiment, ExpConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+
+    let config = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
+    let ids: Vec<&str> = if requested.is_empty() {
+        experiment_ids()
+    } else {
+        requested
+    };
+
+    let mut failed = false;
+    for id in ids {
+        match run_experiment(id, &config) {
+            Some(report) => {
+                if csv {
+                    for table in &report.tables {
+                        println!("# {}", table.title);
+                        println!("{}", table.render_csv());
+                    }
+                } else {
+                    println!("{}", report.render_text());
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment id '{id}'; known ids: {}",
+                    experiment_ids().join(", ")
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_help() {
+    println!("repro — regenerate the tables and figures of the GRASS (NSDI '14) paper");
+    println!();
+    println!("USAGE: repro [--quick] [--csv] [<experiment-id>...]");
+    println!();
+    println!("Experiment ids:");
+    for id in experiment_ids() {
+        println!("  {id}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Shared experiment plumbing: which policies to run, how to run a workload through
+//! the simulator for several seeds, and how to turn the outcomes into the improvement
+//! tables the paper's figures report.
+
+use std::sync::Arc;
+
+use grass_core::{
+    EstimatorConfig, FactorSet, GrassConfig, GrassFactory, GsFactory, JobSpec, PolicyFactory,
+    RasFactory, SampleStore, SpeculationMode,
+};
+use grass_metrics::{improvement_by_size_bin, overall_improvement, Metric, OutcomeSet};
+use grass_policies::{LateFactory, MantriFactory, NoSpecFactory, OracleFactory};
+use grass_sim::{run_simulation, ClusterConfig, SimConfig};
+use grass_workload::{generate, WorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Global knobs of an experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Jobs per simulated workload.
+    pub jobs_per_run: usize,
+    /// Seeds to average over (each seed regenerates the workload and the cluster).
+    pub seeds: Vec<u64>,
+    /// Cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Estimator accuracy model for non-oracle policies.
+    pub estimator: EstimatorConfig,
+    /// Fraction of the workload replayed as a GS/RAS warm-up before a GRASS run, so
+    /// GRASS's sample store reflects "executions of previous jobs" (§4.1).
+    pub warmup_fraction: f64,
+}
+
+impl ExpConfig {
+    /// Full-fidelity configuration used by the `repro` binary.
+    pub fn full() -> Self {
+        ExpConfig {
+            jobs_per_run: 120,
+            seeds: vec![11, 23, 47],
+            cluster: ClusterConfig::ec2_scaled(),
+            estimator: EstimatorConfig::paper_default(),
+            warmup_fraction: 0.5,
+        }
+    }
+
+    /// Reduced configuration for integration tests and benches: one seed, fewer jobs,
+    /// a smaller cluster.
+    pub fn quick() -> Self {
+        ExpConfig {
+            jobs_per_run: 36,
+            seeds: vec![11],
+            cluster: ClusterConfig {
+                machines: 20,
+                slots_per_machine: 4,
+                ..ClusterConfig::ec2_scaled()
+            },
+            estimator: EstimatorConfig::paper_default(),
+            warmup_fraction: 0.5,
+        }
+    }
+
+    /// Even smaller configuration for micro-benchmarks.
+    pub fn tiny() -> Self {
+        ExpConfig {
+            jobs_per_run: 12,
+            seeds: vec![11],
+            cluster: ClusterConfig {
+                machines: 10,
+                slots_per_machine: 4,
+                ..ClusterConfig::ec2_scaled()
+            },
+            estimator: EstimatorConfig::paper_default(),
+            warmup_fraction: 0.5,
+        }
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig::full()
+    }
+}
+
+/// The policies experiments compare. Each value knows how to build its factory (and
+/// whether it needs oracle-exact estimates).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// LATE baseline (deployed in the Facebook cluster).
+    Late,
+    /// Mantri baseline (deployed in the Bing cluster).
+    Mantri,
+    /// FIFO with no speculation.
+    NoSpec,
+    /// GS throughout ("GS-only").
+    GsOnly,
+    /// RAS throughout ("RAS-only").
+    RasOnly,
+    /// Full GRASS with the given configuration.
+    Grass(GrassConfig),
+    /// The oracle (optimal) scheduler with exact knowledge.
+    Oracle,
+}
+
+impl PolicyKind {
+    /// Default GRASS (learned switching, all three factors, ξ = 15%).
+    pub fn grass() -> Self {
+        PolicyKind::Grass(GrassConfig::paper_default())
+    }
+
+    /// GRASS with the static two-wave strawman switcher.
+    pub fn strawman() -> Self {
+        PolicyKind::Grass(GrassConfig::strawman())
+    }
+
+    /// GRASS restricted to a subset of learning factors.
+    pub fn grass_with_factors(factors: FactorSet) -> Self {
+        PolicyKind::Grass(GrassConfig::with_factors(factors))
+    }
+
+    /// GRASS with a specific perturbation probability ξ.
+    pub fn grass_with_xi(xi: f64) -> Self {
+        PolicyKind::Grass(GrassConfig::with_xi(xi))
+    }
+
+    /// Display name used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Late => "LATE".to_string(),
+            PolicyKind::Mantri => "Mantri".to_string(),
+            PolicyKind::NoSpec => "NoSpec".to_string(),
+            PolicyKind::GsOnly => "GS-only".to_string(),
+            PolicyKind::RasOnly => "RAS-only".to_string(),
+            PolicyKind::Oracle => "Optimal".to_string(),
+            PolicyKind::Grass(cfg) => GrassFactory::with_config(*cfg, 0).name().to_string(),
+        }
+    }
+
+    /// Whether this policy is given oracle-exact estimates (only the optimal
+    /// scheduler).
+    pub fn uses_oracle_estimates(&self) -> bool {
+        matches!(self, PolicyKind::Oracle)
+    }
+}
+
+/// Run one workload under one policy for a single seed and return all job outcomes.
+pub fn run_once(
+    exp: &ExpConfig,
+    workload: &WorkloadConfig,
+    policy: &PolicyKind,
+    seed: u64,
+) -> OutcomeSet {
+    let jobs = generate(workload, seed);
+    let estimator = if policy.uses_oracle_estimates() {
+        EstimatorConfig::oracle()
+    } else {
+        exp.estimator
+    };
+    let sim = SimConfig {
+        cluster: exp.cluster,
+        estimator,
+        seed,
+        max_time: None,
+    };
+    let outcomes = match policy {
+        PolicyKind::Late => run_simulation(&sim, jobs, &LateFactory::default()).outcomes,
+        PolicyKind::Mantri => run_simulation(&sim, jobs, &MantriFactory::default()).outcomes,
+        PolicyKind::NoSpec => run_simulation(&sim, jobs, &NoSpecFactory).outcomes,
+        PolicyKind::GsOnly => run_simulation(&sim, jobs, &GsFactory).outcomes,
+        PolicyKind::RasOnly => run_simulation(&sim, jobs, &RasFactory).outcomes,
+        PolicyKind::Oracle => run_simulation(&sim, jobs, &OracleFactory).outcomes,
+        PolicyKind::Grass(cfg) => {
+            let store = warmed_store(exp, workload, &sim, seed);
+            let factory = GrassFactory::with_store(*cfg, store, seed ^ 0x9A55);
+            run_simulation(&sim, jobs, &factory).outcomes
+        }
+    };
+    OutcomeSet::new(outcomes)
+}
+
+/// Run a workload under one policy across all configured seeds and pool the outcomes.
+pub fn run_policy(exp: &ExpConfig, workload: &WorkloadConfig, policy: &PolicyKind) -> OutcomeSet {
+    let mut all = Vec::new();
+    for &seed in &exp.seeds {
+        all.extend(run_once(exp, workload, policy, seed).all().to_vec());
+    }
+    OutcomeSet::new(all)
+}
+
+/// Build a GRASS sample store warmed up with pure-GS and pure-RAS executions of a
+/// slice of the workload — the "samples of previous jobs" GRASS learns from.
+fn warmed_store(
+    exp: &ExpConfig,
+    workload: &WorkloadConfig,
+    sim: &SimConfig,
+    seed: u64,
+) -> Arc<SampleStore> {
+    let store = Arc::new(SampleStore::new());
+    if exp.warmup_fraction <= 0.0 {
+        return store;
+    }
+    let warm_jobs = ((workload.num_jobs as f64 * exp.warmup_fraction).ceil() as usize).max(4);
+    let warm_cfg = WorkloadConfig {
+        num_jobs: warm_jobs,
+        ..*workload
+    };
+    for (mode, offset) in [(SpeculationMode::Gs, 0x61), (SpeculationMode::Ras, 0x72)] {
+        let jobs = generate(&warm_cfg, seed ^ offset);
+        let warm_sim = SimConfig {
+            seed: seed ^ offset,
+            ..*sim
+        };
+        let result = match mode {
+            SpeculationMode::Gs => run_simulation(&warm_sim, jobs, &GsFactory),
+            SpeculationMode::Ras => run_simulation(&warm_sim, jobs, &RasFactory),
+        };
+        for outcome in &result.outcomes {
+            store.record_outcome(mode, outcome);
+        }
+    }
+    store
+}
+
+/// Metric appropriate for a workload's bound specification.
+pub fn metric_for(workload: &WorkloadConfig) -> Metric {
+    if workload.bound.is_deadline() {
+        Metric::Accuracy
+    } else {
+        Metric::Duration
+    }
+}
+
+/// Result of comparing one candidate policy against one baseline on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Candidate policy label.
+    pub candidate: String,
+    /// Baseline policy label.
+    pub baseline: String,
+    /// Overall percentage improvement.
+    pub overall: f64,
+    /// Improvement per job-size bin (paper bins `<50`, `51-500`, `>500`), in that
+    /// order; `None` when a bin had no jobs.
+    pub by_size_bin: Vec<Option<f64>>,
+}
+
+/// Run baseline and candidate on the same workload and compute improvements.
+pub fn compare(
+    exp: &ExpConfig,
+    workload: &WorkloadConfig,
+    baseline: &PolicyKind,
+    candidate: &PolicyKind,
+) -> Comparison {
+    let base = run_policy(exp, workload, baseline);
+    let cand = run_policy(exp, workload, candidate);
+    compare_outcomes(workload, baseline, candidate, &base, &cand)
+}
+
+/// Compute improvements from already-collected outcome sets.
+pub fn compare_outcomes(
+    workload: &WorkloadConfig,
+    baseline: &PolicyKind,
+    candidate: &PolicyKind,
+    base: &OutcomeSet,
+    cand: &OutcomeSet,
+) -> Comparison {
+    let metric = metric_for(workload);
+    let by_bin = improvement_by_size_bin(base, cand, metric);
+    Comparison {
+        candidate: candidate.label(),
+        baseline: baseline.label(),
+        overall: overall_improvement(base, cand, metric).unwrap_or(0.0),
+        by_size_bin: grass_core::JobSizeBin::all()
+            .iter()
+            .map(|b| by_bin.get(b).copied())
+            .collect(),
+    }
+}
+
+/// Convenience: durations of individual tasks as the simulator would produce them, for
+/// the Figure 3 Hill plot. Work × machine slowdown × per-copy straggle, sampled
+/// directly from the workload and cluster models.
+pub fn sample_task_durations(
+    workload: &WorkloadConfig,
+    cluster: &ClusterConfig,
+    count: usize,
+    seed: u64,
+) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let machines = cluster.build_machines(seed);
+    (0..count)
+        .map(|i| {
+            let work = workload.profile.task_work.sample(&mut rng);
+            let machine = &machines[i % machines.len()];
+            let straggle = cluster.straggler.sample(&mut rng);
+            work * machine.slowdown * straggle
+        })
+        .collect()
+}
+
+/// Convenience: the whole set of job specs an experiment would feed the simulator
+/// (exposed for tests and for the quickstart example).
+pub fn workload_jobs(workload: &WorkloadConfig, seed: u64) -> Vec<JobSpec> {
+    generate(workload, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_workload::{BoundSpec, Framework, TraceProfile};
+
+    fn tiny_workload(bound: BoundSpec) -> WorkloadConfig {
+        WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+            .with_jobs(10)
+            .with_bound(bound)
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(PolicyKind::Late.label(), "LATE");
+        assert_eq!(PolicyKind::Mantri.label(), "Mantri");
+        assert_eq!(PolicyKind::grass().label(), "GRASS");
+        assert_eq!(PolicyKind::strawman().label(), "GRASS-strawman");
+        assert_eq!(
+            PolicyKind::grass_with_factors(FactorSet::best_one()).label(),
+            "GRASS-best1"
+        );
+        assert_eq!(PolicyKind::Oracle.label(), "Optimal");
+        assert!(PolicyKind::Oracle.uses_oracle_estimates());
+        assert!(!PolicyKind::grass().uses_oracle_estimates());
+    }
+
+    #[test]
+    fn run_once_produces_one_outcome_per_job() {
+        let exp = ExpConfig::tiny();
+        let wl = tiny_workload(BoundSpec::paper_errors());
+        let outcomes = run_once(&exp, &wl, &PolicyKind::Late, 1);
+        assert_eq!(outcomes.len(), 10);
+        assert!(outcomes.all().iter().all(|o| o.policy == "LATE"));
+    }
+
+    #[test]
+    fn run_policy_pools_all_seeds() {
+        let mut exp = ExpConfig::tiny();
+        exp.seeds = vec![1, 2];
+        let wl = tiny_workload(BoundSpec::paper_deadlines());
+        let outcomes = run_policy(&exp, &wl, &PolicyKind::GsOnly);
+        assert_eq!(outcomes.len(), 20);
+    }
+
+    #[test]
+    fn grass_runs_label_jobs_as_grass_or_perturbed_modes() {
+        let exp = ExpConfig::tiny();
+        let wl = tiny_workload(BoundSpec::paper_errors());
+        let outcomes = run_once(&exp, &wl, &PolicyKind::grass(), 3);
+        assert_eq!(outcomes.len(), 10);
+        for o in outcomes.all() {
+            assert!(
+                o.policy == "GRASS" || o.policy == "GS" || o.policy == "RAS",
+                "unexpected policy label {}",
+                o.policy
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_has_all_bins_slots() {
+        let exp = ExpConfig::tiny();
+        let wl = tiny_workload(BoundSpec::paper_deadlines());
+        let cmp = compare(&exp, &wl, &PolicyKind::NoSpec, &PolicyKind::GsOnly);
+        assert_eq!(cmp.by_size_bin.len(), 3);
+        assert_eq!(cmp.baseline, "NoSpec");
+        assert_eq!(cmp.candidate, "GS-only");
+        assert!(cmp.overall.is_finite());
+    }
+
+    #[test]
+    fn metric_follows_bound_kind() {
+        assert_eq!(
+            metric_for(&tiny_workload(BoundSpec::paper_deadlines())),
+            Metric::Accuracy
+        );
+        assert_eq!(
+            metric_for(&tiny_workload(BoundSpec::paper_errors())),
+            Metric::Duration
+        );
+    }
+
+    #[test]
+    fn sampled_durations_are_positive_and_heavy_tailed() {
+        let wl = tiny_workload(BoundSpec::Exact);
+        let durations = sample_task_durations(&wl, &ClusterConfig::ec2_scaled(), 5000, 9);
+        assert_eq!(durations.len(), 5000);
+        assert!(durations.iter().all(|d| *d > 0.0));
+        let mut sorted = durations.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        assert!(max / median > 5.0, "max/median = {}", max / median);
+    }
+}

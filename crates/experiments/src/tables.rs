@@ -1,0 +1,113 @@
+//! Table 1: provenance of the Facebook and Bing traces, together with the
+//! synthetic-generator configuration that stands in for them in this reproduction.
+
+use grass_metrics::{Cell, Report, Table};
+use grass_workload::{table1_rows, Framework, TraceProfile};
+
+use crate::common::ExpConfig;
+
+/// Table 1 of the paper plus the calibration of the synthetic stand-in traces.
+pub fn table1(exp: &ExpConfig) -> Report {
+    let mut report = Report::new("table1");
+
+    let mut paper = Table::new(
+        "Table 1: details of the Facebook and Bing traces (paper values)",
+        vec![
+            "Trace",
+            "Dates",
+            "Framework",
+            "Script",
+            "Jobs",
+            "Cluster Size",
+            "Straggler mitigation",
+        ],
+    );
+    for row in table1_rows() {
+        paper.push_row(
+            row.name,
+            vec![
+                Cell::from(row.dates),
+                Cell::from(row.framework),
+                Cell::from(row.script),
+                Cell::from(row.jobs),
+                Cell::from(row.cluster_size),
+                Cell::from(row.straggler_mitigation),
+            ],
+        );
+    }
+    report.add_table(paper);
+
+    let mut synth = Table::new(
+        "Synthetic stand-in calibration (this reproduction)",
+        vec![
+            "Profile",
+            "Median task work (s)",
+            "Mean task work (s)",
+            "Mean interarrival (s)",
+            "Small/Medium/Large mix (%)",
+        ],
+    );
+    for profile in [
+        TraceProfile::facebook(Framework::Hadoop),
+        TraceProfile::facebook(Framework::Spark),
+        TraceProfile::bing(Framework::Hadoop),
+        TraceProfile::bing(Framework::Spark),
+    ] {
+        synth.push_row(
+            profile.label(),
+            vec![
+                Cell::Number(profile.task_work.median()),
+                Cell::Number(profile.task_work.mean()),
+                Cell::Number(profile.interarrival.mean),
+                Cell::Text(format!(
+                    "{:.0}/{:.0}/{:.0}",
+                    profile.size_mix.small_fraction * 100.0,
+                    profile.size_mix.medium_fraction * 100.0,
+                    profile.size_mix.large_fraction() * 100.0
+                )),
+            ],
+        );
+    }
+    report.add_table(synth);
+
+    let mut cluster = Table::new(
+        "Simulated cluster (stand-in for the 200-node EC2 deployment)",
+        vec!["Quantity", "Value"],
+    );
+    cluster.push_row("machines", vec![Cell::Number(exp.cluster.machines as f64)]);
+    cluster.push_row(
+        "slots per machine",
+        vec![Cell::Number(exp.cluster.slots_per_machine as f64)],
+    );
+    cluster.push_row(
+        "total slots",
+        vec![Cell::Number(exp.cluster.total_slots() as f64)],
+    );
+    cluster.push_row(
+        "mean copy slowdown",
+        vec![Cell::Number(exp.cluster.mean_slowdown())],
+    );
+    cluster.push_row("jobs per run", vec![Cell::Number(exp.jobs_per_run as f64)]);
+    cluster.push_row("seeds", vec![Cell::Number(exp.seeds.len() as f64)]);
+    report.add_table(cluster);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_paper_and_calibration_tables() {
+        let report = table1(&ExpConfig::quick());
+        assert_eq!(report.tables.len(), 3);
+        let paper = &report.tables[0];
+        assert!(paper.cell("Facebook", "Jobs").is_some());
+        assert!(paper.cell("Microsoft Bing", "Straggler mitigation").is_some());
+        let synth = &report.tables[1];
+        assert_eq!(synth.rows.len(), 4);
+        let cluster = &report.tables[2];
+        assert!(cluster.value("total slots", "Value").unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Aggregation of job outcomes into the statistics the paper reports.
+//!
+//! Every evaluation figure reports a *percentage improvement of GRASS (or an ablation)
+//! over a baseline*, averaged within a bin of jobs:
+//!
+//! * deadline-bound jobs: improvement in average accuracy (fraction of input tasks
+//!   completed by the deadline),
+//! * error-bound jobs: reduction in average job duration (speed-up).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use grass_core::{Bound, JobOutcome, JobSizeBin};
+
+/// Which quantity a comparison is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Average accuracy (deadline-bound jobs) — higher is better.
+    Accuracy,
+    /// Average job duration (error-bound jobs) — lower is better.
+    Duration,
+}
+
+impl Metric {
+    /// The natural metric for a job with the given bound.
+    pub fn for_bound(bound: &Bound) -> Metric {
+        match bound {
+            Bound::Deadline(_) => Metric::Accuracy,
+            Bound::Error(_) => Metric::Duration,
+        }
+    }
+
+    /// Extract the metric value from an outcome.
+    pub fn value(&self, outcome: &JobOutcome) -> f64 {
+        match self {
+            Metric::Accuracy => outcome.accuracy(),
+            Metric::Duration => outcome.duration(),
+        }
+    }
+}
+
+/// Mean of a metric over a set of outcomes. Returns `None` for an empty set.
+pub fn mean_metric(outcomes: &[&JobOutcome], metric: Metric) -> Option<f64> {
+    if outcomes.is_empty() {
+        return None;
+    }
+    Some(outcomes.iter().map(|o| metric.value(o)).sum::<f64>() / outcomes.len() as f64)
+}
+
+/// Percentage improvement of `candidate` over `baseline` for the given metric:
+/// positive means the candidate is better.
+///
+/// * Accuracy: `(candidate − baseline) / baseline × 100`.
+/// * Duration: `(baseline − candidate) / baseline × 100` (a speed-up).
+pub fn improvement_percent(baseline: f64, candidate: f64, metric: Metric) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    match metric {
+        Metric::Accuracy => (candidate - baseline) / baseline * 100.0,
+        Metric::Duration => (baseline - candidate) / baseline * 100.0,
+    }
+}
+
+/// A keyed collection of outcomes (e.g. one entry per policy), convenient for the
+/// per-bin comparisons every figure needs.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct OutcomeSet {
+    outcomes: Vec<JobOutcome>,
+}
+
+impl OutcomeSet {
+    /// Wrap a vector of outcomes.
+    pub fn new(outcomes: Vec<JobOutcome>) -> Self {
+        OutcomeSet { outcomes }
+    }
+
+    /// All outcomes.
+    pub fn all(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Outcomes restricted to one job-size bin.
+    pub fn in_size_bin(&self, bin: JobSizeBin) -> Vec<&JobOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| JobSizeBin::of(o.input_tasks) == bin)
+            .collect()
+    }
+
+    /// Outcomes restricted by an arbitrary predicate.
+    pub fn filtered(&self, pred: impl Fn(&JobOutcome) -> bool) -> Vec<&JobOutcome> {
+        self.outcomes.iter().filter(|o| pred(o)).collect()
+    }
+
+    /// Mean of the metric over all outcomes.
+    pub fn mean(&self, metric: Metric) -> Option<f64> {
+        let refs: Vec<&JobOutcome> = self.outcomes.iter().collect();
+        mean_metric(&refs, metric)
+    }
+
+    /// Mean of the metric per size bin.
+    pub fn mean_by_size_bin(&self, metric: Metric) -> BTreeMap<JobSizeBin, f64> {
+        let mut out = BTreeMap::new();
+        for bin in JobSizeBin::all() {
+            if let Some(m) = mean_metric(&self.in_size_bin(bin), metric) {
+                out.insert(bin, m);
+            }
+        }
+        out
+    }
+}
+
+/// Per-bin improvement of one policy's outcomes over a baseline's, matched bin-wise.
+pub fn improvement_by_size_bin(
+    baseline: &OutcomeSet,
+    candidate: &OutcomeSet,
+    metric: Metric,
+) -> BTreeMap<JobSizeBin, f64> {
+    let mut out = BTreeMap::new();
+    for bin in JobSizeBin::all() {
+        let base = mean_metric(&baseline.in_size_bin(bin), metric);
+        let cand = mean_metric(&candidate.in_size_bin(bin), metric);
+        if let (Some(b), Some(c)) = (base, cand) {
+            out.insert(bin, improvement_percent(b, c, metric));
+        }
+    }
+    out
+}
+
+/// Overall improvement of one policy over a baseline.
+pub fn overall_improvement(
+    baseline: &OutcomeSet,
+    candidate: &OutcomeSet,
+    metric: Metric,
+) -> Option<f64> {
+    Some(improvement_percent(
+        baseline.mean(metric)?,
+        candidate.mean(metric)?,
+        metric,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_core::JobId;
+
+    fn outcome(tasks: usize, completed: usize, duration: f64, bound: Bound) -> JobOutcome {
+        JobOutcome {
+            job: JobId(1),
+            policy: "X".to_string(),
+            bound,
+            input_tasks: tasks,
+            total_tasks: tasks,
+            dag_length: 1,
+            arrival: 0.0,
+            finish: duration,
+            completed_input_tasks: completed,
+            completed_tasks: completed,
+            speculative_copies: 0,
+            killed_copies: 0,
+            slot_seconds: 0.0,
+            avg_wave_width: 1.0,
+            avg_cluster_utilization: 0.5,
+            avg_estimation_accuracy: 0.7,
+        }
+    }
+
+    #[test]
+    fn metric_selection_and_extraction() {
+        assert_eq!(Metric::for_bound(&Bound::Deadline(5.0)), Metric::Accuracy);
+        assert_eq!(Metric::for_bound(&Bound::Error(0.1)), Metric::Duration);
+        let o = outcome(10, 5, 20.0, Bound::Deadline(20.0));
+        assert!((Metric::Accuracy.value(&o) - 0.5).abs() < 1e-12);
+        assert!((Metric::Duration.value(&o) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_signs() {
+        // Accuracy 0.5 -> 0.75 is a 50% improvement.
+        assert!((improvement_percent(0.5, 0.75, Metric::Accuracy) - 50.0).abs() < 1e-9);
+        // Duration 100 -> 60 is a 40% speed-up.
+        assert!((improvement_percent(100.0, 60.0, Metric::Duration) - 40.0).abs() < 1e-9);
+        // Regressions are negative.
+        assert!(improvement_percent(0.5, 0.4, Metric::Accuracy) < 0.0);
+        assert!(improvement_percent(100.0, 120.0, Metric::Duration) < 0.0);
+        // Degenerate baseline.
+        assert_eq!(improvement_percent(0.0, 1.0, Metric::Accuracy), 0.0);
+    }
+
+    #[test]
+    fn outcome_set_binning_and_means() {
+        let set = OutcomeSet::new(vec![
+            outcome(10, 5, 10.0, Bound::Deadline(10.0)),
+            outcome(10, 10, 10.0, Bound::Deadline(10.0)),
+            outcome(100, 50, 10.0, Bound::Deadline(10.0)),
+            outcome(1000, 250, 10.0, Bound::Deadline(10.0)),
+        ]);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.in_size_bin(JobSizeBin::Small).len(), 2);
+        assert_eq!(set.in_size_bin(JobSizeBin::Medium).len(), 1);
+        assert_eq!(set.in_size_bin(JobSizeBin::Large).len(), 1);
+        let by_bin = set.mean_by_size_bin(Metric::Accuracy);
+        assert!((by_bin[&JobSizeBin::Small] - 0.75).abs() < 1e-12);
+        assert!((by_bin[&JobSizeBin::Medium] - 0.5).abs() < 1e-12);
+        assert!((by_bin[&JobSizeBin::Large] - 0.25).abs() < 1e-12);
+        assert!((set.mean(Metric::Accuracy).unwrap() - 0.5625).abs() < 1e-12);
+        assert!(OutcomeSet::default().is_empty());
+        assert!(OutcomeSet::default().mean(Metric::Accuracy).is_none());
+    }
+
+    #[test]
+    fn per_bin_improvement() {
+        let baseline = OutcomeSet::new(vec![
+            outcome(10, 4, 0.0, Bound::Deadline(10.0)),
+            outcome(100, 40, 0.0, Bound::Deadline(10.0)),
+        ]);
+        let candidate = OutcomeSet::new(vec![
+            outcome(10, 6, 0.0, Bound::Deadline(10.0)),
+            outcome(100, 60, 0.0, Bound::Deadline(10.0)),
+        ]);
+        let imp = improvement_by_size_bin(&baseline, &candidate, Metric::Accuracy);
+        assert!((imp[&JobSizeBin::Small] - 50.0).abs() < 1e-9);
+        assert!((imp[&JobSizeBin::Medium] - 50.0).abs() < 1e-9);
+        assert!(!imp.contains_key(&JobSizeBin::Large));
+        let overall = overall_improvement(&baseline, &candidate, Metric::Accuracy).unwrap();
+        assert!((overall - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_improvement_for_error_jobs() {
+        let baseline = OutcomeSet::new(vec![outcome(10, 9, 100.0, Bound::Error(0.1))]);
+        let candidate = OutcomeSet::new(vec![outcome(10, 9, 70.0, Bound::Error(0.1))]);
+        let overall = overall_improvement(&baseline, &candidate, Metric::Duration).unwrap();
+        assert!((overall - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_predicate() {
+        let set = OutcomeSet::new(vec![
+            outcome(10, 5, 10.0, Bound::Error(0.1)),
+            outcome(10, 5, 10.0, Bound::Error(0.25)),
+        ]);
+        let tight = set.filtered(|o| matches!(o.bound, Bound::Error(e) if e < 0.2));
+        assert_eq!(tight.len(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! # grass-metrics
+//!
+//! Outcome aggregation, binning and report rendering for the GRASS (NSDI '14)
+//! reproduction. The paper reports percentage improvements in average accuracy
+//! (deadline-bound jobs) and average duration (error-bound jobs), sliced by job-size
+//! bin, bound tightness, DAG length and learning configuration; this crate provides
+//! those computations plus simple text/CSV tables for the `repro` binary.
+
+pub mod aggregate;
+pub mod report;
+
+pub use aggregate::{
+    improvement_by_size_bin, improvement_percent, mean_metric, overall_improvement, Metric,
+    OutcomeSet,
+};
+pub use report::{Cell, Report, Series, Table};

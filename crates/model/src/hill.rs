@@ -1,0 +1,157 @@
+//! Hill estimation of a Pareto tail index (Figure 3 of the paper).
+//!
+//! A Hill plot shows, for every number of upper order statistics `k`, the Hill
+//! estimate of the tail shape β computed from the `k` largest samples. A flat region
+//! of the plot indicates a genuine power-law tail and reads off its β; the paper's
+//! plot over the Facebook task durations is flat around β = 1.259.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a Hill plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HillPoint {
+    /// Number of upper order statistics used.
+    pub order_statistics: usize,
+    /// Hill estimate of the tail shape β at this `k`.
+    pub beta: f64,
+}
+
+/// The Hill estimate of β using the `k` largest samples of `sorted_desc`
+/// (which must be sorted in descending order): `1 / ((1/k)·Σᵢ ln(Xᵢ / X_{k+1}))`.
+pub fn hill_estimate(sorted_desc: &[f64], k: usize) -> Option<f64> {
+    if k == 0 || k + 1 > sorted_desc.len() {
+        return None;
+    }
+    let threshold = sorted_desc[k];
+    if threshold <= 0.0 {
+        return None;
+    }
+    let mean_log: f64 = sorted_desc[..k]
+        .iter()
+        .map(|&x| (x / threshold).ln())
+        .sum::<f64>()
+        / k as f64;
+    if mean_log <= 0.0 {
+        return None;
+    }
+    Some(1.0 / mean_log)
+}
+
+/// Compute a full Hill plot over `samples` (any order), evaluating `points` values of
+/// `k` spread geometrically between `k_min` and half the sample count.
+pub fn hill_plot(samples: &[f64], points: usize) -> Vec<HillPoint> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| *v > 0.0).collect();
+    if sorted.len() < 10 {
+        return Vec::new();
+    }
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    // Very small k gives extremely noisy estimates; start where the estimator has a
+    // reasonable variance while still being well inside the tail.
+    let k_min = 50.min(sorted.len() / 4).max(2);
+    let k_max = (sorted.len() / 2).max(k_min + 1);
+    let points = points.max(2);
+    let ratio = (k_max as f64 / k_min as f64).powf(1.0 / (points - 1) as f64);
+    let mut result = Vec::with_capacity(points);
+    let mut last_k = 0usize;
+    for i in 0..points {
+        let k = ((k_min as f64) * ratio.powi(i as i32)).round() as usize;
+        let k = k.clamp(k_min, k_max);
+        if k == last_k {
+            continue;
+        }
+        last_k = k;
+        if let Some(beta) = hill_estimate(&sorted, k) {
+            result.push(HillPoint {
+                order_statistics: k,
+                beta,
+            });
+        }
+    }
+    result
+}
+
+/// Summary of a Hill plot: the median β over the central half of the plot, which is
+/// the robust "flat region" readout the paper uses.
+pub fn tail_index(samples: &[f64]) -> Option<f64> {
+    let plot = hill_plot(samples, 60);
+    if plot.is_empty() {
+        return None;
+    }
+    let lo = plot.len() / 4;
+    let hi = (3 * plot.len() / 4).max(lo + 1);
+    let mut betas: Vec<f64> = plot[lo..hi].iter().map(|p| p.beta).collect();
+    betas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(betas[betas.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pareto_samples(xm: f64, beta: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                xm * u.powf(-1.0 / beta)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hill_recovers_pareto_shape() {
+        for &beta in &[1.259_f64, 1.8, 2.5] {
+            let samples = pareto_samples(1.0, beta, 60_000, 42);
+            let est = tail_index(&samples).unwrap();
+            assert!(
+                (est - beta).abs() / beta < 0.08,
+                "beta {beta}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn hill_plot_is_flat_for_pure_pareto() {
+        let samples = pareto_samples(1.0, 1.5, 60_000, 7);
+        let plot = hill_plot(&samples, 40);
+        assert!(plot.len() > 20);
+        let betas: Vec<f64> = plot.iter().map(|p| p.beta).collect();
+        let mean = betas.iter().sum::<f64>() / betas.len() as f64;
+        let spread = betas
+            .iter()
+            .map(|b| (b - mean).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread / mean < 0.3, "plot not flat: spread {spread}, mean {mean}");
+        // Order statistics increase along the plot.
+        for w in plot.windows(2) {
+            assert!(w[1].order_statistics > w[0].order_statistics);
+        }
+    }
+
+    #[test]
+    fn light_tailed_data_yields_large_beta() {
+        // Exponential data has all moments: the Hill estimate keeps climbing, so the
+        // flat-region readout should be clearly larger than a heavy-tail value.
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                1.0 - u.ln()
+            })
+            .collect();
+        let est = tail_index(&samples).unwrap();
+        assert!(est > 2.0, "exponential data estimated β = {est}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(hill_plot(&[1.0; 5], 10).is_empty());
+        assert!(tail_index(&[]).is_none());
+        assert_eq!(hill_estimate(&[3.0, 2.0, 1.0], 0), None);
+        assert_eq!(hill_estimate(&[3.0, 2.0, 1.0], 3), None);
+        // Constant data has zero log-spacings.
+        assert_eq!(hill_estimate(&[2.0, 2.0, 2.0], 2), None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # grass-model
+//!
+//! The analytic speculation model from Appendix A of the GRASS paper, plus the Hill
+//! tail-index estimator used in Figure 3.
+//!
+//! The model underpins the paper's three design guidelines:
+//!
+//! 1. during early waves, speculate (with ≤ 2 copies) only when task durations are
+//!    heavy-tailed enough to have infinite variance (β < 2);
+//! 2. during the final wave, speculate aggressively to fill the allotted capacity;
+//! 3. RAS is near-optimal for jobs with ≥ 2 remaining waves, GS for fewer.
+//!
+//! ```
+//! use grass_model::{Pareto, ReactiveModel};
+//!
+//! let dist = Pareto::paper(); // β = 1.259, the Facebook/Bing calibration
+//! let job = ReactiveModel::new(250.0, 50.0, dist); // 5 waves
+//! assert!(job.response_time(job.ras_omega()) <= job.response_time(job.gs_omega()) * 1.001);
+//! ```
+
+pub mod hill;
+pub mod pareto;
+pub mod speculation_model;
+
+pub use hill::{hill_estimate, hill_plot, tail_index, HillPoint};
+pub use pareto::Pareto;
+pub use speculation_model::{figure4_curves, Figure4Curve, ProactiveModel, ReactiveModel};

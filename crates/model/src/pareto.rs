@@ -1,0 +1,301 @@
+//! Pareto distribution math used by the Appendix-A speculation model.
+//!
+//! Task durations in the Facebook and Bing traces are well approximated by a Pareto
+//! (power-law) tail with shape β ≈ 1.259 (Figure 3). All closed forms needed by the
+//! proactive/reactive models live here: survival function, plain and conditional
+//! means, the mean of the minimum of `k` i.i.d. copies, and the expected win of racing
+//! a fresh copy against one that has already run for `ω` seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// A Pareto distribution with scale `xm` (minimum value) and shape `beta`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Scale: the smallest possible value.
+    pub xm: f64,
+    /// Shape: smaller values mean heavier tails. β < 2 ⇒ infinite variance,
+    /// β ≤ 1 ⇒ infinite mean.
+    pub beta: f64,
+}
+
+impl Pareto {
+    /// The paper's calibration: β = 1.259 (Figure 3), unit scale.
+    pub fn paper() -> Self {
+        Pareto {
+            xm: 1.0,
+            beta: 1.259,
+        }
+    }
+
+    /// Construct with validation of the parameter domain.
+    pub fn new(xm: f64, beta: f64) -> Self {
+        assert!(xm > 0.0, "Pareto scale must be positive");
+        assert!(beta > 0.0, "Pareto shape must be positive");
+        Pareto { xm, beta }
+    }
+
+    /// Survival function `P(τ > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        if x <= self.xm {
+            1.0
+        } else {
+            (self.xm / x).powf(self.beta)
+        }
+    }
+
+    /// CDF `P(τ ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        1.0 - self.survival(x)
+    }
+
+    /// Mean `E[τ]`. Infinite for β ≤ 1.
+    pub fn mean(&self) -> f64 {
+        if self.beta <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.beta * self.xm / (self.beta - 1.0)
+        }
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.xm * 2f64.powf(1.0 / self.beta)
+    }
+
+    /// Whether the distribution has infinite variance (β < 2), the regime in which
+    /// Guideline 1 says early-wave speculation pays off.
+    pub fn infinite_variance(&self) -> bool {
+        self.beta < 2.0
+    }
+
+    /// `E[min(τ₁, …, τ_k)]` for `k` i.i.d. copies: the minimum of `k` Pareto(xm, β)
+    /// variables is Pareto(xm, kβ).
+    pub fn mean_min_of(&self, k: u32) -> f64 {
+        assert!(k >= 1, "need at least one copy");
+        let kb = self.beta * f64::from(k);
+        if kb <= 1.0 {
+            f64::INFINITY
+        } else {
+            kb * self.xm / (kb - 1.0)
+        }
+    }
+
+    /// Conditional mean `E[τ − ω | τ > ω]`: the expected *remaining* duration of a copy
+    /// that has already run `ω` seconds. For ω ≥ xm the conditional distribution is
+    /// Pareto(ω, β), so the remainder has mean `ω / (β − 1)` — it *grows* with ω, which
+    /// is exactly why stragglers are worth racing against.
+    pub fn mean_excess(&self, omega: f64) -> f64 {
+        if self.beta <= 1.0 {
+            return f64::INFINITY;
+        }
+        if omega <= self.xm {
+            return self.mean() - omega.max(0.0);
+        }
+        omega / (self.beta - 1.0)
+    }
+
+    /// Conditional mean `E[τ | τ ≤ ω]` (zero if ω ≤ xm, where the condition has
+    /// probability zero).
+    pub fn mean_truncated(&self, omega: f64) -> f64 {
+        if omega <= self.xm {
+            return 0.0;
+        }
+        let p = self.cdf(omega);
+        if p <= 0.0 {
+            return 0.0;
+        }
+        let b = self.beta;
+        let integral = if (b - 1.0).abs() < 1e-9 {
+            // ∫ x·β·xmᵝ·x^(−β−1) dx = xm·ln(ω/xm) for β = 1.
+            self.xm * (omega / self.xm).ln()
+        } else {
+            b * self.xm.powf(b) * (omega.powf(1.0 - b) - self.xm.powf(1.0 - b)) / (1.0 - b)
+        };
+        integral / p
+    }
+
+    /// `E[min(τ₁ − ω, τ₂) | τ₁ > ω]`: the expected additional time to finish a task
+    /// whose first copy has already run `ω` seconds once a second fresh copy is
+    /// launched (the `E[Z − ω | τ₁ ≥ ω]` term of Eq. 3). Computed by numerically
+    /// integrating the product of the two survival functions.
+    pub fn mean_race_remainder(&self, omega: f64) -> f64 {
+        // Survival of A = τ₁ − ω given τ₁ > ω.
+        let surv_a = |x: f64| -> f64 {
+            if x <= 0.0 {
+                1.0
+            } else if omega <= self.xm {
+                // ω below the scale: the condition τ₁ > ω always holds, so A = τ₁ − ω
+                // with the unconditioned distribution shifted by ω.
+                self.survival(omega + x)
+            } else {
+                (omega / (omega + x)).powf(self.beta)
+            }
+        };
+        let surv_b = |x: f64| self.survival(x);
+        // E[min(A,B)] = ∫₀^∞ P(A > x)·P(B > x) dx. The integrand decays like
+        // x^(−2β); integrate far enough out for the tail to be negligible. The grid is
+        // dense near zero and geometric in the tail, so 20k points keep the error well
+        // under 1%.
+        let upper = (self.xm.max(omega) * 2000.0).max(1000.0);
+        integrate(|x| surv_a(x) * surv_b(x), 0.0, upper, 20_000)
+    }
+}
+
+/// Simple composite-trapezoid integration on a log-spaced-ish grid: dense near zero,
+/// coarser in the tail. Accurate to well under 1% for the smooth, monotone integrands
+/// used here.
+pub(crate) fn integrate(f: impl Fn(f64) -> f64, lo: f64, hi: f64, steps: usize) -> f64 {
+    assert!(hi > lo);
+    let n = steps.max(10);
+    // Split the domain: linear grid on [lo, lo+1), geometric afterwards.
+    let mut total = 0.0;
+    let linear_hi = (lo + 1.0).min(hi);
+    let linear_steps = n / 2;
+    let dx = (linear_hi - lo) / linear_steps as f64;
+    let mut prev = f(lo);
+    for i in 1..=linear_steps {
+        let x = lo + dx * i as f64;
+        let fx = f(x);
+        total += 0.5 * (prev + fx) * dx;
+        prev = fx;
+    }
+    if linear_hi >= hi {
+        return total;
+    }
+    let geo_steps = n - linear_steps;
+    let ratio = (hi / linear_hi).powf(1.0 / geo_steps as f64);
+    let mut x_prev = linear_hi;
+    let mut f_prev = f(linear_hi);
+    for _ in 0..geo_steps {
+        let x = x_prev * ratio;
+        let fx = f(x);
+        total += 0.5 * (f_prev + fx) * (x - x_prev);
+        x_prev = x;
+        f_prev = fx;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survival_and_cdf() {
+        let p = Pareto::new(2.0, 1.5);
+        assert_eq!(p.survival(1.0), 1.0);
+        assert_eq!(p.survival(2.0), 1.0);
+        assert!((p.survival(4.0) - 0.5f64.powf(1.5)).abs() < 1e-12);
+        assert!((p.cdf(4.0) + p.survival(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        let p = Pareto::new(1.0, 2.0);
+        assert!((p.mean() - 2.0).abs() < 1e-12);
+        assert!((p.median() - 2f64.sqrt()).abs() < 1e-12);
+        assert!(Pareto::new(1.0, 0.9).mean().is_infinite());
+        assert!(Pareto::paper().infinite_variance());
+        assert!(!Pareto::new(1.0, 2.5).infinite_variance());
+    }
+
+    #[test]
+    fn min_of_k_copies() {
+        let p = Pareto::new(1.0, 1.5);
+        // min of 2 copies ~ Pareto(1, 3): mean 1.5.
+        assert!((p.mean_min_of(2) - 1.5).abs() < 1e-12);
+        // One copy is just the original mean.
+        assert!((p.mean_min_of(1) - p.mean()).abs() < 1e-12);
+        // Speculation strictly reduces the expected minimum.
+        assert!(p.mean_min_of(3) < p.mean_min_of(2));
+    }
+
+    #[test]
+    fn mean_excess_grows_with_elapsed_time() {
+        let p = Pareto::paper();
+        // Below the scale, remaining work just shrinks linearly.
+        assert!((p.mean_excess(0.0) - p.mean()).abs() < 1e-12);
+        // Beyond the scale, the expected remainder grows: the defining property of
+        // heavy tails and the reason stragglers persist.
+        assert!(p.mean_excess(4.0) > p.mean_excess(2.0));
+        assert!((p.mean_excess(2.0) - 2.0 / 0.259).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_mean_lies_below_omega_and_above_scale() {
+        let p = Pareto::new(1.0, 1.5);
+        let m = p.mean_truncated(5.0);
+        assert!(m > 1.0 && m < 5.0);
+        assert_eq!(p.mean_truncated(1.0), 0.0);
+        // Consistency: E[τ] = E[τ|τ≤ω]·P(τ≤ω) + E[τ|τ>ω]·P(τ>ω).
+        let omega = 5.0;
+        let total =
+            p.mean_truncated(omega) * p.cdf(omega) + (p.mean_excess(omega) + omega) * p.survival(omega);
+        assert!((total - p.mean()).abs() / p.mean() < 1e-3, "decomposition {total}");
+    }
+
+    #[test]
+    fn truncated_mean_shape_one() {
+        let p = Pareto::new(1.0, 1.0);
+        let m = p.mean_truncated(std::f64::consts::E);
+        assert!(m > 1.0 && m < std::f64::consts::E);
+    }
+
+    #[test]
+    fn race_remainder_beats_waiting() {
+        let p = Pareto::paper();
+        for omega in [1.0, 2.0, 5.0] {
+            let race = p.mean_race_remainder(omega);
+            let wait = p.mean_excess(omega);
+            assert!(
+                race < wait,
+                "racing a fresh copy (={race}) should beat waiting (={wait}) at ω={omega}"
+            );
+            assert!(race > 0.0);
+        }
+    }
+
+    #[test]
+    fn race_remainder_monte_carlo_agreement() {
+        use rand::{Rng, SeedableRng};
+        let p = Pareto::new(1.0, 1.5);
+        let omega = 3.0;
+        let analytic = p.mean_race_remainder(omega);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let draw = |rng: &mut rand::rngs::StdRng| -> f64 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            1.0 * u.powf(-1.0 / 1.5)
+        };
+        let n = 300_000;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        while count < n {
+            let t1 = draw(&mut rng);
+            if t1 <= omega {
+                continue;
+            }
+            let t2 = draw(&mut rng);
+            sum += (t1 - omega).min(t2);
+            count += 1;
+        }
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn integrate_handles_simple_functions() {
+        let v = integrate(|x| x, 0.0, 2.0, 10_000);
+        assert!((v - 2.0).abs() < 1e-3);
+        let v = integrate(|x| (-x).exp(), 0.0, 50.0, 50_000);
+        assert!((v - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn invalid_scale_panics() {
+        Pareto::new(0.0, 1.5);
+    }
+}

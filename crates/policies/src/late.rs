@@ -1,0 +1,227 @@
+//! LATE — "Longest Approximate Time to End" (Zaharia et al., OSDI 2008), the
+//! speculation policy deployed in the Facebook cluster and the paper's primary
+//! baseline.
+//!
+//! LATE's decision rules, as reimplemented here:
+//!
+//! * unscheduled tasks are launched first, in plain FIFO order — LATE has no notion of
+//!   approximation bounds, which is exactly the deficiency GRASS targets;
+//! * speculation is considered only when the job has no unscheduled work left;
+//! * only tasks whose progress rate falls below the `slow_task_threshold` percentile of
+//!   currently running tasks are candidates;
+//! * among candidates, the task with the *longest estimated time to end* is speculated;
+//! * at most one speculative copy per task, and the number of concurrently running
+//!   speculative copies is capped at `speculative_cap` × the job's wave width.
+
+use grass_core::{
+    Action, BoxedPolicy, JobSpec, JobView, PolicyFactory, SpeculationPolicy, TaskView,
+};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the LATE reimplementation, mirroring the defaults of the original
+/// paper / Hadoop implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LateConfig {
+    /// Fraction of a job's wave width that may be used for concurrently running
+    /// speculative copies (Hadoop's `SpeculativeCap` is 10% of the cluster; per job we
+    /// apply it to the job's slot share).
+    pub speculative_cap: f64,
+    /// Percentile (0–1) of progress rates below which a task counts as slow
+    /// (`SlowTaskThreshold`, 25th percentile by default).
+    pub slow_task_threshold: f64,
+    /// Minimum progress a copy must have made before it can be judged (avoids
+    /// speculating tasks that only just started).
+    pub min_progress: f64,
+}
+
+impl Default for LateConfig {
+    fn default() -> Self {
+        LateConfig {
+            speculative_cap: 0.10,
+            slow_task_threshold: 0.25,
+            min_progress: 0.05,
+        }
+    }
+}
+
+/// Per-job LATE policy instance.
+#[derive(Debug, Clone, Default)]
+pub struct LatePolicy {
+    config: LateConfig,
+}
+
+impl LatePolicy {
+    /// New LATE policy with the given tunables.
+    pub fn new(config: LateConfig) -> Self {
+        LatePolicy { config }
+    }
+
+    fn speculative_budget(&self, view: &JobView) -> usize {
+        ((view.wave_width as f64 * self.config.speculative_cap).floor() as usize).max(1)
+    }
+
+    fn running_speculative_copies(view: &JobView) -> usize {
+        view.tasks
+            .iter()
+            .map(|t| t.running_copies.saturating_sub(1) as usize)
+            .sum()
+    }
+
+    fn slow_rate_cutoff(&self, view: &JobView) -> Option<f64> {
+        let mut rates: Vec<f64> = view
+            .tasks
+            .iter()
+            .filter(|t| t.is_running() && t.progress >= self.config.min_progress)
+            .map(|t| t.progress_rate)
+            .collect();
+        if rates.is_empty() {
+            return None;
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((rates.len() as f64) * self.config.slow_task_threshold).floor() as usize;
+        Some(rates[idx.min(rates.len() - 1)])
+    }
+
+    fn speculation_candidate<'v>(&self, view: &'v JobView) -> Option<&'v TaskView> {
+        let cutoff = self.slow_rate_cutoff(view)?;
+        view.tasks
+            .iter()
+            .filter(|t| {
+                t.eligible
+                    && t.running_copies == 1
+                    && t.progress >= self.config.min_progress
+                    && t.progress_rate <= cutoff
+            })
+            .max_by(|a, b| a.trem.partial_cmp(&b.trem).unwrap())
+    }
+}
+
+impl SpeculationPolicy for LatePolicy {
+    fn name(&self) -> &str {
+        "LATE"
+    }
+
+    fn choose(&mut self, view: &JobView) -> Option<Action> {
+        // 1. Pending (unscheduled) work always comes first, in FIFO order.
+        if let Some(t) = view
+            .eligible_tasks()
+            .filter(|t| !t.is_running())
+            .min_by_key(|t| t.id)
+        {
+            return Some(Action::launch(t.id));
+        }
+        // 2. No pending work: consider speculation, subject to the cap.
+        if Self::running_speculative_copies(view) >= self.speculative_budget(view) {
+            return None;
+        }
+        self.speculation_candidate(view)
+            .map(|t| Action::speculate(t.id))
+    }
+}
+
+/// Factory for [`LatePolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct LateFactory {
+    config: LateConfig,
+}
+
+impl LateFactory {
+    /// Factory with explicit tunables.
+    pub fn new(config: LateConfig) -> Self {
+        LateFactory { config }
+    }
+}
+
+impl PolicyFactory for LateFactory {
+    fn name(&self) -> &str {
+        "LATE"
+    }
+
+    fn create(&self, _job: &JobSpec) -> BoxedPolicy {
+        Box::new(LatePolicy::new(self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{deadline_view, error_view, running_task, unscheduled_task};
+    use grass_core::{ActionKind, TaskId};
+
+    #[test]
+    fn pending_tasks_take_priority_over_speculation() {
+        let tasks = vec![
+            running_task(0, 50.0, 2.0, 1), // an obvious straggler
+            unscheduled_task(3, 2.0),
+            unscheduled_task(2, 9.0),
+        ];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        let a = LatePolicy::default().choose(&view).unwrap();
+        // FIFO: lowest task id among unscheduled, regardless of duration or bound.
+        assert_eq!(a, Action::launch(TaskId(2)));
+    }
+
+    #[test]
+    fn speculates_slowest_task_when_no_pending_work() {
+        // Three running tasks; task 2 has by far the slowest progress rate and the
+        // longest time to end.
+        let tasks = vec![
+            running_task(0, 3.0, 3.0, 1),
+            running_task(1, 4.0, 3.0, 1),
+            running_task(2, 60.0, 3.0, 1),
+        ];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        let a = LatePolicy::default().choose(&view).unwrap();
+        assert_eq!(a.task, TaskId(2));
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn respects_one_speculative_copy_per_task() {
+        let tasks = vec![running_task(0, 60.0, 3.0, 2), running_task(1, 4.0, 3.0, 1)];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        // Task 0 already has 2 copies; with the cap of max(1, 10% of 4) = 1 speculative
+        // copy already running, LATE declines.
+        assert!(LatePolicy::default().choose(&view).is_none());
+    }
+
+    #[test]
+    fn speculative_cap_limits_concurrent_duplicates() {
+        let mut config = LateConfig::default();
+        config.speculative_cap = 0.5; // budget = 2 for wave width 4
+        let tasks = vec![
+            running_task(0, 60.0, 3.0, 2),
+            running_task(1, 50.0, 3.0, 2),
+            running_task(2, 80.0, 3.0, 1),
+        ];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        // Two speculative copies already running == budget, so no more.
+        assert!(LatePolicy::new(config).choose(&view).is_none());
+        // With a larger cap it speculates task 2, the slowest task with a single copy.
+        config.speculative_cap = 0.9;
+        let a = LatePolicy::new(config).choose(&view).unwrap();
+        assert_eq!(a.task, TaskId(2));
+    }
+
+    #[test]
+    fn ignores_tasks_without_enough_progress() {
+        let mut barely_started = running_task(0, 100.0, 3.0, 1);
+        barely_started.progress = 0.0;
+        barely_started.progress_rate = 0.0;
+        let tasks = vec![barely_started];
+        let view = error_view(&tasks, 0.1, 10, 9);
+        assert!(LatePolicy::default().choose(&view).is_none());
+    }
+
+    #[test]
+    fn factory_name_and_creation() {
+        let job = grass_core::JobSpec::single_stage(
+            1,
+            0.0,
+            grass_core::Bound::Deadline(10.0),
+            vec![1.0],
+        );
+        assert_eq!(LateFactory::default().name(), "LATE");
+        assert_eq!(LateFactory::default().create(&job).name(), "LATE");
+    }
+}

@@ -1,0 +1,24 @@
+//! # grass-policies
+//!
+//! Baseline straggler-mitigation policies for the GRASS (NSDI '14) reproduction:
+//!
+//! * [`LatePolicy`] — LATE (OSDI '08), the baseline deployed in the Facebook cluster,
+//! * [`MantriPolicy`] — Mantri (OSDI '10), the baseline deployed in the Bing cluster,
+//! * [`NoSpecPolicy`], [`SjfPolicy`], [`LjfPolicy`] — non-speculating anchors,
+//! * [`OraclePolicy`] — the "optimal scheduler with advance knowledge" comparison
+//!   point used in §2.3 and Figure 8.
+//!
+//! All of them implement [`grass_core::SpeculationPolicy`] and plug into the
+//! `grass-sim` simulator exactly like GS/RAS/GRASS do.
+
+pub mod late;
+pub mod mantri;
+pub mod naive;
+pub mod oracle;
+#[cfg(test)]
+mod test_util;
+
+pub use late::{LateConfig, LateFactory, LatePolicy};
+pub use mantri::{MantriConfig, MantriFactory, MantriPolicy};
+pub use naive::{LjfFactory, LjfPolicy, NoSpecFactory, NoSpecPolicy, SjfFactory, SjfPolicy};
+pub use oracle::{OracleFactory, OraclePolicy};

@@ -1,0 +1,175 @@
+//! Mantri — "Reining in the Outliers in Map-Reduce Clusters" (Ananthanarayanan et al.,
+//! OSDI 2010), the speculation policy deployed in the Bing cluster and the paper's
+//! second baseline.
+//!
+//! Mantri is *resource aware*: it schedules a duplicate of a running task only when
+//! doing so is expected to reduce total resource consumption — the rule this
+//! reimplementation uses is `trem > 2 × tnew` (a duplicate plus the original consume
+//! less slot-time than letting the original run alone). Unlike LATE, Mantri acts on
+//! stragglers promptly, even while unscheduled tasks remain, but it still launches
+//! unscheduled work FIFO with no awareness of the job's approximation bound.
+
+use grass_core::{
+    Action, BoxedPolicy, JobSpec, JobView, PolicyFactory, SpeculationPolicy, TaskView,
+};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the Mantri reimplementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MantriConfig {
+    /// Duplicate a task when its estimated remaining time exceeds this multiple of a
+    /// fresh copy's estimated duration (the "2×" rule).
+    pub restart_threshold: f64,
+    /// Maximum concurrently running copies per task (original + duplicates).
+    pub max_copies: u32,
+    /// Minimum progress a copy must have made before Mantri judges it (its estimate of
+    /// `trem` is meaningless before any progress reports).
+    pub min_progress: f64,
+}
+
+impl Default for MantriConfig {
+    fn default() -> Self {
+        MantriConfig {
+            restart_threshold: 2.0,
+            max_copies: 2,
+            min_progress: 0.05,
+        }
+    }
+}
+
+/// Per-job Mantri policy instance.
+#[derive(Debug, Clone, Default)]
+pub struct MantriPolicy {
+    config: MantriConfig,
+}
+
+impl MantriPolicy {
+    /// New Mantri policy with the given tunables.
+    pub fn new(config: MantriConfig) -> Self {
+        MantriPolicy { config }
+    }
+
+    fn duplicate_candidate<'v>(&self, view: &'v JobView) -> Option<&'v TaskView> {
+        view.tasks
+            .iter()
+            .filter(|t| {
+                t.eligible
+                    && t.is_running()
+                    && t.running_copies < self.config.max_copies
+                    && t.progress >= self.config.min_progress
+                    && t.trem > self.config.restart_threshold * t.tnew
+            })
+            .max_by(|a, b| a.trem.partial_cmp(&b.trem).unwrap())
+    }
+}
+
+impl SpeculationPolicy for MantriPolicy {
+    fn name(&self) -> &str {
+        "Mantri"
+    }
+
+    fn choose(&mut self, view: &JobView) -> Option<Action> {
+        // Resource-saving duplicates are taken eagerly — that is Mantri's defining
+        // behaviour relative to LATE.
+        if let Some(t) = self.duplicate_candidate(view) {
+            return Some(Action::speculate(t.id));
+        }
+        // Otherwise launch pending work FIFO (no approximation awareness).
+        view.eligible_tasks()
+            .filter(|t| !t.is_running())
+            .min_by_key(|t| t.id)
+            .map(|t| Action::launch(t.id))
+    }
+}
+
+/// Factory for [`MantriPolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct MantriFactory {
+    config: MantriConfig,
+}
+
+impl MantriFactory {
+    /// Factory with explicit tunables.
+    pub fn new(config: MantriConfig) -> Self {
+        MantriFactory { config }
+    }
+}
+
+impl PolicyFactory for MantriFactory {
+    fn name(&self) -> &str {
+        "Mantri"
+    }
+
+    fn create(&self, _job: &JobSpec) -> BoxedPolicy {
+        Box::new(MantriPolicy::new(self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{deadline_view, error_view, running_task, unscheduled_task};
+    use grass_core::{ActionKind, TaskId};
+
+    #[test]
+    fn duplicates_resource_wasting_stragglers_even_with_pending_work() {
+        let tasks = vec![
+            running_task(0, 10.0, 3.0, 1), // trem > 2*tnew => duplicate
+            unscheduled_task(1, 3.0),
+        ];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        let a = MantriPolicy::default().choose(&view).unwrap();
+        assert_eq!(a.task, TaskId(0));
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn does_not_duplicate_when_saving_is_insufficient() {
+        let tasks = vec![
+            running_task(0, 5.0, 3.0, 1), // trem < 2*tnew => keep waiting
+            unscheduled_task(1, 3.0),
+        ];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        let a = MantriPolicy::default().choose(&view).unwrap();
+        assert_eq!(a, Action::launch(TaskId(1)));
+    }
+
+    #[test]
+    fn respects_copy_cap() {
+        let tasks = vec![running_task(0, 50.0, 3.0, 2)];
+        let view = error_view(&tasks, 0.0, 10, 9);
+        assert!(MantriPolicy::default().choose(&view).is_none());
+    }
+
+    #[test]
+    fn picks_worst_straggler_among_candidates() {
+        let tasks = vec![
+            running_task(0, 20.0, 3.0, 1),
+            running_task(1, 40.0, 3.0, 1),
+            running_task(2, 30.0, 3.0, 1),
+        ];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        assert_eq!(MantriPolicy::default().choose(&view).unwrap().task, TaskId(1));
+    }
+
+    #[test]
+    fn ignores_copies_without_progress() {
+        let mut fresh = running_task(0, 50.0, 3.0, 1);
+        fresh.progress = 0.01;
+        let tasks = vec![fresh];
+        let view = deadline_view(&tasks, 0.0, 100.0);
+        assert!(MantriPolicy::default().choose(&view).is_none());
+    }
+
+    #[test]
+    fn factory_name_and_creation() {
+        let job = grass_core::JobSpec::single_stage(
+            1,
+            0.0,
+            grass_core::Bound::Deadline(10.0),
+            vec![1.0],
+        );
+        assert_eq!(MantriFactory::default().name(), "Mantri");
+        assert_eq!(MantriFactory::default().create(&job).name(), "Mantri");
+    }
+}

@@ -1,0 +1,131 @@
+//! Oracle scheduler: the paper's "optimal" comparison point (§2.3 and Figure 8).
+//!
+//! The paper compares GRASS against "an optimal scheduler that knows task durations
+//! and slot availabilities in advance" (an offline bin-packing formulation). A true
+//! offline optimum is NP-hard; the oracle here captures what makes it an upper bound
+//! in practice:
+//!
+//! * it sees **ground-truth** remaining times and fresh-copy durations (no estimation
+//!   error at all), and
+//! * it applies the theoretically right regime per Guideline 3 — opportunity-cost
+//!   aware (RAS-style) decisions while more than two waves of work remain, greedy
+//!   (GS-style) decisions in the final two waves — with perfect knowledge of where
+//!   that boundary lies.
+//!
+//! Used together with [`grass_core::EstimatorConfig::oracle`] in the simulator, this
+//! yields the near-optimal reference the figures normalise against.
+
+use grass_core::speculation::{choose, SpeculationMode};
+use grass_core::{
+    Action, BoxedPolicy, JobSpec, JobView, PolicyFactory, SpeculationPolicy, TaskView,
+};
+
+/// Per-job oracle policy.
+#[derive(Debug, Default, Clone)]
+pub struct OraclePolicy;
+
+impl OraclePolicy {
+    /// Rewrite a task view so the estimate fields carry ground truth.
+    fn with_truth(task: &TaskView) -> TaskView {
+        let mut t = task.clone();
+        t.trem = t.true_remaining;
+        t.tnew = t.true_new_hint;
+        t
+    }
+}
+
+impl SpeculationPolicy for OraclePolicy {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn choose(&mut self, view: &JobView) -> Option<Action> {
+        // Substitute ground truth for every estimate, then run the GS/RAS machinery
+        // with the oracle-exact switch point.
+        let truth_tasks: Vec<TaskView> = view.tasks.iter().map(Self::with_truth).collect();
+        let truth_view = JobView {
+            tasks: &truth_tasks,
+            estimation_accuracy: 1.0,
+            ..view.clone()
+        };
+        let unscheduled = truth_view.unscheduled_eligible();
+        let mode = if unscheduled > 2 * truth_view.wave_width.max(1) {
+            SpeculationMode::Ras
+        } else {
+            SpeculationMode::Gs
+        };
+        choose(&truth_view, mode)
+    }
+}
+
+/// Factory for [`OraclePolicy`].
+#[derive(Debug, Default, Clone)]
+pub struct OracleFactory;
+
+impl PolicyFactory for OracleFactory {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn create(&self, _job: &JobSpec) -> BoxedPolicy {
+        Box::new(OraclePolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{deadline_view, error_view, running_task, unscheduled_task};
+    use grass_core::{ActionKind, TaskId};
+
+    #[test]
+    fn oracle_uses_ground_truth_not_estimates() {
+        // The estimate says the running task has only 1s left (no point speculating),
+        // but the truth is 50s; with one unscheduled task and wave width 4 the oracle
+        // is in its greedy regime and speculates.
+        let mut straggler = running_task(0, 1.0, 3.0, 1);
+        straggler.true_remaining = 50.0;
+        straggler.true_new_hint = 3.0;
+        let tasks = vec![straggler];
+        let view = error_view(&tasks, 0.0, 10, 9);
+        let a = OraclePolicy.choose(&view).unwrap();
+        assert_eq!(a.task, TaskId(0));
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn oracle_is_conservative_with_many_waves_remaining() {
+        // 20 unscheduled tasks on wave width 4 (> 2 waves): RAS regime, so a marginal
+        // speculation (positive time saving but negative resource saving) is declined
+        // in favour of launching fresh work.
+        let mut tasks = vec![running_task(0, 4.0, 3.0, 1)];
+        for i in 1..21 {
+            tasks.push(unscheduled_task(i, 3.0));
+        }
+        let view = deadline_view(&tasks, 0.0, 1000.0);
+        let a = OraclePolicy.choose(&view).unwrap();
+        assert_eq!(a.kind, ActionKind::Launch);
+    }
+
+    #[test]
+    fn oracle_speculates_aggressively_in_the_last_wave() {
+        // Same marginal speculation, but no unscheduled work left: GS regime, so the
+        // oracle races a copy (tnew < trem by ground truth).
+        let tasks = vec![running_task(0, 4.0, 3.0, 1)];
+        let view = deadline_view(&tasks, 0.0, 1000.0);
+        let a = OraclePolicy.choose(&view).unwrap();
+        assert_eq!(a.kind, ActionKind::Speculate);
+    }
+
+    #[test]
+    fn factory_name_and_creation() {
+        let job = grass_core::JobSpec::single_stage(
+            1,
+            0.0,
+            grass_core::Bound::Deadline(10.0),
+            vec![1.0],
+        );
+        assert_eq!(OracleFactory.name(), "Oracle");
+        assert_eq!(OracleFactory.create(&job).name(), "Oracle");
+    }
+}

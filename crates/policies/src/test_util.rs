@@ -1,0 +1,88 @@
+//! Shared helpers for unit tests across the baseline policies.
+
+#![allow(dead_code)]
+
+use grass_core::{Bound, JobId, JobView, StageId, TaskId, TaskView};
+
+/// An unscheduled input-stage task with the given estimated fresh-copy duration.
+pub fn unscheduled_task(id: u32, tnew: f64) -> TaskView {
+    TaskView {
+        id: TaskId(id),
+        stage: StageId::INPUT,
+        eligible: true,
+        running_copies: 0,
+        elapsed: 0.0,
+        progress: 0.0,
+        progress_rate: 0.0,
+        trem: f64::INFINITY,
+        tnew,
+        true_remaining: f64::INFINITY,
+        true_new_hint: tnew,
+        work: tnew,
+    }
+}
+
+/// A running input-stage task with the given estimates. The copy is modelled as being
+/// halfway done, so slower tasks (larger `trem`) show proportionally lower progress
+/// rates — the signal LATE keys on.
+pub fn running_task(id: u32, trem: f64, tnew: f64, copies: u32) -> TaskView {
+    let elapsed = trem.max(1.0);
+    let progress = elapsed / (elapsed + trem);
+    TaskView {
+        id: TaskId(id),
+        stage: StageId::INPUT,
+        eligible: true,
+        running_copies: copies,
+        elapsed,
+        progress,
+        progress_rate: progress / elapsed,
+        trem,
+        tnew,
+        true_remaining: trem,
+        true_new_hint: tnew,
+        work: tnew,
+    }
+}
+
+/// A deadline-bound job view over the given tasks.
+pub fn deadline_view<'a>(tasks: &'a [TaskView], now: f64, deadline: f64) -> JobView<'a> {
+    JobView {
+        job: JobId(1),
+        now,
+        arrival: 0.0,
+        bound: Bound::Deadline(deadline),
+        input_deadline: None,
+        total_input_tasks: tasks.len() + 1,
+        completed_input_tasks: 1,
+        total_tasks: tasks.len() + 1,
+        completed_tasks: 1,
+        tasks,
+        wave_width: 4,
+        cluster_utilization: 0.7,
+        estimation_accuracy: 0.75,
+    }
+}
+
+/// An error-bound job view over the given tasks.
+pub fn error_view<'a>(
+    tasks: &'a [TaskView],
+    epsilon: f64,
+    total: usize,
+    completed: usize,
+) -> JobView<'a> {
+    JobView {
+        job: JobId(1),
+        now: 5.0,
+        arrival: 0.0,
+        bound: Bound::Error(epsilon),
+        input_deadline: None,
+        total_input_tasks: total,
+        completed_input_tasks: completed,
+        total_tasks: total,
+        completed_tasks: completed,
+        tasks,
+        wave_width: 4,
+        cluster_utilization: 0.7,
+        estimation_accuracy: 0.75,
+    }
+}

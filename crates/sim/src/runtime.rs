@@ -1,0 +1,637 @@
+//! Per-job runtime state: running copies, completed counters, estimation state and the
+//! construction of the [`TaskView`]s / [`JobOutcome`]s handed to policies.
+
+use rand::Rng;
+
+use grass_core::{
+    degrade_estimate, AccuracyTracker, Bound, BoxedPolicy, EstimatorConfig, JobOutcome, JobSpec,
+    TaskId, TaskSpec, TaskView, Time,
+};
+
+use crate::event::CopyId;
+use crate::machine::SlotId;
+use crate::stats::TimeWeighted;
+
+/// One running copy of a task.
+#[derive(Debug, Clone)]
+pub struct CopyRuntime {
+    /// Unique copy identifier (for stale-event detection).
+    pub id: CopyId,
+    /// Slot the copy occupies.
+    pub slot: SlotId,
+    /// Launch time.
+    pub start: Time,
+    /// Total runtime the copy needs on its slot.
+    pub duration: Time,
+    /// Whether this copy was launched as a speculative duplicate.
+    pub speculative: bool,
+    /// Multiplicative estimation bias applied to this copy's remaining-time estimates
+    /// (drawn once at launch so estimates are consistent over the copy's lifetime).
+    pub rem_bias: f64,
+}
+
+impl CopyRuntime {
+    /// Ground-truth remaining runtime at `now`.
+    pub fn true_remaining(&self, now: Time) -> Time {
+        (self.start + self.duration - now).max(0.0)
+    }
+
+    /// Elapsed runtime at `now`.
+    pub fn elapsed(&self, now: Time) -> Time {
+        (now - self.start).max(0.0)
+    }
+
+    /// Progress fraction at `now`.
+    pub fn progress(&self, now: Time) -> f64 {
+        if self.duration <= 0.0 {
+            return 1.0;
+        }
+        (self.elapsed(now) / self.duration).min(1.0)
+    }
+}
+
+/// Runtime state of one task.
+#[derive(Debug, Clone)]
+pub struct TaskRuntime {
+    /// The task's static description.
+    pub spec: TaskSpec,
+    /// Currently running copies.
+    pub copies: Vec<CopyRuntime>,
+    /// Whether the task has completed.
+    pub finished: bool,
+    /// Completion time, if finished.
+    pub finish_time: Option<Time>,
+    /// Multiplicative estimation bias applied to this task's `tnew` estimates.
+    pub tnew_bias: f64,
+    /// Total number of copies ever launched for this task.
+    pub launched_copies: usize,
+}
+
+impl TaskRuntime {
+    fn new(spec: TaskSpec, tnew_bias: f64) -> Self {
+        TaskRuntime {
+            spec,
+            copies: Vec::new(),
+            finished: false,
+            finish_time: None,
+            tnew_bias,
+            launched_copies: 0,
+        }
+    }
+
+    /// The running copy expected to finish first, by ground truth.
+    pub fn best_copy(&self, now: Time) -> Option<&CopyRuntime> {
+        self.copies.iter().min_by(|a, b| {
+            a.true_remaining(now)
+                .partial_cmp(&b.true_remaining(now))
+                .unwrap()
+        })
+    }
+}
+
+/// What happened when a copy-finish event was applied to a job.
+#[derive(Debug, Default)]
+pub struct CompletionEffect {
+    /// Slots freed (the finishing copy's slot plus every killed sibling's slot).
+    pub freed_slots: Vec<SlotId>,
+    /// Number of sibling copies killed.
+    pub killed: usize,
+    /// Whether the event referred to a copy that no longer exists (stale).
+    pub stale: bool,
+    /// Whether the task transitioned to finished by this event.
+    pub task_completed: bool,
+}
+
+/// Runtime state of one job.
+pub struct JobRuntime {
+    /// The job's static specification.
+    pub spec: JobSpec,
+    /// The per-job speculation policy instance.
+    pub policy: BoxedPolicy,
+    /// Per-task runtime state, indexed by [`TaskId`].
+    pub tasks: Vec<TaskRuntime>,
+    /// Completed-task counters per DAG stage.
+    pub completed_per_stage: Vec<usize>,
+    /// Slots currently allocated to (occupied by) this job.
+    pub allocated_slots: usize,
+    /// Speculative copies launched so far.
+    pub speculative_copies: usize,
+    /// Copies killed because a sibling finished first.
+    pub killed_copies: usize,
+    /// Slot-seconds consumed so far (all copies, including killed ones).
+    pub slot_seconds: f64,
+    /// Effective deadline for the input stage (deadline-bound jobs only), relative to
+    /// arrival.
+    pub input_deadline: Option<Time>,
+    /// Completed copy durations normalised by task work, used to estimate `tnew`.
+    pub duration_per_work: Vec<f64>,
+    /// Measured estimation accuracy.
+    pub accuracy: AccuracyTracker,
+    /// Time-weighted allocated-slot count.
+    pub wave_width_stat: TimeWeighted,
+    /// Time-weighted cluster utilisation observed by this job.
+    pub util_stat: TimeWeighted,
+    /// Time-weighted measured estimation accuracy.
+    pub acc_stat: TimeWeighted,
+    /// Whether the job has finished (deadline fired or error bound met).
+    pub done: bool,
+}
+
+impl JobRuntime {
+    /// Create the runtime state for a job at its arrival.
+    pub fn new<R: Rng + ?Sized>(
+        spec: JobSpec,
+        policy: BoxedPolicy,
+        estimator: &EstimatorConfig,
+        now: Time,
+        rng: &mut R,
+    ) -> Self {
+        let tasks: Vec<TaskRuntime> = spec
+            .tasks
+            .iter()
+            .map(|t| {
+                let bias = if estimator.oracle {
+                    1.0
+                } else {
+                    degrade_estimate(1.0, estimator.tnew_accuracy, rng)
+                };
+                TaskRuntime::new(*t, bias)
+            })
+            .collect();
+        let stages = spec.stages.len();
+        let prior_accuracy = estimator.nominal_accuracy();
+        JobRuntime {
+            spec,
+            policy,
+            tasks,
+            completed_per_stage: vec![0; stages],
+            allocated_slots: 0,
+            speculative_copies: 0,
+            killed_copies: 0,
+            slot_seconds: 0.0,
+            input_deadline: None,
+            duration_per_work: Vec::new(),
+            accuracy: AccuracyTracker::new(prior_accuracy),
+            wave_width_stat: TimeWeighted::new(now, 0.0),
+            util_stat: TimeWeighted::new(now, 0.0),
+            acc_stat: TimeWeighted::new(now, prior_accuracy),
+            done: false,
+        }
+    }
+
+    /// Number of input-stage tasks required for this job's bound.
+    fn stage_needed(&self, stage: usize) -> usize {
+        let count = self.spec.stages[stage].task_count;
+        if stage == 0 {
+            match self.spec.bound {
+                Bound::Deadline(_) => count,
+                Bound::Error(e) => Bound::Error(e).tasks_needed(count),
+            }
+        } else {
+            count
+        }
+    }
+
+    /// Whether the tasks of `stage` may be scheduled. Stage 0 is always eligible;
+    /// stage `s > 0` unlocks when stage `s − 1` has met its completion requirement.
+    pub fn stage_eligible(&self, stage: usize) -> bool {
+        if stage == 0 {
+            return true;
+        }
+        self.completed_per_stage[stage - 1] >= self.stage_needed(stage - 1)
+    }
+
+    /// Whether every stage has met its completion requirement (error-bound jobs
+    /// finish when this becomes true).
+    pub fn bound_satisfied(&self) -> bool {
+        (0..self.spec.stages.len()).all(|s| self.completed_per_stage[s] >= self.stage_needed(s))
+    }
+
+    /// Completed input-stage tasks.
+    pub fn completed_input(&self) -> usize {
+        self.completed_per_stage.first().copied().unwrap_or(0)
+    }
+
+    /// Completed tasks across all stages.
+    pub fn completed_total(&self) -> usize {
+        self.completed_per_stage.iter().sum()
+    }
+
+    /// Whether any unfinished task remains (used to decide whether the job still has
+    /// demand for slots).
+    pub fn has_unfinished_work(&self) -> bool {
+        self.tasks.iter().any(|t| !t.finished)
+    }
+
+    /// Current estimate of a new copy's duration per unit work: the mean of completed
+    /// copy durations normalised by work, falling back to the cluster's mean slowdown
+    /// before any completions.
+    pub fn duration_per_work_estimate(&self, cluster_mean_slowdown: f64) -> f64 {
+        if self.duration_per_work.is_empty() {
+            cluster_mean_slowdown
+        } else {
+            self.duration_per_work.iter().sum::<f64>() / self.duration_per_work.len() as f64
+        }
+    }
+
+    /// Build the [`TaskView`]s for every unfinished task.
+    pub fn build_task_views(
+        &self,
+        now: Time,
+        estimator: &EstimatorConfig,
+        cluster_mean_slowdown: f64,
+    ) -> Vec<TaskView> {
+        let per_work = self.duration_per_work_estimate(cluster_mean_slowdown);
+        let mut views = Vec::with_capacity(self.tasks.len());
+        for (idx, task) in self.tasks.iter().enumerate() {
+            if task.finished {
+                continue;
+            }
+            let eligible = self.stage_eligible(task.spec.stage.value() as usize);
+            let true_new_hint = task.spec.work * cluster_mean_slowdown;
+            let tnew = if estimator.oracle {
+                true_new_hint
+            } else {
+                (task.spec.work * per_work * task.tnew_bias).max(1e-6)
+            };
+            let (running, elapsed, progress, rate, trem, true_rem) = match task.best_copy(now) {
+                Some(best) => {
+                    let oldest_start = task
+                        .copies
+                        .iter()
+                        .map(|c| c.start)
+                        .fold(f64::INFINITY, f64::min);
+                    let elapsed = (now - oldest_start).max(0.0);
+                    let true_rem = best.true_remaining(now);
+                    let trem = if estimator.oracle {
+                        true_rem
+                    } else {
+                        (true_rem * best.rem_bias).max(0.0)
+                    };
+                    let progress = best.progress(now);
+                    let rate = if elapsed > 0.0 { progress / elapsed } else { 0.0 };
+                    (task.copies.len() as u32, elapsed, progress, rate, trem, true_rem)
+                }
+                None => (0, 0.0, 0.0, 0.0, f64::INFINITY, f64::INFINITY),
+            };
+            views.push(TaskView {
+                id: TaskId(idx as u32),
+                stage: task.spec.stage,
+                eligible,
+                running_copies: running,
+                elapsed,
+                progress,
+                progress_rate: rate,
+                trem,
+                tnew,
+                true_remaining: true_rem,
+                true_new_hint,
+                work: task.spec.work,
+            });
+        }
+        views
+    }
+
+    /// Record the launch of a copy of `task` on `slot`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_copy<R: Rng + ?Sized>(
+        &mut self,
+        task: TaskId,
+        copy_id: CopyId,
+        slot: SlotId,
+        now: Time,
+        duration: Time,
+        estimator: &EstimatorConfig,
+        rng: &mut R,
+    ) {
+        let t = &mut self.tasks[task.index()];
+        debug_assert!(!t.finished, "launched a copy of a finished task");
+        let speculative = !t.copies.is_empty();
+        let rem_bias = if estimator.oracle {
+            1.0
+        } else {
+            degrade_estimate(1.0, estimator.trem_accuracy, rng)
+        };
+        t.copies.push(CopyRuntime {
+            id: copy_id,
+            slot,
+            start: now,
+            duration,
+            speculative,
+            rem_bias,
+        });
+        t.launched_copies += 1;
+        if speculative {
+            self.speculative_copies += 1;
+        }
+        self.allocated_slots += 1;
+    }
+
+    /// Apply a copy-finish event. Marks the task finished, kills sibling copies, and
+    /// reports which slots were freed.
+    pub fn complete_copy(&mut self, task: TaskId, copy_id: CopyId, now: Time) -> CompletionEffect {
+        let t = &mut self.tasks[task.index()];
+        let Some(pos) = t.copies.iter().position(|c| c.id == copy_id) else {
+            return CompletionEffect {
+                stale: true,
+                ..Default::default()
+            };
+        };
+        if t.finished {
+            return CompletionEffect {
+                stale: true,
+                ..Default::default()
+            };
+        }
+        let mut effect = CompletionEffect::default();
+        let finishing = t.copies.swap_remove(pos);
+        self.slot_seconds += finishing.elapsed(now);
+        effect.freed_slots.push(finishing.slot);
+        // Kill every sibling copy: the race is over.
+        for sibling in t.copies.drain(..) {
+            self.slot_seconds += sibling.elapsed(now);
+            effect.freed_slots.push(sibling.slot);
+            effect.killed += 1;
+        }
+        self.killed_copies += effect.killed;
+        self.allocated_slots = self.allocated_slots.saturating_sub(effect.freed_slots.len());
+        t.finished = true;
+        t.finish_time = Some(now);
+        effect.task_completed = true;
+
+        let stage = t.spec.stage.value() as usize;
+        let work = t.spec.work;
+        let tnew_bias = t.tnew_bias;
+        let rem_bias = finishing.rem_bias;
+        let actual = finishing.duration;
+        self.completed_per_stage[stage] += 1;
+        if work > 0.0 && actual > 0.0 {
+            self.duration_per_work.push(actual / work);
+            // What the estimator believed versus what happened, folded into the
+            // measured-accuracy signal GRASS consumes.
+            self.accuracy.record(actual * rem_bias, actual);
+            self.accuracy.record(work * tnew_bias, actual);
+        }
+        effect
+    }
+
+    /// Kill every running copy of every task (used when a job hits its deadline or is
+    /// finalised early). Returns the freed slots.
+    pub fn kill_all_copies(&mut self, now: Time) -> Vec<SlotId> {
+        let mut freed = Vec::new();
+        for t in &mut self.tasks {
+            for c in t.copies.drain(..) {
+                self.slot_seconds += c.elapsed(now);
+                freed.push(c.slot);
+                self.killed_copies += 1;
+            }
+        }
+        self.allocated_slots = self.allocated_slots.saturating_sub(freed.len());
+        freed
+    }
+
+    /// Update the job's time-weighted statistics at `now`.
+    pub fn update_stats(&mut self, now: Time, cluster_utilization: f64) {
+        self.wave_width_stat.update(now, self.allocated_slots as f64);
+        self.util_stat.update(now, cluster_utilization);
+        self.acc_stat.update(now, self.accuracy.accuracy());
+    }
+
+    /// Build the job's final outcome record at `finish`.
+    pub fn outcome(&self, finish: Time) -> JobOutcome {
+        JobOutcome {
+            job: self.spec.id,
+            policy: self.policy.name().to_string(),
+            bound: self.spec.bound,
+            input_tasks: self.spec.input_tasks(),
+            total_tasks: self.spec.total_tasks(),
+            dag_length: self.spec.dag_length(),
+            arrival: self.spec.arrival,
+            finish,
+            completed_input_tasks: self.completed_input(),
+            completed_tasks: self.completed_total(),
+            speculative_copies: self.speculative_copies,
+            killed_copies: self.killed_copies,
+            slot_seconds: self.slot_seconds,
+            avg_wave_width: self.wave_width_stat.average(finish),
+            avg_cluster_utilization: self.util_stat.average(finish),
+            avg_estimation_accuracy: self.acc_stat.average(finish),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_core::{Action, JobView, SpeculationPolicy, StageId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Noop;
+    impl SpeculationPolicy for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn choose(&mut self, _view: &JobView) -> Option<Action> {
+            None
+        }
+    }
+
+    fn job_runtime(bound: Bound, work: Vec<f64>) -> JobRuntime {
+        let spec = JobSpec::single_stage(1, 0.0, bound, work);
+        let mut rng = StdRng::seed_from_u64(1);
+        JobRuntime::new(
+            spec,
+            Box::new(Noop),
+            &EstimatorConfig::oracle(),
+            0.0,
+            &mut rng,
+        )
+    }
+
+    fn slot(n: usize) -> SlotId {
+        SlotId { machine: 0, slot: n }
+    }
+
+    #[test]
+    fn launch_and_complete_single_copy() {
+        let mut rt = job_runtime(Bound::EXACT, vec![2.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        rt.launch_copy(
+            TaskId(0),
+            1,
+            slot(0),
+            0.0,
+            2.0,
+            &EstimatorConfig::oracle(),
+            &mut rng,
+        );
+        assert_eq!(rt.allocated_slots, 1);
+        assert_eq!(rt.speculative_copies, 0);
+        let effect = rt.complete_copy(TaskId(0), 1, 2.0);
+        assert!(effect.task_completed);
+        assert!(!effect.stale);
+        assert_eq!(effect.freed_slots, vec![slot(0)]);
+        assert_eq!(effect.killed, 0);
+        assert_eq!(rt.completed_input(), 1);
+        assert_eq!(rt.allocated_slots, 0);
+        assert!((rt.slot_seconds - 2.0).abs() < 1e-12);
+        assert!(!rt.bound_satisfied());
+    }
+
+    #[test]
+    fn speculative_copy_race_kills_loser() {
+        let mut rt = job_runtime(Bound::EXACT, vec![5.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = EstimatorConfig::oracle();
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 10.0, &est, &mut rng);
+        rt.launch_copy(TaskId(0), 2, slot(1), 2.0, 3.0, &est, &mut rng);
+        assert_eq!(rt.speculative_copies, 1);
+        assert_eq!(rt.allocated_slots, 2);
+        // The speculative copy (id 2) finishes at t = 5.
+        let effect = rt.complete_copy(TaskId(0), 2, 5.0);
+        assert!(effect.task_completed);
+        assert_eq!(effect.killed, 1);
+        assert_eq!(effect.freed_slots.len(), 2);
+        assert_eq!(rt.killed_copies, 1);
+        assert_eq!(rt.allocated_slots, 0);
+        // Slot-seconds: speculative ran 3s, original ran 5s before being killed.
+        assert!((rt.slot_seconds - 8.0).abs() < 1e-12);
+        // The original's finish event is now stale.
+        let stale = rt.complete_copy(TaskId(0), 1, 10.0);
+        assert!(stale.stale);
+        assert!(rt.bound_satisfied());
+    }
+
+    #[test]
+    fn task_views_report_estimates_and_truth() {
+        let mut rt = job_runtime(Bound::Deadline(20.0), vec![2.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = EstimatorConfig::oracle();
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 4.0, &est, &mut rng);
+        let views = rt.build_task_views(1.0, &est, 1.0);
+        assert_eq!(views.len(), 2);
+        let running = views.iter().find(|v| v.id == TaskId(0)).unwrap();
+        assert_eq!(running.running_copies, 1);
+        assert!((running.true_remaining - 3.0).abs() < 1e-12);
+        assert!((running.trem - 3.0).abs() < 1e-12);
+        assert!((running.elapsed - 1.0).abs() < 1e-12);
+        assert!((running.progress - 0.25).abs() < 1e-12);
+        let idle = views.iter().find(|v| v.id == TaskId(1)).unwrap();
+        assert_eq!(idle.running_copies, 0);
+        assert!(idle.trem.is_infinite());
+        assert!((idle.tnew - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completed_tasks_disappear_from_views_and_feed_tnew() {
+        let mut rt = job_runtime(Bound::EXACT, vec![2.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = EstimatorConfig::oracle();
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 6.0, &est, &mut rng);
+        rt.complete_copy(TaskId(0), 1, 6.0);
+        let views = rt.build_task_views(6.0, &est, 1.0);
+        assert_eq!(views.len(), 1);
+        // Observed duration/work = 3.0, so the non-oracle tnew estimate for the other
+        // task (work 2.0) would be ~6.0; the oracle hint stays work × slowdown.
+        assert!((rt.duration_per_work_estimate(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_bound_satisfaction_counts_needed_tasks() {
+        let mut rt = job_runtime(Bound::Error(0.5), vec![1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let est = EstimatorConfig::oracle();
+        for i in 0..2 {
+            rt.launch_copy(TaskId(i), u64::from(i) + 1, slot(i as usize), 0.0, 1.0, &est, &mut rng);
+            rt.complete_copy(TaskId(i), u64::from(i) + 1, 1.0);
+        }
+        // ε = 0.5 of 4 tasks => 2 needed.
+        assert!(rt.bound_satisfied());
+        assert_eq!(rt.completed_input(), 2);
+    }
+
+    #[test]
+    fn multi_stage_eligibility_unlocks_after_upstream_completion() {
+        let spec = JobSpec::multi_stage(
+            7,
+            0.0,
+            Bound::Error(0.5),
+            vec![vec![1.0, 1.0], vec![2.0]],
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rt = JobRuntime::new(
+            spec,
+            Box::new(Noop),
+            &EstimatorConfig::oracle(),
+            0.0,
+            &mut rng,
+        );
+        assert!(rt.stage_eligible(0));
+        assert!(!rt.stage_eligible(1));
+        let est = EstimatorConfig::oracle();
+        // ε = 0.5 of 2 input tasks => 1 needed; completing one unlocks stage 1.
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 1.0, &est, &mut rng);
+        rt.complete_copy(TaskId(0), 1, 1.0);
+        assert!(rt.stage_eligible(1));
+        assert!(!rt.bound_satisfied());
+        let views = rt.build_task_views(1.0, &est, 1.0);
+        let downstream = views.iter().find(|v| v.stage == StageId(1)).unwrap();
+        assert!(downstream.eligible);
+    }
+
+    #[test]
+    fn kill_all_copies_frees_every_slot() {
+        let mut rt = job_runtime(Bound::Deadline(10.0), vec![4.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let est = EstimatorConfig::oracle();
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 4.0, &est, &mut rng);
+        rt.launch_copy(TaskId(1), 2, slot(1), 0.0, 4.0, &est, &mut rng);
+        let freed = rt.kill_all_copies(2.0);
+        assert_eq!(freed.len(), 2);
+        assert_eq!(rt.allocated_slots, 0);
+        assert_eq!(rt.killed_copies, 2);
+        assert!((rt.slot_seconds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_summarises_job_state() {
+        let mut rt = job_runtime(Bound::Deadline(10.0), vec![2.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = EstimatorConfig::oracle();
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 2.0, &est, &mut rng);
+        rt.update_stats(0.0, 0.5);
+        rt.complete_copy(TaskId(0), 1, 2.0);
+        rt.update_stats(2.0, 0.5);
+        let outcome = rt.outcome(10.0);
+        assert_eq!(outcome.completed_input_tasks, 1);
+        assert_eq!(outcome.input_tasks, 2);
+        assert!((outcome.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(outcome.policy, "noop");
+        assert!(outcome.avg_wave_width > 0.0);
+    }
+
+    #[test]
+    fn noisy_estimates_deviate_from_truth_but_stay_positive() {
+        let spec = JobSpec::single_stage(1, 0.0, Bound::EXACT, vec![5.0; 50]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let est = EstimatorConfig::with_accuracy(0.6);
+        let mut rt = JobRuntime::new(spec, Box::new(Noop), &est, 0.0, &mut rng);
+        rt.launch_copy(TaskId(0), 1, slot(0), 0.0, 5.0, &est, &mut rng);
+        let views = rt.build_task_views(1.0, &est, 1.0);
+        let mut any_differs = false;
+        for v in &views {
+            assert!(v.tnew > 0.0);
+            if v.is_running() {
+                assert!(v.trem >= 0.0);
+                if (v.trem - v.true_remaining).abs() > 1e-9 {
+                    any_differs = true;
+                }
+            }
+            if (v.tnew - v.true_new_hint).abs() > 1e-9 {
+                any_differs = true;
+            }
+        }
+        assert!(any_differs, "noisy estimator produced only exact estimates");
+    }
+}

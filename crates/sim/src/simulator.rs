@@ -1,0 +1,606 @@
+//! The discrete-event cluster simulator.
+//!
+//! This is the substrate that stands in for the paper's 200-node EC2 deployment and
+//! its trace-driven simulator. It models:
+//!
+//! * a cluster of machines × slots with machine heterogeneity and per-copy straggler
+//!   multipliers,
+//! * fair sharing of slots across concurrently active jobs (each job's *wave width*),
+//! * per-job speculation policies consulted whenever a slot frees up,
+//! * speculative copy races (first copy to finish wins, siblings are killed),
+//! * deadline-bound job finalisation and error-bound completion detection,
+//! * DAG stage unlocking and estimation of intermediate-stage time for deadline jobs
+//!   (§5.2 of the paper),
+//! * progress-style `trem` / `tnew` estimation with configurable accuracy.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use grass_core::{
+    ActionKind, Bound, EstimatorConfig, JobId, JobOutcome, JobSpec, JobView, PolicyFactory, Time,
+};
+
+use crate::cluster::ClusterConfig;
+use crate::event::{Event, EventQueue};
+use crate::machine::{Machine, SlotId};
+use crate::runtime::JobRuntime;
+use crate::stats::TimeWeighted;
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cluster layout and straggler behaviour.
+    pub cluster: ClusterConfig,
+    /// Estimator accuracy model.
+    pub estimator: EstimatorConfig,
+    /// RNG seed; every random draw in the run derives from it.
+    pub seed: u64,
+    /// Optional hard stop: jobs still running at this time are finalised as-is.
+    pub max_time: Option<Time>,
+}
+
+impl SimConfig {
+    /// Default configuration: the scaled EC2 cluster, paper-default estimator
+    /// accuracy, seed 0.
+    pub fn new() -> Self {
+        SimConfig {
+            cluster: ClusterConfig::ec2_scaled(),
+            estimator: EstimatorConfig::paper_default(),
+            seed: 0,
+            max_time: None,
+        }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new()
+    }
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// One outcome per job, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Time of the last processed event.
+    pub makespan: Time,
+    /// Total copies launched across all jobs (originals + speculative).
+    pub total_copies: usize,
+    /// Time-averaged cluster utilisation over the run.
+    pub avg_utilization: f64,
+}
+
+impl SimResult {
+    /// Outcomes of jobs scheduled by a given policy name.
+    pub fn outcomes_for<'s>(&'s self, policy: &'s str) -> impl Iterator<Item = &'s JobOutcome> + 's {
+        self.outcomes.iter().filter(move |o| o.policy == policy)
+    }
+}
+
+/// Run a full simulation: feed `jobs` (in any order; arrivals are honoured) through a
+/// cluster scheduled by policies from `factory`.
+pub fn run_simulation(
+    config: &SimConfig,
+    jobs: Vec<JobSpec>,
+    factory: &dyn PolicyFactory,
+) -> SimResult {
+    Simulator::new(config.clone(), jobs, factory).run()
+}
+
+struct Simulator<'a> {
+    config: SimConfig,
+    factory: &'a dyn PolicyFactory,
+    machines: Vec<Machine>,
+    free_slots: Vec<SlotId>,
+    total_slots: usize,
+    pending: HashMap<JobId, JobSpec>,
+    running: HashMap<JobId, JobRuntime>,
+    active_order: Vec<JobId>,
+    events: EventQueue,
+    rng: StdRng,
+    next_copy_id: u64,
+    now: Time,
+    util_stat: TimeWeighted,
+    outcomes: Vec<JobOutcome>,
+    total_copies: usize,
+    mean_slowdown: f64,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(config: SimConfig, jobs: Vec<JobSpec>, factory: &'a dyn PolicyFactory) -> Self {
+        let machines = config.cluster.build_machines(config.seed);
+        let free_slots: Vec<SlotId> = machines.iter().flat_map(|m| m.slot_ids()).collect();
+        let total_slots = free_slots.len();
+        let mut events = EventQueue::new();
+        let mut pending = HashMap::with_capacity(jobs.len());
+        for job in jobs {
+            debug_assert!(job.validate().is_ok(), "invalid job spec {:?}", job.id);
+            events.push(job.arrival, Event::JobArrival(job.id));
+            pending.insert(job.id, job);
+        }
+        let mean_slowdown = config.cluster.mean_slowdown();
+        Simulator {
+            config,
+            factory,
+            machines,
+            free_slots,
+            total_slots,
+            pending,
+            running: HashMap::new(),
+            active_order: Vec::new(),
+            events,
+            rng: StdRng::seed_from_u64(0),
+            next_copy_id: 0,
+            now: 0.0,
+            util_stat: TimeWeighted::new(0.0, 0.0),
+            outcomes: Vec::new(),
+            total_copies: 0,
+            mean_slowdown,
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        self.rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0x5EED));
+        while let Some((time, event)) = self.events.pop() {
+            if let Some(max) = self.config.max_time {
+                if time > max {
+                    self.now = max;
+                    break;
+                }
+            }
+            self.now = time;
+            match event {
+                Event::JobArrival(id) => self.handle_arrival(id),
+                Event::CopyFinish { job, task, copy } => self.handle_copy_finish(job, task, copy),
+                Event::JobDeadline(id) => self.handle_deadline(id),
+            }
+        }
+        // Finalise anything still running (hit max_time or starved of slots).
+        let leftover: Vec<JobId> = self
+            .active_order
+            .iter()
+            .copied()
+            .filter(|id| self.running.get(id).is_some_and(|j| !j.done))
+            .collect();
+        for id in leftover {
+            self.finalize_job(id);
+        }
+        SimResult {
+            outcomes: self.outcomes,
+            makespan: self.now,
+            total_copies: self.total_copies,
+            avg_utilization: self.util_stat.average(self.now),
+        }
+    }
+
+    fn utilization(&self) -> f64 {
+        if self.total_slots == 0 {
+            return 0.0;
+        }
+        (self.total_slots - self.free_slots.len()) as f64 / self.total_slots as f64
+    }
+
+    fn active_job_count(&self) -> usize {
+        self.active_order
+            .iter()
+            .filter(|id| self.running.get(id).is_some_and(|j| !j.done))
+            .count()
+    }
+
+    fn fair_share(&self) -> usize {
+        let active = self.active_job_count().max(1);
+        (self.total_slots / active).max(1)
+    }
+
+    fn handle_arrival(&mut self, id: JobId) {
+        let Some(spec) = self.pending.remove(&id) else {
+            return;
+        };
+        let policy = self.factory.create(&spec);
+        let mut runtime =
+            JobRuntime::new(spec, policy, &self.config.estimator, self.now, &mut self.rng);
+
+        // Deadline-bound DAG jobs: derive the effective input-stage deadline by
+        // subtracting an estimate of the intermediate stages' duration (§5.2).
+        if let Bound::Deadline(deadline) = runtime.spec.bound {
+            let input_deadline = if runtime.spec.dag_length() > 1 {
+                let intermediate = self.estimate_intermediate_time(&runtime.spec);
+                (deadline - intermediate).max(0.2 * deadline)
+            } else {
+                deadline
+            };
+            runtime.input_deadline = Some(input_deadline);
+            self.events
+                .push(runtime.spec.arrival + input_deadline, Event::JobDeadline(id));
+        }
+
+        // Let the policy observe the job's initial state.
+        {
+            let views =
+                runtime.build_task_views(self.now, &self.config.estimator, self.mean_slowdown);
+            let view = Self::job_view(
+                &runtime,
+                &views,
+                self.now,
+                self.fair_share(),
+                self.utilization(),
+            );
+            runtime.policy.on_job_start(&view);
+        }
+
+        self.running.insert(id, runtime);
+        self.active_order.push(id);
+        self.dispatch();
+    }
+
+    /// Rough estimate of how long the non-input stages of a DAG job will take,
+    /// assuming the job keeps its fair share of slots and tasks take their mean work
+    /// times the cluster's mean slowdown.
+    fn estimate_intermediate_time(&self, spec: &JobSpec) -> Time {
+        let share = self.fair_share().max(1) as f64;
+        let mut total = 0.0;
+        for (s, stage) in spec.stages.iter().enumerate().skip(1) {
+            if stage.task_count == 0 {
+                continue;
+            }
+            let work: f64 = spec
+                .tasks
+                .iter()
+                .filter(|t| t.stage.value() as usize == s)
+                .map(|t| t.work)
+                .sum();
+            let mean_work = work / stage.task_count as f64;
+            let waves = (stage.task_count as f64 / share).ceil();
+            total += waves * mean_work * self.mean_slowdown;
+        }
+        total
+    }
+
+    fn handle_copy_finish(&mut self, job_id: JobId, task: grass_core::TaskId, copy: u64) {
+        let util = self.utilization();
+        let fair = self.fair_share();
+        let Some(job) = self.running.get_mut(&job_id) else {
+            return;
+        };
+        if job.done {
+            return;
+        }
+        let effect = job.complete_copy(task, copy, self.now);
+        if effect.stale {
+            return;
+        }
+        self.free_slots.extend(effect.freed_slots.iter().copied());
+        self.util_stat.update(self.now, util);
+        job.update_stats(self.now, util);
+
+        if effect.task_completed {
+            let views = job.build_task_views(self.now, &self.config.estimator, self.mean_slowdown);
+            let view = Self::job_view(job, &views, self.now, fair, util);
+            job.policy.on_task_complete(&view, task);
+        }
+
+        // Error-bound jobs finish the moment their bound is satisfied.
+        let satisfied = job.spec.bound.is_error() && job.bound_satisfied();
+        if satisfied {
+            self.finalize_job(job_id);
+        }
+        self.dispatch();
+    }
+
+    fn handle_deadline(&mut self, id: JobId) {
+        let done = self.running.get(&id).map(|j| j.done).unwrap_or(true);
+        if !done {
+            self.finalize_job(id);
+        }
+        self.dispatch();
+    }
+
+    fn finalize_job(&mut self, id: JobId) {
+        let util = self.utilization();
+        let Some(job) = self.running.get_mut(&id) else {
+            return;
+        };
+        if job.done {
+            return;
+        }
+        let freed = job.kill_all_copies(self.now);
+        self.free_slots.extend(freed.iter().copied());
+        job.update_stats(self.now, util);
+        job.done = true;
+        let outcome = job.outcome(self.now);
+        job.policy.on_job_complete(&outcome);
+        self.outcomes.push(outcome);
+        self.util_stat.update(self.now, self.utilization());
+    }
+
+    fn job_view<'v>(
+        job: &JobRuntime,
+        views: &'v [grass_core::TaskView],
+        now: Time,
+        fair_share: usize,
+        utilization: f64,
+    ) -> JobView<'v> {
+        JobView {
+            job: job.spec.id,
+            now,
+            arrival: job.spec.arrival,
+            bound: job.spec.bound,
+            input_deadline: job.input_deadline,
+            total_input_tasks: job.spec.input_tasks(),
+            completed_input_tasks: job.completed_input(),
+            total_tasks: job.spec.total_tasks(),
+            completed_tasks: job.completed_total(),
+            tasks: views,
+            wave_width: job.allocated_slots.max(fair_share.min(job.spec.total_tasks())),
+            cluster_utilization: utilization,
+            estimation_accuracy: job.accuracy.accuracy(),
+        }
+    }
+
+    /// Hand out free slots: repeatedly offer the next free slot to the active job with
+    /// the fewest allocated slots (max–min fair sharing without preemption) until no
+    /// job wants a slot or no slots remain.
+    fn dispatch(&mut self) {
+        loop {
+            if self.free_slots.is_empty() {
+                break;
+            }
+            let util = self.utilization();
+            let fair = self.fair_share();
+            // Fair ordering: fewest allocated slots first, job id as tie-breaker.
+            let mut order: Vec<(usize, JobId)> = self
+                .active_order
+                .iter()
+                .filter_map(|id| {
+                    let job = self.running.get(id)?;
+                    if job.done || !job.has_unfinished_work() {
+                        return None;
+                    }
+                    Some((job.allocated_slots, *id))
+                })
+                .collect();
+            order.sort_by_key(|(alloc, id)| (*alloc, id.0));
+
+            let mut launched = false;
+            for (_, id) in order {
+                if self.try_launch_for(id, fair, util) {
+                    launched = true;
+                    break;
+                }
+            }
+            if !launched {
+                break;
+            }
+        }
+        // Refresh per-job statistics after the allocation settled.
+        let util = self.utilization();
+        self.util_stat.update(self.now, util);
+        for id in &self.active_order {
+            if let Some(job) = self.running.get_mut(id) {
+                if !job.done {
+                    job.update_stats(self.now, util);
+                }
+            }
+        }
+    }
+
+    /// Offer one free slot to `job_id`. Returns true if a copy was launched.
+    fn try_launch_for(&mut self, job_id: JobId, fair_share: usize, utilization: f64) -> bool {
+        let mean_slowdown = self.mean_slowdown;
+        let estimator = self.config.estimator;
+        let Some(job) = self.running.get_mut(&job_id) else {
+            return false;
+        };
+        let views = job.build_task_views(self.now, &estimator, mean_slowdown);
+        if views.is_empty() {
+            return false;
+        }
+        let view = Self::job_view(job, &views, self.now, fair_share, utilization);
+        let Some(action) = job.policy.choose(&view) else {
+            return false;
+        };
+
+        // Validate the action against ground truth; a policy bug must not wedge or
+        // corrupt the simulation.
+        let idx = action.task.index();
+        if idx >= job.tasks.len() || job.tasks[idx].finished {
+            return false;
+        }
+        let task_running = !job.tasks[idx].copies.is_empty();
+        if action.kind == ActionKind::Launch && task_running {
+            return false;
+        }
+        if !job.stage_eligible(job.tasks[idx].spec.stage.value() as usize) {
+            return false;
+        }
+
+        let Some(slot) = self.free_slots.pop() else {
+            return false;
+        };
+        let machine_slowdown = self.machines[slot.machine].slowdown;
+        let straggle = self.config.cluster.straggler.sample(&mut self.rng);
+        let duration = (job.tasks[idx].spec.work * machine_slowdown * straggle).max(1e-6);
+        let copy_id = self.next_copy_id;
+        self.next_copy_id += 1;
+        job.launch_copy(
+            action.task,
+            copy_id,
+            slot,
+            self.now,
+            duration,
+            &estimator,
+            &mut self.rng,
+        );
+        self.total_copies += 1;
+        self.events.push(
+            self.now + duration,
+            Event::CopyFinish {
+                job: job_id,
+                task: action.task,
+                copy: copy_id,
+            },
+        );
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_core::{GsFactory, RasFactory};
+
+    fn exact_job(id: u64, arrival: f64, tasks: usize, work: f64) -> JobSpec {
+        JobSpec::single_stage(id, arrival, Bound::EXACT, vec![work; tasks])
+    }
+
+    fn small_config(seed: u64) -> SimConfig {
+        SimConfig {
+            cluster: ClusterConfig::small(2, 2),
+            estimator: EstimatorConfig::paper_default(),
+            seed,
+            max_time: None,
+        }
+    }
+
+    #[test]
+    fn single_exact_job_completes_all_tasks() {
+        let result = run_simulation(
+            &small_config(1),
+            vec![exact_job(1, 0.0, 10, 2.0)],
+            &GsFactory,
+        );
+        assert_eq!(result.outcomes.len(), 1);
+        let o = &result.outcomes[0];
+        assert_eq!(o.completed_input_tasks, 10);
+        assert!((o.accuracy() - 1.0).abs() < 1e-12);
+        assert!(o.duration() > 0.0);
+        assert!(result.total_copies >= 10);
+        assert!(result.avg_utilization > 0.0);
+    }
+
+    #[test]
+    fn deadline_job_is_cut_off_at_its_deadline() {
+        // 100 tasks of 2s work on 4 slots with a 10s deadline cannot all finish.
+        let job = JobSpec::single_stage(1, 0.0, Bound::Deadline(10.0), vec![2.0; 100]);
+        let result = run_simulation(&small_config(2), vec![job], &GsFactory);
+        assert_eq!(result.outcomes.len(), 1);
+        let o = &result.outcomes[0];
+        assert!(o.completed_input_tasks < 100);
+        assert!(o.completed_input_tasks > 0);
+        assert!((o.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_bound_job_stops_once_enough_tasks_complete() {
+        let job = JobSpec::single_stage(1, 0.0, Bound::Error(0.5), vec![2.0; 20]);
+        let result = run_simulation(&small_config(3), vec![job], &GsFactory);
+        let o = &result.outcomes[0];
+        assert!(o.completed_input_tasks >= 10);
+        assert!(o.completed_input_tasks <= 20);
+        assert!(o.met_error_bound());
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let jobs: Vec<JobSpec> = (0..5).map(|i| exact_job(i, i as f64, 8, 3.0)).collect();
+        let a = run_simulation(&small_config(7), jobs.clone(), &RasFactory);
+        let b = run_simulation(&small_config(7), jobs, &RasFactory);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            assert_eq!(x.job, y.job);
+            assert!((x.finish - y.finish).abs() < 1e-9);
+            assert_eq!(x.completed_tasks, y.completed_tasks);
+        }
+    }
+
+    #[test]
+    fn multiple_jobs_share_the_cluster() {
+        let jobs: Vec<JobSpec> = (0..4).map(|i| exact_job(i, 0.0, 10, 2.0)).collect();
+        let result = run_simulation(&small_config(4), jobs, &GsFactory);
+        assert_eq!(result.outcomes.len(), 4);
+        for o in &result.outcomes {
+            assert_eq!(o.completed_input_tasks, 10);
+        }
+    }
+
+    #[test]
+    fn dag_error_job_runs_downstream_stages() {
+        let job = JobSpec::multi_stage(
+            1,
+            0.0,
+            Bound::Error(0.2),
+            vec![vec![2.0; 10], vec![1.0; 3]],
+        );
+        let result = run_simulation(&small_config(5), vec![job], &GsFactory);
+        let o = &result.outcomes[0];
+        assert!(o.completed_input_tasks >= 8);
+        // All downstream tasks must have completed.
+        assert_eq!(o.completed_tasks - o.completed_input_tasks, 3);
+    }
+
+    #[test]
+    fn dag_deadline_job_gets_a_shortened_input_deadline() {
+        let job = JobSpec::multi_stage(
+            1,
+            0.0,
+            Bound::Deadline(40.0),
+            vec![vec![2.0; 30], vec![2.0; 5]],
+        );
+        let result = run_simulation(&small_config(6), vec![job], &GsFactory);
+        let o = &result.outcomes[0];
+        // Finishes before the nominal 40s deadline because intermediate time is
+        // reserved.
+        assert!(o.duration() < 40.0 - 1e-9);
+        assert!(o.duration() > 0.0);
+    }
+
+    #[test]
+    fn max_time_truncates_the_run() {
+        let config = SimConfig {
+            max_time: Some(5.0),
+            ..small_config(8)
+        };
+        let job = exact_job(1, 0.0, 100, 3.0);
+        let result = run_simulation(&config, vec![job], &GsFactory);
+        assert_eq!(result.outcomes.len(), 1);
+        assert!(result.outcomes[0].completed_input_tasks < 100);
+        assert!(result.makespan <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn speculative_copies_occur_under_straggling() {
+        // Large single-wave-ish job with heavy straggling: GS should speculate.
+        let mut config = small_config(9);
+        config.cluster = ClusterConfig::small(5, 4);
+        let job = JobSpec::single_stage(1, 0.0, Bound::Error(0.0), vec![5.0; 40]);
+        let result = run_simulation(&config, vec![job], &GsFactory);
+        let o = &result.outcomes[0];
+        assert!(
+            o.speculative_copies > 0,
+            "expected at least one speculative copy under heavy-tailed straggling"
+        );
+        assert_eq!(o.completed_input_tasks, 40);
+    }
+
+    #[test]
+    fn outcome_policy_names_match_factory() {
+        let result = run_simulation(
+            &small_config(10),
+            vec![exact_job(1, 0.0, 5, 1.0)],
+            &RasFactory,
+        );
+        assert_eq!(result.outcomes[0].policy, "RAS");
+        assert_eq!(result.outcomes_for("RAS").count(), 1);
+        assert_eq!(result.outcomes_for("GS").count(), 0);
+    }
+}

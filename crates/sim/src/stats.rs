@@ -1,0 +1,92 @@
+//! Time-weighted statistics helpers.
+
+use grass_core::Time;
+
+/// Tracks the time-weighted average of a piecewise-constant signal (cluster
+/// utilisation, a job's allocated slots, measured estimation accuracy, …).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: Time,
+    last_time: Time,
+    last_value: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `time` with an initial value.
+    pub fn new(time: Time, initial: f64) -> Self {
+        TimeWeighted {
+            start: time,
+            last_time: time,
+            last_value: initial,
+            integral: 0.0,
+        }
+    }
+
+    /// Record that the signal changed to `value` at `time` (the previous value held
+    /// from the last update until now).
+    pub fn update(&mut self, time: Time, value: f64) {
+        if time > self.last_time {
+            self.integral += self.last_value * (time - self.last_time);
+            self.last_time = time;
+        }
+        self.last_value = value;
+    }
+
+    /// Time-weighted average over `[start, time]`. If no time has elapsed, returns the
+    /// current value.
+    pub fn average(&self, time: Time) -> f64 {
+        let horizon = time.max(self.last_time);
+        let total = horizon - self.start;
+        if total <= 0.0 {
+            return self.last_value;
+        }
+        let integral = self.integral + self.last_value * (horizon - self.last_time);
+        integral / total
+    }
+
+    /// The most recently recorded value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_averages_to_itself() {
+        let mut tw = TimeWeighted::new(0.0, 3.0);
+        tw.update(5.0, 3.0);
+        assert!((tw.average(10.0) - 3.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 3.0);
+    }
+
+    #[test]
+    fn piecewise_average_is_weighted_by_duration() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.update(4.0, 10.0); // 0 for [0,4)
+        tw.update(8.0, 0.0); // 10 for [4,8)
+        // Average over [0,8] = (0*4 + 10*4) / 8 = 5.
+        assert!((tw.average(8.0) - 5.0).abs() < 1e-12);
+        // Extending to t=16 with value 0: (40) / 16 = 2.5.
+        assert!((tw.average(16.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_returns_current_value() {
+        let tw = TimeWeighted::new(2.0, 7.0);
+        assert_eq!(tw.average(2.0), 7.0);
+        assert_eq!(tw.average(1.0), 7.0);
+    }
+
+    #[test]
+    fn out_of_order_updates_are_ignored_for_time() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(5.0, 2.0);
+        // An update that claims an earlier time must not rewind the clock.
+        tw.update(3.0, 4.0);
+        assert!((tw.average(5.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-copy straggler injection.
+//!
+//! The paper reports that even after proactive mitigation the average job's slowest
+//! task runs ~8× slower than its median task (§2.2), and that task durations have a
+//! Pareto tail with shape β ≈ 1.259 (Figure 3). Part of that variation is *intrinsic*
+//! to the task (data size, captured by the workload generator's work distribution);
+//! the rest is *runtime* misbehaviour — contention, bad disks, slow nodes — that a
+//! second copy of the same task would not suffer. Speculation only helps because of
+//! this runtime component, so the simulator models it explicitly: every launched copy
+//! independently draws a runtime multiplier.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of per-copy runtime multipliers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StragglerModel {
+    /// Probability that a copy straggles at all.
+    pub probability: f64,
+    /// Pareto shape of the straggle multiplier, conditional on straggling. Smaller
+    /// values mean heavier tails; the paper's traces suggest β ≈ 1.259.
+    pub shape: f64,
+    /// Cap on the straggle multiplier (no copy runs more than this factor slower).
+    pub max_multiplier: f64,
+    /// Relative jitter applied to every copy, straggling or not (models ordinary
+    /// runtime variation). A value of 0.1 means ±10% uniform noise.
+    pub jitter: f64,
+}
+
+impl StragglerModel {
+    /// Calibrated default: ~25% of copies straggle with a β = 1.259 Pareto multiplier
+    /// capped at 10×, everything gets ±10% jitter. This reproduces the paper's
+    /// "slowest task ≈ 8× median" observation for typical job sizes.
+    pub fn paper_default() -> Self {
+        StragglerModel {
+            probability: 0.25,
+            shape: 1.259,
+            max_multiplier: 10.0,
+            jitter: 0.1,
+        }
+    }
+
+    /// No straggling at all (useful for tests and ablations).
+    pub fn none() -> Self {
+        StragglerModel {
+            probability: 0.0,
+            shape: 2.0,
+            max_multiplier: 1.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// Draw a runtime multiplier for one copy. Always `>= (1 - jitter)` and
+    /// `<= max_multiplier * (1 + jitter)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let jitter = if self.jitter > 0.0 {
+            rng.gen_range(-self.jitter..=self.jitter)
+        } else {
+            0.0
+        };
+        let base = if self.probability > 0.0 && rng.gen_bool(self.probability.clamp(0.0, 1.0)) {
+            // Pareto(1, shape) via inverse transform, capped.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let pareto = u.powf(-1.0 / self.shape.max(0.1));
+            pareto.min(self.max_multiplier.max(1.0))
+        } else {
+            1.0
+        };
+        (base * (1.0 + jitter)).max(0.05)
+    }
+
+    /// Expected runtime multiplier (used for `tnew` ground-truth hints).
+    ///
+    /// For a capped Pareto(1, β) the conditional mean is computed in closed form; the
+    /// jitter is symmetric and does not move the mean.
+    pub fn mean(&self) -> f64 {
+        let p = self.probability.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return 1.0;
+        }
+        let beta = self.shape.max(0.1);
+        let cap = self.max_multiplier.max(1.0);
+        // E[min(X, cap)] for X ~ Pareto(1, beta):
+        //   if beta != 1: (beta - cap^(1-beta)) / (beta - 1)
+        //   if beta == 1: 1 + ln(cap)
+        let mean_capped = if (beta - 1.0).abs() < 1e-9 {
+            1.0 + cap.ln()
+        } else {
+            (beta - cap.powf(1.0 - beta)) / (beta - 1.0)
+        };
+        1.0 - p + p * mean_capped
+    }
+}
+
+impl Default for StragglerModel {
+    fn default() -> Self {
+        StragglerModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_straggling_gives_unit_multipliers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = StragglerModel::none();
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 1.0);
+        }
+        assert_eq!(m.mean(), 1.0);
+    }
+
+    #[test]
+    fn samples_respect_cap_and_floor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = StragglerModel::paper_default();
+        for _ in 0..50_000 {
+            let s = m.sample(&mut rng);
+            assert!(s >= 0.05);
+            assert!(s <= m.max_multiplier * (1.0 + m.jitter) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = StragglerModel::paper_default();
+        let n = 400_000;
+        let sum: f64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - m.mean()).abs() < 0.02,
+            "empirical {empirical} vs analytic {}",
+            m.mean()
+        );
+    }
+
+    #[test]
+    fn heavy_tail_produces_eightfold_stragglers() {
+        // Within a batch of ~200 copies, the slowest should typically be several times
+        // the median — the paper's "slowest task is 8x the median" observation.
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = StragglerModel::paper_default();
+        let mut ratios = Vec::new();
+        for _ in 0..200 {
+            let mut batch: Vec<f64> = (0..200).map(|_| m.sample(&mut rng)).collect();
+            batch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = batch[batch.len() / 2];
+            let max = batch[batch.len() - 1];
+            ratios.push(max / median);
+        }
+        let avg_ratio: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(
+            avg_ratio > 4.0 && avg_ratio < 12.0,
+            "average slowest/median ratio {avg_ratio} should be in the vicinity of 8"
+        );
+    }
+
+    #[test]
+    fn mean_with_shape_one_uses_log_form() {
+        let m = StragglerModel {
+            probability: 1.0,
+            shape: 1.0,
+            max_multiplier: std::f64::consts::E,
+            jitter: 0.0,
+        };
+        assert!((m.mean() - 2.0).abs() < 1e-9);
+    }
+}

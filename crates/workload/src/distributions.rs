@@ -1,0 +1,228 @@
+//! Random distributions used by the workload generator.
+//!
+//! The paper's traces show task durations with a Pareto (power-law) tail of shape
+//! β ≈ 1.259 (Figure 3, a Hill plot), which is the single most important statistical
+//! property behind GRASS's gains: with β < 2 the durations have infinite variance and
+//! speculation pays off (Guideline 1). The generator therefore needs heavy-tailed
+//! samplers with known closed-form moments so tests can verify calibration.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over positive task-work values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkDistribution {
+    /// Every task has the same work.
+    Constant(f64),
+    /// Uniform between `min` and `max`.
+    Uniform {
+        /// Smallest work value.
+        min: f64,
+        /// Largest work value.
+        max: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean work.
+        mean: f64,
+    },
+    /// Pareto with scale `xm` (minimum value) and shape `beta`, truncated at
+    /// `cap × xm` to keep individual tasks from dominating a whole simulation run.
+    BoundedPareto {
+        /// Scale (minimum value).
+        xm: f64,
+        /// Tail shape; the paper's traces show β ≈ 1.259.
+        beta: f64,
+        /// Truncation point expressed as a multiple of `xm`.
+        cap: f64,
+    },
+}
+
+impl WorkDistribution {
+    /// Pareto-tailed distribution calibrated to the paper's Hill estimate
+    /// (β = 1.259), with minimum `xm` and a 100× cap.
+    pub fn paper_pareto(xm: f64) -> Self {
+        WorkDistribution::BoundedPareto {
+            xm,
+            beta: 1.259,
+            cap: 100.0,
+        }
+    }
+
+    /// Draw one work value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            WorkDistribution::Constant(v) => v.max(1e-9),
+            WorkDistribution::Uniform { min, max } => {
+                let lo = min.max(1e-9);
+                let hi = max.max(lo);
+                rng.gen_range(lo..=hi)
+            }
+            WorkDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean.max(1e-9) * u.ln()
+            }
+            WorkDistribution::BoundedPareto { xm, beta, cap } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let raw = xm.max(1e-9) * u.powf(-1.0 / beta.max(0.05));
+                raw.min(xm.max(1e-9) * cap.max(1.0))
+            }
+        }
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            WorkDistribution::Constant(v) => v.max(1e-9),
+            WorkDistribution::Uniform { min, max } => 0.5 * (min.max(1e-9) + max.max(min)),
+            WorkDistribution::Exponential { mean } => mean.max(1e-9),
+            WorkDistribution::BoundedPareto { xm, beta, cap } => {
+                bounded_pareto_mean(xm.max(1e-9), beta.max(0.05), cap.max(1.0))
+            }
+        }
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> f64 {
+        match *self {
+            WorkDistribution::Constant(v) => v.max(1e-9),
+            WorkDistribution::Uniform { min, max } => 0.5 * (min.max(1e-9) + max.max(min)),
+            WorkDistribution::Exponential { mean } => mean.max(1e-9) * std::f64::consts::LN_2,
+            WorkDistribution::BoundedPareto { xm, beta, .. } => {
+                // Median of an (uncapped) Pareto: xm * 2^(1/beta); the cap is far above
+                // the median for every configuration we use.
+                xm.max(1e-9) * 2f64.powf(1.0 / beta.max(0.05))
+            }
+        }
+    }
+}
+
+/// Mean of a Pareto(`xm`, `beta`) truncated (censored) at `cap × xm`:
+/// `E[min(X, c)] = xm·(beta − (xm/c)^(beta−1)) / (beta − 1)` for β ≠ 1,
+/// `xm·(1 + ln(c/xm))` for β = 1.
+fn bounded_pareto_mean(xm: f64, beta: f64, cap: f64) -> f64 {
+    let c = xm * cap;
+    if (beta - 1.0).abs() < 1e-9 {
+        xm * (1.0 + (c / xm).ln())
+    } else {
+        xm * (beta - (xm / c).powf(beta - 1.0)) / (beta - 1.0)
+    }
+}
+
+/// Exponential inter-arrival sampler (Poisson arrival process).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterArrival {
+    /// Mean inter-arrival time in seconds. A value of 0 makes all jobs arrive at once.
+    pub mean: f64,
+}
+
+impl InterArrival {
+    /// Draw one inter-arrival gap.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(dist: &WorkDistribution, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let d = WorkDistribution::Constant(3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 3.0);
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.median(), 3.0);
+    }
+
+    #[test]
+    fn uniform_distribution_moments() {
+        let d = WorkDistribution::Uniform { min: 2.0, max: 6.0 };
+        assert_eq!(d.mean(), 4.0);
+        assert!((empirical_mean(&d, 50_000, 2) - 4.0).abs() < 0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..=6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_distribution_moments() {
+        let d = WorkDistribution::Exponential { mean: 5.0 };
+        assert_eq!(d.mean(), 5.0);
+        assert!((d.median() - 5.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((empirical_mean(&d, 200_000, 4) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bounded_pareto_moments_match_closed_form() {
+        let d = WorkDistribution::BoundedPareto {
+            xm: 2.0,
+            beta: 1.5,
+            cap: 50.0,
+        };
+        let analytic = d.mean();
+        let empirical = empirical_mean(&d, 400_000, 5);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+        // Samples respect the floor and cap.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!(v >= 2.0 - 1e-12);
+            assert!(v <= 100.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_pareto_is_heavy_tailed() {
+        let d = WorkDistribution::paper_pareto(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let p999 = samples[(samples.len() as f64 * 0.999) as usize];
+        assert!(
+            p999 / median > 20.0,
+            "99.9th percentile should dwarf the median for a heavy tail (ratio {})",
+            p999 / median
+        );
+        assert!((d.median() - 2f64.powf(1.0 / 1.259)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_mean_with_shape_one() {
+        let d = WorkDistribution::BoundedPareto {
+            xm: 1.0,
+            beta: 1.0,
+            cap: std::f64::consts::E,
+        };
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interarrival_mean_and_degenerate_case() {
+        let ia = InterArrival { mean: 4.0 };
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| ia.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1);
+        let zero = InterArrival { mean: 0.0 };
+        assert_eq!(zero.sample(&mut rng), 0.0);
+    }
+}

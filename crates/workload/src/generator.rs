@@ -1,0 +1,347 @@
+//! Synthetic trace generation.
+//!
+//! Following the paper's methodology (§6.1): job arrival times, input sizes and task
+//! counts come from the trace profile; the original jobs were exact computations, so
+//! deadline and error bounds are assigned synthetically — the error tolerance is drawn
+//! uniformly from 5–30%, and deadlines are set to an "ideal duration" (every task
+//! replaced by the job's median task duration) plus a 2–20% slack factor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use grass_core::{Bound, JobSpec, Time};
+
+use crate::profiles::TraceProfile;
+
+/// How approximation bounds are assigned to generated jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BoundSpec {
+    /// Deadline-bound jobs with a slack factor drawn uniformly from the given range
+    /// (fractions over the ideal duration; the paper uses 2%–20%).
+    DeadlineRange {
+        /// Smallest slack factor.
+        min_factor: f64,
+        /// Largest slack factor.
+        max_factor: f64,
+    },
+    /// Deadline-bound jobs with a fixed slack factor (used for the per-deadline-bin
+    /// breakdown of Figure 6a).
+    DeadlineFactor(f64),
+    /// Error-bound jobs with tolerance drawn uniformly from the given range (the
+    /// paper uses 5%–30%).
+    ErrorRange {
+        /// Smallest error tolerance.
+        min: f64,
+        /// Largest error tolerance.
+        max: f64,
+    },
+    /// Error-bound jobs with a fixed tolerance (Figure 6b bins).
+    ErrorFixed(f64),
+    /// Exact jobs (error bound of zero), §6.2.2's "exact computations".
+    Exact,
+}
+
+impl BoundSpec {
+    /// The paper's default deadline assignment: 2%–20% slack over the ideal duration.
+    pub fn paper_deadlines() -> Self {
+        BoundSpec::DeadlineRange {
+            min_factor: 0.02,
+            max_factor: 0.20,
+        }
+    }
+
+    /// The paper's default error assignment: 5%–30% tolerance.
+    pub fn paper_errors() -> Self {
+        BoundSpec::ErrorRange {
+            min: 0.05,
+            max: 0.30,
+        }
+    }
+
+    /// Whether this produces deadline-bound jobs.
+    pub fn is_deadline(&self) -> bool {
+        matches!(
+            self,
+            BoundSpec::DeadlineRange { .. } | BoundSpec::DeadlineFactor(_)
+        )
+    }
+}
+
+/// Full workload-generation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Trace profile (Facebook/Bing × Hadoop/Spark).
+    pub profile: TraceProfile,
+    /// Number of jobs to generate.
+    pub num_jobs: usize,
+    /// Bound assignment.
+    pub bound: BoundSpec,
+    /// Number of DAG stages per job (1 = input stage only). Intermediate stages get
+    /// progressively fewer tasks, mirroring map-heavy analytics DAGs.
+    pub dag_length: usize,
+    /// Number of slots a job is assumed to get when calibrating its ideal duration
+    /// (the paper calibrates deadlines from task durations and the job's wave width).
+    pub expected_share: usize,
+    /// Multiplier converting work into expected duration (the cluster's mean slowdown,
+    /// machine heterogeneity × mean straggle), so deadlines account for the cluster
+    /// the job will actually run on.
+    pub duration_calibration: f64,
+}
+
+impl WorkloadConfig {
+    /// Reasonable defaults for a given profile: 100 jobs, paper deadline assignment,
+    /// single-stage jobs, 40-slot expected share.
+    pub fn new(profile: TraceProfile) -> Self {
+        WorkloadConfig {
+            profile,
+            num_jobs: 100,
+            bound: BoundSpec::paper_deadlines(),
+            dag_length: 1,
+            expected_share: 40,
+            duration_calibration: 1.3,
+        }
+    }
+
+    /// Builder-style override of the bound spec.
+    pub fn with_bound(mut self, bound: BoundSpec) -> Self {
+        self.bound = bound;
+        self
+    }
+
+    /// Builder-style override of the job count.
+    pub fn with_jobs(mut self, num_jobs: usize) -> Self {
+        self.num_jobs = num_jobs;
+        self
+    }
+
+    /// Builder-style override of the DAG length.
+    pub fn with_dag_length(mut self, dag_length: usize) -> Self {
+        self.dag_length = dag_length.max(1);
+        self
+    }
+}
+
+/// Generate a synthetic trace.
+pub fn generate(config: &WorkloadConfig, seed: u64) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::with_capacity(config.num_jobs);
+    let mut arrival: Time = 0.0;
+    for id in 0..config.num_jobs {
+        arrival += config.profile.interarrival.sample(&mut rng);
+        jobs.push(generate_job(config, id as u64, arrival, &mut rng));
+    }
+    jobs
+}
+
+/// Generate a single job of the workload at a given arrival time.
+pub fn generate_job<R: Rng + ?Sized>(
+    config: &WorkloadConfig,
+    id: u64,
+    arrival: Time,
+    rng: &mut R,
+) -> JobSpec {
+    let input_tasks = sample_job_size(config, rng);
+    let mut stage_work: Vec<Vec<f64>> = Vec::with_capacity(config.dag_length.max(1));
+    let input_work: Vec<f64> = (0..input_tasks)
+        .map(|_| config.profile.task_work.sample(rng))
+        .collect();
+    stage_work.push(input_work);
+    for s in 1..config.dag_length.max(1) {
+        // Intermediate stages shrink geometrically: reduce/join stages aggregate.
+        let count = (input_tasks / (4 * s)).max(1);
+        stage_work.push(
+            (0..count)
+                .map(|_| config.profile.task_work.sample(rng))
+                .collect(),
+        );
+    }
+
+    let bound = assign_bound(config, &stage_work, rng);
+    if config.dag_length.max(1) == 1 {
+        JobSpec::single_stage(id, arrival, bound, stage_work.pop().unwrap())
+    } else {
+        JobSpec::multi_stage(id, arrival, bound, stage_work)
+    }
+}
+
+fn sample_job_size<R: Rng + ?Sized>(config: &WorkloadConfig, rng: &mut R) -> usize {
+    let mix = &config.profile.size_mix;
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let (lo, hi) = if u < mix.small_fraction {
+        mix.small_range
+    } else if u < mix.small_fraction + mix.medium_fraction {
+        mix.medium_range
+    } else {
+        mix.large_range
+    };
+    rng.gen_range(lo..=hi.max(lo))
+}
+
+/// The paper's "ideal duration" calibration: replace every task duration by the job's
+/// median task duration and account for the waves the job will need on its expected
+/// share of slots.
+pub fn ideal_duration(config: &WorkloadConfig, stage_work: &[Vec<f64>]) -> Time {
+    let share = config.expected_share.max(1) as f64;
+    stage_work
+        .iter()
+        .filter(|stage| !stage.is_empty())
+        .map(|stage| {
+            let mut sorted = stage.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = sorted[sorted.len() / 2];
+            let waves = (stage.len() as f64 / share).ceil();
+            median * waves * config.duration_calibration
+        })
+        .sum()
+}
+
+fn assign_bound<R: Rng + ?Sized>(
+    config: &WorkloadConfig,
+    stage_work: &[Vec<f64>],
+    rng: &mut R,
+) -> Bound {
+    match config.bound {
+        BoundSpec::DeadlineRange {
+            min_factor,
+            max_factor,
+        } => {
+            let factor = rng.gen_range(min_factor..=max_factor.max(min_factor));
+            Bound::Deadline(ideal_duration(config, stage_work) * (1.0 + factor))
+        }
+        BoundSpec::DeadlineFactor(factor) => {
+            Bound::Deadline(ideal_duration(config, stage_work) * (1.0 + factor.max(0.0)))
+        }
+        BoundSpec::ErrorRange { min, max } => Bound::Error(rng.gen_range(min..=max.max(min))),
+        BoundSpec::ErrorFixed(e) => Bound::Error(e.clamp(0.0, 0.999)),
+        BoundSpec::Exact => Bound::EXACT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{Framework, TraceProfile};
+    use grass_core::JobSizeBin;
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig::new(TraceProfile::facebook(Framework::Hadoop)).with_jobs(300)
+    }
+
+    #[test]
+    fn generated_jobs_are_valid_and_ordered_by_arrival() {
+        let jobs = generate(&config(), 1);
+        assert_eq!(jobs.len(), 300);
+        let mut last_arrival = 0.0;
+        for job in &jobs {
+            assert!(job.validate().is_ok());
+            assert!(job.arrival >= last_arrival);
+            last_arrival = job.arrival;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&config(), 42);
+        let b = generate(&config(), 42);
+        assert_eq!(a, b);
+        let c = generate(&config(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_mix_covers_all_three_bins() {
+        let jobs = generate(&config(), 2);
+        let mut counts = [0usize; 3];
+        for job in &jobs {
+            match JobSizeBin::of(job.input_tasks()) {
+                JobSizeBin::Small => counts[0] += 1,
+                JobSizeBin::Medium => counts[1] += 1,
+                JobSizeBin::Large => counts[2] += 1,
+            }
+        }
+        assert!(counts.iter().all(|&c| c > 0), "bins {counts:?}");
+        // Small jobs dominate, as in the Facebook trace.
+        assert!(counts[0] > counts[2]);
+    }
+
+    #[test]
+    fn deadline_bounds_exceed_ideal_duration() {
+        let cfg = config().with_bound(BoundSpec::paper_deadlines());
+        let jobs = generate(&cfg, 3);
+        for job in jobs {
+            match job.bound {
+                Bound::Deadline(d) => {
+                    let work: Vec<Vec<f64>> = vec![job.tasks.iter().map(|t| t.work).collect()];
+                    let ideal = ideal_duration(&cfg, &work);
+                    assert!(d >= ideal * 1.02 - 1e-9);
+                    assert!(d <= ideal * 1.20 + 1e-9);
+                }
+                _ => panic!("expected deadline bound"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_bounds_stay_in_configured_range() {
+        let cfg = config().with_bound(BoundSpec::paper_errors());
+        let jobs = generate(&cfg, 4);
+        for job in jobs {
+            match job.bound {
+                Bound::Error(e) => assert!((0.05..=0.30).contains(&e)),
+                _ => panic!("expected error bound"),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_bound_spec_produces_exact_jobs() {
+        let cfg = config().with_bound(BoundSpec::Exact);
+        let jobs = generate(&cfg, 5);
+        assert!(jobs.iter().all(|j| j.bound.is_exact()));
+    }
+
+    #[test]
+    fn fixed_bound_specs_are_honoured() {
+        let cfg = config().with_bound(BoundSpec::ErrorFixed(0.1));
+        assert!(generate(&cfg, 6)
+            .iter()
+            .all(|j| matches!(j.bound, Bound::Error(e) if (e - 0.1).abs() < 1e-12)));
+        let cfg = config().with_bound(BoundSpec::DeadlineFactor(0.1)).with_jobs(20);
+        assert!(generate(&cfg, 7).iter().all(|j| j.bound.is_deadline()));
+    }
+
+    #[test]
+    fn dag_jobs_have_shrinking_stages() {
+        let cfg = config().with_dag_length(4).with_jobs(30);
+        let jobs = generate(&cfg, 8);
+        for job in jobs {
+            assert_eq!(job.dag_length(), 4);
+            for s in 1..job.stages.len() {
+                assert!(job.stages[s].task_count <= job.stages[s - 1].task_count.max(1));
+            }
+            assert!(job.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn ideal_duration_scales_with_waves() {
+        let cfg = WorkloadConfig {
+            expected_share: 10,
+            duration_calibration: 1.0,
+            ..config()
+        };
+        let one_wave = ideal_duration(&cfg, &[vec![2.0; 10]]);
+        let three_waves = ideal_duration(&cfg, &[vec![2.0; 30]]);
+        assert!((one_wave - 2.0).abs() < 1e-12);
+        assert!((three_waves - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_spec_helpers() {
+        assert!(BoundSpec::paper_deadlines().is_deadline());
+        assert!(BoundSpec::DeadlineFactor(0.1).is_deadline());
+        assert!(!BoundSpec::paper_errors().is_deadline());
+        assert!(!BoundSpec::Exact.is_deadline());
+    }
+}

@@ -1,0 +1,29 @@
+//! # grass-workload
+//!
+//! Synthetic workload / trace generation for the GRASS (NSDI '14) reproduction.
+//!
+//! The paper's evaluation replays production traces from Facebook (Hadoop/Hive) and
+//! Microsoft Bing (Dryad/Scope). Those traces are proprietary, so this crate generates
+//! synthetic traces calibrated to the statistics the paper publishes: Pareto
+//! (β ≈ 1.259) task-duration tails, the small/medium/large job-size mix, much shorter
+//! tasks for the Spark prototype, and the §6.1 methodology for assigning deadline and
+//! error bounds to jobs that were originally exact.
+//!
+//! ```
+//! use grass_workload::{generate, BoundSpec, Framework, TraceProfile, WorkloadConfig};
+//!
+//! let profile = TraceProfile::facebook(Framework::Spark);
+//! let config = WorkloadConfig::new(profile)
+//!     .with_jobs(20)
+//!     .with_bound(BoundSpec::paper_errors());
+//! let jobs = generate(&config, 7);
+//! assert_eq!(jobs.len(), 20);
+//! ```
+
+pub mod distributions;
+pub mod generator;
+pub mod profiles;
+
+pub use distributions::{InterArrival, WorkDistribution};
+pub use generator::{generate, generate_job, ideal_duration, BoundSpec, WorkloadConfig};
+pub use profiles::{table1_rows, Framework, SizeMix, TraceProfile, TraceSource, TraceSummary};

@@ -1,0 +1,57 @@
+//! Deadline-bound analytics dashboard scenario.
+//!
+//! The motivating use-case of §2.1: a real-time advertisement / web-search dashboard
+//! issues a stream of aggregation queries, each of which must return the most accurate
+//! answer it can within its refresh deadline. This example replays a Facebook-like
+//! Spark workload of deadline-bound jobs under LATE, Mantri and GRASS and reports the
+//! average accuracy per job-size bin.
+//!
+//! Run with: `cargo run --release --example deadline_dashboard`
+
+use grass::prelude::*;
+
+fn main() {
+    let exp = ExpConfig {
+        jobs_per_run: 60,
+        seeds: vec![3],
+        ..ExpConfig::quick()
+    };
+
+    let profile = TraceProfile::facebook(Framework::Spark);
+    let mut workload = WorkloadConfig::new(profile)
+        .with_jobs(exp.jobs_per_run)
+        .with_bound(BoundSpec::paper_deadlines());
+    workload.expected_share = (exp.cluster.total_slots() / 5).max(4);
+    workload.duration_calibration = exp.cluster.mean_slowdown() * 0.8;
+
+    println!("Deadline-bound dashboard workload: {} jobs, {} slots\n", exp.jobs_per_run, exp.cluster.total_slots());
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "<50", "51-500", ">500", "overall"
+    );
+
+    for policy in [
+        PolicyKind::Late,
+        PolicyKind::Mantri,
+        PolicyKind::GsOnly,
+        PolicyKind::RasOnly,
+        PolicyKind::grass(),
+    ] {
+        let outcomes = grass::experiments::run_policy(&exp, &workload, &policy);
+        let by_bin = outcomes.mean_by_size_bin(Metric::Accuracy);
+        let overall = outcomes.mean(Metric::Accuracy).unwrap_or(0.0);
+        println!(
+            "{:<10} {:>9.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
+            policy.label(),
+            by_bin.get(&JobSizeBin::Small).copied().unwrap_or(f64::NAN) * 100.0,
+            by_bin.get(&JobSizeBin::Medium).copied().unwrap_or(f64::NAN) * 100.0,
+            by_bin.get(&JobSizeBin::Large).copied().unwrap_or(f64::NAN) * 100.0,
+            overall * 100.0
+        );
+    }
+
+    println!();
+    println!("Numbers are average result accuracy (fraction of input tasks completed by the");
+    println!("deadline). Large multi-waved jobs benefit the most from approximation-aware");
+    println!("speculation, mirroring Figure 5 of the paper.");
+}

@@ -1,0 +1,92 @@
+//! # grass
+//!
+//! Facade crate for the GRASS (NSDI '14) reproduction: *GRASS: Trimming Stragglers in
+//! Approximation Analytics* (Ananthanarayanan, Hung, Ren, Stoica, Wierman, Yu).
+//!
+//! GRASS is a speculation (straggler-mitigation) algorithm for **approximation jobs**
+//! — jobs that either maximise accuracy within a deadline or minimise the time to
+//! reach an error bound. It combines two simple policies: **GS** (greedy speculation)
+//! and **RAS** (resource-aware speculation), starting a job under RAS and switching to
+//! GS near the approximation bound, with the switching point learned online.
+//!
+//! This crate re-exports the whole workspace so applications can depend on a single
+//! crate:
+//!
+//! * [`core`] (`grass-core`) — task/job model, GS, RAS, GRASS, estimators,
+//! * [`sim`] (`grass-sim`) — the discrete-event cluster simulator substrate,
+//! * [`workload`] (`grass-workload`) — Facebook/Bing-calibrated synthetic traces,
+//! * [`policies`] (`grass-policies`) — LATE, Mantri, no-speculation and oracle
+//!   baselines,
+//! * [`model`] (`grass-model`) — the Appendix-A analytic model and Hill estimator,
+//! * [`metrics`] (`grass-metrics`) — outcome aggregation and report tables,
+//! * [`experiments`] (`grass-experiments`) — harnesses regenerating every table and
+//!   figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grass::prelude::*;
+//!
+//! // A small cluster and a deadline-bound job with heavy-tailed tasks.
+//! let sim = SimConfig {
+//!     cluster: ClusterConfig::small(4, 2),
+//!     ..SimConfig::default()
+//! };
+//! let job = JobSpec::single_stage(1, 0.0, Bound::Deadline(30.0), vec![2.0; 40]);
+//!
+//! // Schedule it with GRASS and inspect the achieved accuracy.
+//! let grass = GrassFactory::new(7);
+//! let result = run_simulation(&sim, vec![job], &grass);
+//! let outcome = &result.outcomes[0];
+//! assert!(outcome.accuracy() > 0.0);
+//! ```
+
+pub use grass_core as core;
+pub use grass_experiments as experiments;
+pub use grass_metrics as metrics;
+pub use grass_model as model;
+pub use grass_policies as policies;
+pub use grass_sim as sim;
+pub use grass_workload as workload;
+
+/// Convenient single-import prelude for applications and examples.
+pub mod prelude {
+    pub use grass_core::{
+        Action, ActionKind, Bound, EstimatorConfig, FactorSet, GrassConfig, GrassFactory,
+        GrassPolicy, GsFactory, GsPolicy, JobId, JobOutcome, JobSizeBin, JobSpec, JobView,
+        PolicyFactory, RasFactory, RasPolicy, SampleStore, SpeculationMode, SpeculationPolicy,
+        StageId, TaskId, TaskSpec, TaskView,
+    };
+    pub use grass_experiments::{run_experiment, ExpConfig, PolicyKind};
+    pub use grass_metrics::{Metric, OutcomeSet, Report, Table};
+    pub use grass_model::{Pareto, ProactiveModel, ReactiveModel};
+    pub use grass_policies::{
+        LateFactory, LatePolicy, MantriFactory, MantriPolicy, NoSpecFactory, OracleFactory,
+    };
+    pub use grass_sim::{
+        run_simulation, ClusterConfig, HeterogeneityModel, SimConfig, SimResult, StragglerModel,
+    };
+    pub use grass_workload::{
+        generate, BoundSpec, Framework, TraceProfile, TraceSource, WorkloadConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let profile = TraceProfile::facebook(Framework::Spark);
+        let workload = WorkloadConfig::new(profile)
+            .with_jobs(5)
+            .with_bound(BoundSpec::paper_errors());
+        let jobs = generate(&workload, 3);
+        let sim = SimConfig {
+            cluster: ClusterConfig::small(4, 2),
+            ..SimConfig::default()
+        };
+        let result = run_simulation(&sim, jobs, &LateFactory::default());
+        assert_eq!(result.outcomes.len(), 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Quick-scale runs of the experiment harness: every registered experiment must
+//! produce a well-formed report, and the cheap ones are checked for the paper's
+//! qualitative shape.
+
+use grass::experiments::{experiment_ids, run_experiment, ExpConfig};
+
+fn smoke_config() -> ExpConfig {
+    let mut cfg = ExpConfig::tiny();
+    cfg.jobs_per_run = 8;
+    cfg
+}
+
+#[test]
+fn every_registered_experiment_produces_tables() {
+    let cfg = smoke_config();
+    for id in experiment_ids() {
+        // The heaviest sweeps are exercised separately (and by `cargo bench`); keep
+        // this smoke test to the ones that finish quickly even in debug builds.
+        if matches!(id, "fig5" | "fig6" | "fig7" | "fig9" | "fig15" | "fig13" | "fig14") {
+            continue;
+        }
+        let report = run_experiment(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(
+            !report.tables.is_empty() || !report.series.is_empty(),
+            "experiment {id} produced an empty report"
+        );
+        for table in &report.tables {
+            assert!(!table.columns.is_empty());
+            assert!(!table.rows.is_empty(), "experiment {id} has an empty table");
+        }
+    }
+}
+
+#[test]
+fn figure4_reproduces_guideline3_shape() {
+    let report = run_experiment("fig4", &smoke_config()).unwrap();
+    let table = &report.tables[0];
+    // Single-wave jobs: GS at least as close to optimal as RAS; five waves: reverse.
+    let gs_1 = table.value("1", "GS ratio").unwrap();
+    let ras_1 = table.value("1", "RAS ratio").unwrap();
+    let gs_5 = table.value("5", "GS ratio").unwrap();
+    let ras_5 = table.value("5", "RAS ratio").unwrap();
+    assert!(gs_1 <= ras_1 + 1e-6, "1 wave: GS {gs_1} vs RAS {ras_1}");
+    assert!(ras_5 <= gs_5 + 1e-6, "5 waves: RAS {ras_5} vs GS {gs_5}");
+    // All ratios are normalised (>= 1).
+    for row in ["1", "2", "3", "4", "5"] {
+        assert!(table.value(row, "GS ratio").unwrap() >= 1.0 - 1e-9);
+        assert!(table.value(row, "RAS ratio").unwrap() >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn figure3_reports_a_heavy_tail_index() {
+    let report = run_experiment("fig3", &smoke_config()).unwrap();
+    let table = &report.tables[0];
+    let beta = table.value("measured beta", "Value").unwrap();
+    assert!(beta > 0.8 && beta < 2.2, "measured beta {beta}");
+    assert!(report.series.contains_key("hill-plot"));
+}
+
+#[test]
+fn table1_lists_both_traces_and_the_substitute_calibration() {
+    let report = run_experiment("table1", &smoke_config()).unwrap();
+    assert_eq!(report.tables.len(), 3);
+    let paper = &report.tables[0];
+    assert_eq!(paper.rows.len(), 2);
+    let synth = &report.tables[1];
+    assert_eq!(synth.rows.len(), 4);
+}
+
+#[test]
+fn optimal_scheduler_is_at_least_as_good_as_grass_overall() {
+    // Figure 8's point: GRASS is close to, and never meaningfully better than, the
+    // oracle. At smoke scale we only require the oracle not to lose badly.
+    let report = run_experiment("fig8", &smoke_config()).unwrap();
+    for table in &report.tables {
+        let grass = table.value("overall", "GRASS").unwrap();
+        let optimal = table.value("overall", "Optimal").unwrap();
+        assert!(
+            optimal >= grass - 15.0,
+            "oracle ({optimal}) should not trail GRASS ({grass}) by a wide margin"
+        );
+    }
+}
