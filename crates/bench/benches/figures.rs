@@ -75,19 +75,6 @@ fn fig15(c: &mut Criterion) {
 }
 
 criterion_group!(
-    figures,
-    fig3,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    fig10,
-    fig11,
-    fig12,
-    fig13,
-    fig14,
-    fig15
+    figures, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15
 );
 criterion_main!(figures);

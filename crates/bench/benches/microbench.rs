@@ -28,7 +28,11 @@ fn synthetic_view(n: u32) -> (Vec<TaskView>, JobSpec) {
                 elapsed: if running { 5.0 } else { 0.0 },
                 progress: if running { 0.5 } else { 0.0 },
                 progress_rate: if running { 0.05 } else { 0.0 },
-                trem: if running { 4.0 + (i % 7) as f64 } else { f64::INFINITY },
+                trem: if running {
+                    4.0 + (i % 7) as f64
+                } else {
+                    f64::INFINITY
+                },
                 tnew: 2.0 + (i % 5) as f64,
                 true_remaining: 4.0 + (i % 7) as f64,
                 true_new_hint: 2.0 + (i % 5) as f64,

@@ -276,7 +276,10 @@ impl SampleStore {
         let mut weight_sum = 0.0;
         let mut weighted_rate = 0.0;
         let mut count = 0usize;
-        for s in guard.iter().filter(|s| s.mode == mode && s.kind == ctx.kind) {
+        for s in guard
+            .iter()
+            .filter(|s| s.mode == mode && s.kind == ctx.kind)
+        {
             let mut w = 1.0 / (1.0 + f64::from(s.size_bucket.distance(&ctx.size_bucket)));
             if factors.bound {
                 let ratio = log_ratio(s.bound_value, ctx.bound_value);
@@ -419,11 +422,19 @@ mod tests {
         let store = SampleStore::new();
         assert!(store.is_empty());
         store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
-        store.record(sample(SpeculationMode::Ras, BoundKind::Deadline, 10.0, 25.0));
+        store.record(sample(
+            SpeculationMode::Ras,
+            BoundKind::Deadline,
+            10.0,
+            25.0,
+        ));
         store.record(sample(SpeculationMode::Gs, BoundKind::Error, 30.0, 15.0));
         assert_eq!(store.len(), 3);
         assert_eq!(store.count_for(SpeculationMode::Gs, BoundKind::Deadline), 1);
-        assert_eq!(store.count_for(SpeculationMode::Ras, BoundKind::Deadline), 1);
+        assert_eq!(
+            store.count_for(SpeculationMode::Ras, BoundKind::Deadline),
+            1
+        );
         assert_eq!(store.count_for(SpeculationMode::Ras, BoundKind::Error), 0);
         store.clear();
         assert!(store.is_empty());
@@ -481,7 +492,12 @@ mod tests {
         let store = SampleStore::new();
         // Short-deadline samples show GS completing fast, long-deadline samples slow.
         store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 2.0, 10.0)); // 5 tasks/s
-        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 100.0, 100.0)); // 1 task/s
+        store.record(sample(
+            SpeculationMode::Gs,
+            BoundKind::Deadline,
+            100.0,
+            100.0,
+        )); // 1 task/s
         let short = ctx(BoundKind::Deadline, 2.0);
         let long = ctx(BoundKind::Deadline, 100.0);
         let with_bound = FactorSet::best_one();

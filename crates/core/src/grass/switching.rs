@@ -146,8 +146,13 @@ fn learned_deadline(
     let mut any_prediction = false;
     for i in 0..=points {
         let delay = step * i as f64; // run RAS for `delay`, then GS for the rest
-        let ras_part =
-            store.predict_deadline_completion(SpeculationMode::Ras, delay, &ctx, params.factors, params.min_samples);
+        let ras_part = store.predict_deadline_completion(
+            SpeculationMode::Ras,
+            delay,
+            &ctx,
+            params.factors,
+            params.min_samples,
+        );
         let gs_part = store.predict_deadline_completion(
             SpeculationMode::Gs,
             remaining - delay,

@@ -262,8 +262,8 @@ impl<'a> JobView<'a> {
     pub fn input_tasks_still_needed(&self) -> Option<usize> {
         match self.bound {
             Bound::Deadline(_) => None,
-            Bound::Error(e) => {
-                let needed = Bound::Error(e).tasks_needed(self.total_input_tasks);
+            Bound::Error(_) => {
+                let needed = self.bound.tasks_needed(self.total_input_tasks);
                 Some(needed.saturating_sub(self.completed_input_tasks))
             }
         }

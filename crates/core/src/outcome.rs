@@ -65,7 +65,9 @@ impl JobOutcome {
     pub fn met_error_bound(&self) -> bool {
         match self.bound {
             Bound::Deadline(_) => true,
-            Bound::Error(e) => self.completed_input_tasks >= Bound::Error(e).tasks_needed(self.input_tasks),
+            Bound::Error(_) => {
+                self.completed_input_tasks >= self.bound.tasks_needed(self.input_tasks)
+            }
         }
     }
 

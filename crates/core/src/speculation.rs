@@ -324,7 +324,12 @@ mod tests {
         }
     }
 
-    fn error_view<'a>(tasks: &'a [TaskView], epsilon: f64, total: usize, done: usize) -> JobView<'a> {
+    fn error_view<'a>(
+        tasks: &'a [TaskView],
+        epsilon: f64,
+        total: usize,
+        done: usize,
+    ) -> JobView<'a> {
         JobView {
             job: JobId(1),
             now: 5.0,

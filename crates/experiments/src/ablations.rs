@@ -52,7 +52,10 @@ fn candidates_table(
     }
     table.push_row(
         "overall",
-        comparisons.iter().map(|c| Cell::Number(c.overall)).collect(),
+        comparisons
+            .iter()
+            .map(|c| Cell::Number(c.overall))
+            .collect(),
     );
     table
 }
@@ -121,7 +124,10 @@ pub fn fig12(exp: &ExpConfig) -> Report {
         (PolicyKind::grass(), "GRASS"),
     ];
     for (bound, label) in [
-        (BoundSpec::paper_deadlines(), "Figure 12a: deadline-bound jobs"),
+        (
+            BoundSpec::paper_deadlines(),
+            "Figure 12a: deadline-bound jobs",
+        ),
         (BoundSpec::paper_errors(), "Figure 12b: error-bound jobs"),
     ] {
         let wl = workload(exp, TraceProfile::facebook(Framework::Spark), bound);
@@ -143,7 +149,10 @@ fn factor_candidates(framework: Framework) -> Vec<(PolicyKind, &'static str)> {
         Framework::Spark => FactorSet::best_two_accuracy(),
     };
     vec![
-        (PolicyKind::grass_with_factors(FactorSet::best_one()), "Best-1"),
+        (
+            PolicyKind::grass_with_factors(FactorSet::best_one()),
+            "Best-1",
+        ),
         (PolicyKind::grass_with_factors(best_two), "Best-2"),
         (PolicyKind::grass(), "GRASS"),
     ]
@@ -203,7 +212,10 @@ pub const XI_SWEEP: [f64; 5] = [0.0, 5.0, 10.0, 15.0, 20.0];
 pub fn fig15(exp: &ExpConfig) -> Report {
     let mut report = Report::new("fig15");
     for (bound, label) in [
-        (BoundSpec::paper_deadlines(), "Figure 15a: deadline-bound jobs"),
+        (
+            BoundSpec::paper_deadlines(),
+            "Figure 15a: deadline-bound jobs",
+        ),
         (BoundSpec::paper_errors(), "Figure 15b: error-bound jobs"),
     ] {
         let mut table = Table::new(

@@ -15,8 +15,8 @@ const HILL_SAMPLES: usize = 60_000;
 /// calibrated to the same tail, so the recovered index should be close.
 pub fn fig3(exp: &ExpConfig) -> Report {
     let mut report = Report::new("fig3");
-    let wl = WorkloadConfig::new(TraceProfile::facebook(Framework::Hadoop))
-        .with_bound(BoundSpec::Exact);
+    let wl =
+        WorkloadConfig::new(TraceProfile::facebook(Framework::Hadoop)).with_bound(BoundSpec::Exact);
     let samples = exp.seeds.first().copied().unwrap_or(1);
     let durations = sample_task_durations(&wl, &exp.cluster, HILL_SAMPLES, samples);
 

@@ -28,7 +28,10 @@ fn workload(
 pub fn fig9(exp: &ExpConfig) -> Report {
     let mut report = Report::new("fig9");
     for (bound, label) in [
-        (BoundSpec::paper_deadlines(), "Figure 9a: deadline-bound jobs"),
+        (
+            BoundSpec::paper_deadlines(),
+            "Figure 9a: deadline-bound jobs",
+        ),
         (BoundSpec::paper_errors(), "Figure 9b: error-bound jobs"),
     ] {
         let mut table = Table::new(
@@ -44,7 +47,8 @@ pub fn fig9(exp: &ExpConfig) -> Report {
                 let wl = workload(exp, profile, bound, dag);
                 let base = run_policy(exp, &wl, &PolicyKind::Late);
                 let cand = run_policy(exp, &wl, &PolicyKind::grass());
-                let cmp = compare_outcomes(&wl, &PolicyKind::Late, &PolicyKind::grass(), &base, &cand);
+                let cmp =
+                    compare_outcomes(&wl, &PolicyKind::Late, &PolicyKind::grass(), &base, &cand);
                 cells.push(Cell::Number(cmp.overall));
             }
             table.push_row(format!("{dag}"), cells);

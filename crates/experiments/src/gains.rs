@@ -78,7 +78,10 @@ fn size_bin_table(
             .collect();
         table.push_row(bin.label(), cells);
     }
-    let overall: Vec<Cell> = comparisons.iter().map(|c| Cell::Number(c.overall)).collect();
+    let overall: Vec<Cell> = comparisons
+        .iter()
+        .map(|c| Cell::Number(c.overall))
+        .collect();
     table.push_row("overall", overall);
     table
 }
@@ -227,7 +230,10 @@ pub fn fig8(exp: &ExpConfig) -> Report {
     let mut report = Report::new("fig8");
     let profile = TraceProfile::facebook(Framework::Spark);
     for (bound, label) in [
-        (BoundSpec::paper_deadlines(), "Figure 8a: deadline-bound jobs"),
+        (
+            BoundSpec::paper_deadlines(),
+            "Figure 8a: deadline-bound jobs",
+        ),
         (BoundSpec::paper_errors(), "Figure 8b: error-bound jobs"),
     ] {
         let wl = workload(exp, profile, bound);

@@ -104,7 +104,9 @@ mod tests {
         assert_eq!(report.tables.len(), 3);
         let paper = &report.tables[0];
         assert!(paper.cell("Facebook", "Jobs").is_some());
-        assert!(paper.cell("Microsoft Bing", "Straggler mitigation").is_some());
+        assert!(paper
+            .cell("Microsoft Bing", "Straggler mitigation")
+            .is_some());
         let synth = &report.tables[1];
         assert_eq!(synth.rows.len(), 4);
         let cluster = &report.tables[2];

@@ -226,7 +226,11 @@ impl Report {
             out.push('\n');
         }
         for s in self.series.values() {
-            out.push_str(&format!("## Series: {} ({} points)\n", s.name, s.points.len()));
+            out.push_str(&format!(
+                "## Series: {} ({} points)\n",
+                s.name,
+                s.points.len()
+            ));
             for (x, y) in &s.points {
                 out.push_str(&format!("  {x:>10.3}  {y:>10.3}\n"));
             }

@@ -123,7 +123,10 @@ mod tests {
             .iter()
             .map(|b| (b - mean).abs())
             .fold(0.0f64, f64::max);
-        assert!(spread / mean < 0.3, "plot not flat: spread {spread}, mean {mean}");
+        assert!(
+            spread / mean < 0.3,
+            "plot not flat: spread {spread}, mean {mean}"
+        );
         // Order statistics increase along the plot.
         for w in plot.windows(2) {
             assert!(w[1].order_statistics > w[0].order_statistics);

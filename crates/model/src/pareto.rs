@@ -229,9 +229,12 @@ mod tests {
         assert_eq!(p.mean_truncated(1.0), 0.0);
         // Consistency: E[τ] = E[τ|τ≤ω]·P(τ≤ω) + E[τ|τ>ω]·P(τ>ω).
         let omega = 5.0;
-        let total =
-            p.mean_truncated(omega) * p.cdf(omega) + (p.mean_excess(omega) + omega) * p.survival(omega);
-        assert!((total - p.mean()).abs() / p.mean() < 1e-3, "decomposition {total}");
+        let total = p.mean_truncated(omega) * p.cdf(omega)
+            + (p.mean_excess(omega) + omega) * p.survival(omega);
+        assert!(
+            (total - p.mean()).abs() / p.mean() < 1e-3,
+            "decomposition {total}"
+        );
     }
 
     #[test]

@@ -225,7 +225,12 @@ pub struct Figure4Curve {
 }
 
 /// Compute the Figure 4 family of curves for the given numbers of waves.
-pub fn figure4_curves(dist: Pareto, slots: f64, waves: &[f64], omegas: &[f64]) -> Vec<Figure4Curve> {
+pub fn figure4_curves(
+    dist: Pareto,
+    slots: f64,
+    waves: &[f64],
+    omegas: &[f64],
+) -> Vec<Figure4Curve> {
     waves
         .iter()
         .map(|&w| {
@@ -357,7 +362,11 @@ mod tests {
         // (the sweep's best ω for many-wave jobs sits above RAS's operating point).
         let one_wave = &curves[0];
         let five_waves = &curves[4];
-        assert!(one_wave.gs_ratio < 1.15, "GS ratio at 1 wave: {}", one_wave.gs_ratio);
+        assert!(
+            one_wave.gs_ratio < 1.15,
+            "GS ratio at 1 wave: {}",
+            one_wave.gs_ratio
+        );
         assert!(
             five_waves.ras_ratio < 1.25,
             "RAS ratio at 5 waves: {}",

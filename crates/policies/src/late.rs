@@ -215,12 +215,8 @@ mod tests {
 
     #[test]
     fn factory_name_and_creation() {
-        let job = grass_core::JobSpec::single_stage(
-            1,
-            0.0,
-            grass_core::Bound::Deadline(10.0),
-            vec![1.0],
-        );
+        let job =
+            grass_core::JobSpec::single_stage(1, 0.0, grass_core::Bound::Deadline(10.0), vec![1.0]);
         assert_eq!(LateFactory::default().name(), "LATE");
         assert_eq!(LateFactory::default().create(&job).name(), "LATE");
     }

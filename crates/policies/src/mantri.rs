@@ -149,7 +149,10 @@ mod tests {
             running_task(2, 30.0, 3.0, 1),
         ];
         let view = deadline_view(&tasks, 0.0, 100.0);
-        assert_eq!(MantriPolicy::default().choose(&view).unwrap().task, TaskId(1));
+        assert_eq!(
+            MantriPolicy::default().choose(&view).unwrap().task,
+            TaskId(1)
+        );
     }
 
     #[test]
@@ -163,12 +166,8 @@ mod tests {
 
     #[test]
     fn factory_name_and_creation() {
-        let job = grass_core::JobSpec::single_stage(
-            1,
-            0.0,
-            grass_core::Bound::Deadline(10.0),
-            vec![1.0],
-        );
+        let job =
+            grass_core::JobSpec::single_stage(1, 0.0, grass_core::Bound::Deadline(10.0), vec![1.0]);
         assert_eq!(MantriFactory::default().name(), "Mantri");
         assert_eq!(MantriFactory::default().create(&job).name(), "Mantri");
     }

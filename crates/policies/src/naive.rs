@@ -146,12 +146,8 @@ mod tests {
 
     #[test]
     fn factories_produce_named_policies() {
-        let job = grass_core::JobSpec::single_stage(
-            1,
-            0.0,
-            grass_core::Bound::Deadline(10.0),
-            vec![1.0],
-        );
+        let job =
+            grass_core::JobSpec::single_stage(1, 0.0, grass_core::Bound::Deadline(10.0), vec![1.0]);
         assert_eq!(NoSpecFactory.create(&job).name(), "NoSpec");
         assert_eq!(SjfFactory.create(&job).name(), "SJF");
         assert_eq!(LjfFactory.create(&job).name(), "LJF");

@@ -119,12 +119,8 @@ mod tests {
 
     #[test]
     fn factory_name_and_creation() {
-        let job = grass_core::JobSpec::single_stage(
-            1,
-            0.0,
-            grass_core::Bound::Deadline(10.0),
-            vec![1.0],
-        );
+        let job =
+            grass_core::JobSpec::single_stage(1, 0.0, grass_core::Bound::Deadline(10.0), vec![1.0]);
         assert_eq!(OracleFactory.name(), "Oracle");
         assert_eq!(OracleFactory.create(&job).name(), "Oracle");
     }

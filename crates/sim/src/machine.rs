@@ -156,7 +156,19 @@ mod tests {
         };
         let ids: Vec<SlotId> = m.slot_ids().collect();
         assert_eq!(ids.len(), 4);
-        assert_eq!(ids[0], SlotId { machine: 3, slot: 0 });
-        assert_eq!(ids[3], SlotId { machine: 3, slot: 3 });
+        assert_eq!(
+            ids[0],
+            SlotId {
+                machine: 3,
+                slot: 0
+            }
+        );
+        assert_eq!(
+            ids[3],
+            SlotId {
+                machine: 3,
+                slot: 3
+            }
+        );
     }
 }

@@ -269,8 +269,19 @@ impl JobRuntime {
                         (true_rem * best.rem_bias).max(0.0)
                     };
                     let progress = best.progress(now);
-                    let rate = if elapsed > 0.0 { progress / elapsed } else { 0.0 };
-                    (task.copies.len() as u32, elapsed, progress, rate, trem, true_rem)
+                    let rate = if elapsed > 0.0 {
+                        progress / elapsed
+                    } else {
+                        0.0
+                    };
+                    (
+                        task.copies.len() as u32,
+                        elapsed,
+                        progress,
+                        rate,
+                        trem,
+                        true_rem,
+                    )
                 }
                 None => (0, 0.0, 0.0, 0.0, f64::INFINITY, f64::INFINITY),
             };
@@ -354,7 +365,9 @@ impl JobRuntime {
             effect.killed += 1;
         }
         self.killed_copies += effect.killed;
-        self.allocated_slots = self.allocated_slots.saturating_sub(effect.freed_slots.len());
+        self.allocated_slots = self
+            .allocated_slots
+            .saturating_sub(effect.freed_slots.len());
         t.finished = true;
         t.finish_time = Some(now);
         effect.task_completed = true;
@@ -392,7 +405,8 @@ impl JobRuntime {
 
     /// Update the job's time-weighted statistics at `now`.
     pub fn update_stats(&mut self, now: Time, cluster_utilization: f64) {
-        self.wave_width_stat.update(now, self.allocated_slots as f64);
+        self.wave_width_stat
+            .update(now, self.allocated_slots as f64);
         self.util_stat.update(now, cluster_utilization);
         self.acc_stat.update(now, self.accuracy.accuracy());
     }
@@ -450,7 +464,10 @@ mod tests {
     }
 
     fn slot(n: usize) -> SlotId {
-        SlotId { machine: 0, slot: n }
+        SlotId {
+            machine: 0,
+            slot: n,
+        }
     }
 
     #[test]
@@ -543,7 +560,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let est = EstimatorConfig::oracle();
         for i in 0..2 {
-            rt.launch_copy(TaskId(i), u64::from(i) + 1, slot(i as usize), 0.0, 1.0, &est, &mut rng);
+            rt.launch_copy(
+                TaskId(i),
+                u64::from(i) + 1,
+                slot(i as usize),
+                0.0,
+                1.0,
+                &est,
+                &mut rng,
+            );
             rt.complete_copy(TaskId(i), u64::from(i) + 1, 1.0);
         }
         // ε = 0.5 of 4 tasks => 2 needed.
@@ -553,12 +578,7 @@ mod tests {
 
     #[test]
     fn multi_stage_eligibility_unlocks_after_upstream_completion() {
-        let spec = JobSpec::multi_stage(
-            7,
-            0.0,
-            Bound::Error(0.5),
-            vec![vec![1.0, 1.0], vec![2.0]],
-        );
+        let spec = JobSpec::multi_stage(7, 0.0, Bound::Error(0.5), vec![vec![1.0, 1.0], vec![2.0]]);
         let mut rng = StdRng::seed_from_u64(7);
         let mut rt = JobRuntime::new(
             spec,

@@ -82,7 +82,10 @@ pub struct SimResult {
 
 impl SimResult {
     /// Outcomes of jobs scheduled by a given policy name.
-    pub fn outcomes_for<'s>(&'s self, policy: &'s str) -> impl Iterator<Item = &'s JobOutcome> + 's {
+    pub fn outcomes_for<'s>(
+        &'s self,
+        policy: &'s str,
+    ) -> impl Iterator<Item = &'s JobOutcome> + 's {
         self.outcomes.iter().filter(move |o| o.policy == policy)
     }
 }
@@ -207,8 +210,13 @@ impl<'a> Simulator<'a> {
             return;
         };
         let policy = self.factory.create(&spec);
-        let mut runtime =
-            JobRuntime::new(spec, policy, &self.config.estimator, self.now, &mut self.rng);
+        let mut runtime = JobRuntime::new(
+            spec,
+            policy,
+            &self.config.estimator,
+            self.now,
+            &mut self.rng,
+        );
 
         // Deadline-bound DAG jobs: derive the effective input-stage deadline by
         // subtracting an estimate of the intermediate stages' duration (§5.2).
@@ -220,8 +228,10 @@ impl<'a> Simulator<'a> {
                 deadline
             };
             runtime.input_deadline = Some(input_deadline);
-            self.events
-                .push(runtime.spec.arrival + input_deadline, Event::JobDeadline(id));
+            self.events.push(
+                runtime.spec.arrival + input_deadline,
+                Event::JobDeadline(id),
+            );
         }
 
         // Let the policy observe the job's initial state.
@@ -341,7 +351,9 @@ impl<'a> Simulator<'a> {
             total_tasks: job.spec.total_tasks(),
             completed_tasks: job.completed_total(),
             tasks: views,
-            wave_width: job.allocated_slots.max(fair_share.min(job.spec.total_tasks())),
+            wave_width: job
+                .allocated_slots
+                .max(fair_share.min(job.spec.total_tasks())),
             cluster_utilization: utilization,
             estimation_accuracy: job.accuracy.accuracy(),
         }
@@ -535,12 +547,8 @@ mod tests {
 
     #[test]
     fn dag_error_job_runs_downstream_stages() {
-        let job = JobSpec::multi_stage(
-            1,
-            0.0,
-            Bound::Error(0.2),
-            vec![vec![2.0; 10], vec![1.0; 3]],
-        );
+        let job =
+            JobSpec::multi_stage(1, 0.0, Bound::Error(0.2), vec![vec![2.0; 10], vec![1.0; 3]]);
         let result = run_simulation(&small_config(5), vec![job], &GsFactory);
         let o = &result.outcomes[0];
         assert!(o.completed_input_tasks >= 8);

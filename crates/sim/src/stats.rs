@@ -67,8 +67,7 @@ mod tests {
     fn piecewise_average_is_weighted_by_duration() {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.update(4.0, 10.0); // 0 for [0,4)
-        tw.update(8.0, 0.0); // 10 for [4,8)
-        // Average over [0,8] = (0*4 + 10*4) / 8 = 5.
+        tw.update(8.0, 0.0); // 10 for [4,8); average over [0,8] = (0*4 + 10*4) / 8 = 5
         assert!((tw.average(8.0) - 5.0).abs() < 1e-12);
         // Extending to t=16 with value 0: (40) / 16 = 2.5.
         assert!((tw.average(16.0) - 2.5).abs() < 1e-12);

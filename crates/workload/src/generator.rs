@@ -307,7 +307,9 @@ mod tests {
         assert!(generate(&cfg, 6)
             .iter()
             .all(|j| matches!(j.bound, Bound::Error(e) if (e - 0.1).abs() < 1e-12)));
-        let cfg = config().with_bound(BoundSpec::DeadlineFactor(0.1)).with_jobs(20);
+        let cfg = config()
+            .with_bound(BoundSpec::DeadlineFactor(0.1))
+            .with_jobs(20);
         assert!(generate(&cfg, 7).iter().all(|j| j.bound.is_deadline()));
     }
 

@@ -236,7 +236,10 @@ mod tests {
 
     #[test]
     fn labels_are_informative() {
-        assert_eq!(TraceProfile::facebook(Framework::Hadoop).label(), "Facebook-Hadoop");
+        assert_eq!(
+            TraceProfile::facebook(Framework::Hadoop).label(),
+            "Facebook-Hadoop"
+        );
         assert_eq!(TraceProfile::bing(Framework::Spark).label(), "Bing-Spark");
         assert_eq!(Framework::Hadoop.label(), "Hadoop");
         assert_eq!(TraceSource::Bing.label(), "Bing");

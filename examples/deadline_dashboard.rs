@@ -24,7 +24,11 @@ fn main() {
     workload.expected_share = (exp.cluster.total_slots() / 5).max(4);
     workload.duration_calibration = exp.cluster.mean_slowdown() * 0.8;
 
-    println!("Deadline-bound dashboard workload: {} jobs, {} slots\n", exp.jobs_per_run, exp.cluster.total_slots());
+    println!(
+        "Deadline-bound dashboard workload: {} jobs, {} slots\n",
+        exp.jobs_per_run,
+        exp.cluster.total_slots()
+    );
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10}",
         "policy", "<50", "51-500", ">500", "overall"

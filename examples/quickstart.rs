@@ -31,7 +31,10 @@ fn main() {
     let deadline = 60.0;
 
     println!("GRASS quickstart: 200-task deadline-bound job, {deadline}s deadline, 40 slots\n");
-    println!("{:<10} {:>12} {:>18} {:>14}", "policy", "accuracy", "speculative copies", "slot-seconds");
+    println!(
+        "{:<10} {:>12} {:>18} {:>14}",
+        "policy", "accuracy", "speculative copies", "slot-seconds"
+    );
 
     for (name, outcome) in [
         ("LATE", run(&sim, &work, deadline, &LateFactory::default())),
@@ -53,12 +56,7 @@ fn main() {
     println!("GRASS runs RAS early in the job and switches to GS as the deadline approaches.");
 }
 
-fn run(
-    sim: &SimConfig,
-    work: &[f64],
-    deadline: f64,
-    factory: &dyn PolicyFactory,
-) -> JobOutcome {
+fn run(sim: &SimConfig, work: &[f64], deadline: f64, factory: &dyn PolicyFactory) -> JobOutcome {
     let job = JobSpec::single_stage(1, 0.0, Bound::Deadline(deadline), work.to_vec());
     let result = run_simulation(sim, vec![job], factory);
     result.outcomes.into_iter().next().expect("one job outcome")

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate, API-compatible with the subset this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods `gen_range` (half-open and inclusive ranges, floats and integers) and
+//! `gen_bool`.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64 —
+//! a real, well-distributed PRNG rather than a toy LCG, because the simulator's
+//! seed tests make statistical assertions (Pareto tail indices, mean inter-arrivals)
+//! over tens of thousands of draws. Streams are deterministic per seed, which the
+//! simulator relies on, but differ from the real `rand`'s ChaCha streams; tests that
+//! assert on exact draw values would need re-pinning when swapping the real crate
+//! back in (see `shims/README.md`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on an empty range.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        next_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits of one `next_u64` draw.
+#[inline]
+fn next_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = next_f64(rng) as $t;
+                let value = self.start + u * (self.end - self.start);
+                // `start + u * span` can round up to `end` when `start` is large
+                // relative to the span; keep the half-open contract.
+                if value >= self.end {
+                    self.end.next_down()
+                } else {
+                    value
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                let u = next_f64(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Deterministic construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna).
+    ///
+    /// Deterministic per seed, 2^256 − 1 period, passes BigCrush — adequate for the
+    /// heavy-tailed sampling the GRASS simulator does.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..10_000 {
+                let f = rng.gen_range(2.0f64..3.0);
+                assert!((2.0..3.0).contains(&f));
+                let i = rng.gen_range(10u64..=20);
+                assert!((10..=20).contains(&i));
+                let z = rng.gen_range(5usize..=5);
+                assert_eq!(z, 5);
+            }
+        }
+
+        #[test]
+        fn gen_range_half_open_excludes_end_even_with_rounding() {
+            // With a start this large relative to the span, `start + u * span`
+            // rounds up to `end` for u near 1 unless clamped.
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..100_000 {
+                let v = rng.gen_range(1e16f64..(1e16 + 4.0));
+                assert!(v < 1e16 + 4.0);
+            }
+        }
+
+        #[test]
+        fn uniform_mean_is_centred() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let n = 100_000;
+            let mean: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+            assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        }
+
+        #[test]
+        fn gen_bool_extremes() {
+            let mut rng = StdRng::seed_from_u64(3);
+            assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+            assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        }
+    }
+}

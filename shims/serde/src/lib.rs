@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`, providing just what this workspace imports: the
+//! `Serialize` / `Deserialize` traits and their derive macros.
+//!
+//! The derives (from the sibling `serde_derive` shim) expand to nothing, so the
+//! traits below are never implemented and must never be used as bounds inside this
+//! workspace until the real serde is restored. See `shims/README.md` for the
+//! swap-back procedure.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Not implemented by the no-op derive.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. Not implemented by the no-op derive.
+pub trait Deserialize<'de>: Sized {}

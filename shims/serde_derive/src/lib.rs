@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive` in this offline workspace.
+//!
+//! The repository never serializes anything yet — `#[derive(Serialize, Deserialize)]`
+//! on the domain types only reserves the capability. These derives therefore expand
+//! to nothing (no trait impls), which keeps compile times at zero cost while letting
+//! the annotations stay in place. Swapping in the real serde is a one-line change in
+//! the workspace manifest; see `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

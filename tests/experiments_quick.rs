@@ -16,7 +16,10 @@ fn every_registered_experiment_produces_tables() {
     for id in experiment_ids() {
         // The heaviest sweeps are exercised separately (and by `cargo bench`); keep
         // this smoke test to the ones that finish quickly even in debug builds.
-        if matches!(id, "fig5" | "fig6" | "fig7" | "fig9" | "fig15" | "fig13" | "fig14") {
+        if matches!(
+            id,
+            "fig5" | "fig6" | "fig7" | "fig9" | "fig15" | "fig13" | "fig14"
+        ) {
             continue;
         }
         let report = run_experiment(id, &cfg).unwrap_or_else(|| panic!("unknown id {id}"));

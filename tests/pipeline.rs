@@ -43,7 +43,12 @@ fn every_policy_completes_an_error_bound_workload() {
     ];
     for factory in &factories {
         let result = run_simulation(&quick_sim(5), jobs.clone(), factory.as_ref());
-        assert_eq!(result.outcomes.len(), jobs.len(), "policy {}", factory.name());
+        assert_eq!(
+            result.outcomes.len(),
+            jobs.len(),
+            "policy {}",
+            factory.name()
+        );
         for outcome in &result.outcomes {
             assert!(
                 outcome.met_error_bound(),
