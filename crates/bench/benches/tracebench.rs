@@ -1,0 +1,114 @@
+//! Benchmarks of the `grass-trace` subsystem: codec encode/decode throughput for
+//! both record streams, and replay-from-trace versus regenerate-from-seed
+//! simulation speed (the cost a trace-driven experiment pays — or saves — relative
+//! to re-rolling the workload every run).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grass_core::GsFactory;
+use grass_sim::{run_simulation, run_simulation_traced, SimConfig, VecSink};
+use grass_trace::{
+    record_workload, replay, replay_config, ExecutionMeta, ExecutionTrace, WorkloadTrace,
+};
+use grass_workload::{generate, BoundSpec, Framework, TraceProfile, WorkloadConfig};
+
+fn workload_config(jobs: usize) -> WorkloadConfig {
+    WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+        .with_jobs(jobs)
+        .with_bound(BoundSpec::paper_errors())
+}
+
+fn recorded_trace(jobs: usize) -> WorkloadTrace {
+    record_workload(&workload_config(jobs), 7, 11, "GS", 20, 4)
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_codec");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    // Workload stream: 500 heavy-tailed jobs (tens of thousands of tasks).
+    let trace = recorded_trace(500);
+    let bytes = trace.to_bytes();
+    let tasks: usize = trace.jobs.iter().map(|j| j.total_tasks()).sum();
+    println!(
+        "# workload corpus: 500 jobs, {tasks} tasks, {:.1} KiB encoded",
+        bytes.len() as f64 / 1024.0
+    );
+    group.bench_function("encode_workload_500_jobs", |b| {
+        b.iter(|| criterion::black_box(trace.to_bytes().len()))
+    });
+    group.bench_function("decode_workload_500_jobs", |b| {
+        b.iter(|| criterion::black_box(WorkloadTrace::from_bytes(&bytes).unwrap().jobs.len()))
+    });
+
+    // Execution stream: the event log of a 20-job simulated run.
+    let small = recorded_trace(20);
+    let sim = replay_config(&small);
+    let mut sink = VecSink::new();
+    run_simulation_traced(&sim, small.jobs.clone(), &GsFactory, &mut sink);
+    let exec = ExecutionTrace::new(
+        ExecutionMeta {
+            sim_seed: sim.seed,
+            policy: "GS".into(),
+            machines: 20,
+            slots_per_machine: 4,
+        },
+        sink.into_events(),
+    );
+    let exec_bytes = exec.to_bytes();
+    println!(
+        "# execution corpus: {} events, {:.1} KiB encoded",
+        exec.events.len(),
+        exec_bytes.len() as f64 / 1024.0
+    );
+    group.bench_function("encode_execution_20_jobs", |b| {
+        b.iter(|| criterion::black_box(exec.to_bytes().len()))
+    });
+    group.bench_function("decode_execution_20_jobs", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                ExecutionTrace::from_bytes(&exec_bytes)
+                    .unwrap()
+                    .events
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn replay_vs_regenerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let config = workload_config(20);
+    let trace = recorded_trace(20);
+    let bytes = trace.to_bytes();
+    let sim: SimConfig = replay_config(&trace);
+
+    // Baseline: the status quo ante — sample the workload fresh, then simulate.
+    group.bench_function("regenerate_and_run_20_jobs", |b| {
+        b.iter(|| {
+            let jobs = generate(&config, 7);
+            criterion::black_box(run_simulation(&sim, jobs, &GsFactory).total_copies)
+        })
+    });
+    // Replay: decode the recorded workload from bytes, then simulate.
+    group.bench_function("decode_and_run_20_jobs", |b| {
+        b.iter(|| {
+            let decoded = WorkloadTrace::from_bytes(&bytes).unwrap();
+            criterion::black_box(replay(&decoded, &sim, &GsFactory).total_copies)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(tracebench, codec_throughput, replay_vs_regenerate);
+criterion_main!(tracebench);

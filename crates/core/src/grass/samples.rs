@@ -262,6 +262,23 @@ impl SampleStore {
             .count()
     }
 
+    /// Count samples available for both modes of one bound kind under a single lock
+    /// acquisition: `(GS count, RAS count)`. Used by the switching evaluation to
+    /// bail out before running a candidate-point sweep that cannot produce a
+    /// prediction.
+    pub fn counts_for_kind(&self, kind: BoundKind) -> (usize, usize) {
+        let guard = self.samples.read();
+        let mut gs = 0;
+        let mut ras = 0;
+        for s in guard.iter().filter(|s| s.kind == kind) {
+            match s.mode {
+                SpeculationMode::Gs => gs += 1,
+                SpeculationMode::Ras => ras += 1,
+            }
+        }
+        (gs, ras)
+    }
+
     /// Predict the task-completion rate (tasks/second) of running pure `mode` under
     /// the query context, as a similarity-weighted mean over stored samples. Returns
     /// `None` when fewer than `min_samples` relevant samples exist.

@@ -78,15 +78,88 @@ pub enum SwitchDecision {
     Stay,
 }
 
+/// Per-job scratch and memo state for the switching scan.
+///
+/// The deadline-bound rules need the median `tnew` of the job's eligible tasks,
+/// which naively means collecting and ordering the whole task list on every
+/// `choose()` call (the ~3× decision-latency overhead GRASS showed over GS/RAS in
+/// `microbench/policy_choose_500_tasks`). Task `tnew` estimates and stage
+/// eligibility only change when a task completes, so the median is memoised keyed on
+/// the job's identity and completion progress, and the collection buffer is reused
+/// across calls. The job id in the key makes a cache accidentally shared across
+/// jobs correct (it just stops memoising effectively); the intended use is still
+/// one cache per job, which is what `GrassPolicy` does.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchScanCache {
+    scratch: Vec<f64>,
+    /// `(job, completed_tasks, unfinished view length) -> median tnew` memo.
+    memo: Option<((crate::task::JobId, usize, usize), f64)>,
+}
+
+impl SwitchScanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        SwitchScanCache::default()
+    }
+
+    /// Drop the memoised scan (the next call recomputes from the view).
+    pub fn invalidate(&mut self) {
+        self.memo = None;
+    }
+
+    /// Median `tnew` across the view's eligible tasks, memoised on the job's
+    /// completion progress. Returns 0.0 when no task has a usable estimate.
+    fn median_tnew(&mut self, view: &JobView) -> f64 {
+        let key = (view.job, view.completed_tasks, view.tasks.len());
+        if let Some((cached_key, median)) = self.memo {
+            if cached_key == key {
+                return median;
+            }
+        }
+        self.scratch.clear();
+        self.scratch.extend(
+            view.tasks
+                .iter()
+                .filter(|t| t.eligible)
+                .map(|t| t.tnew)
+                .filter(|v| v.is_finite() && *v > 0.0),
+        );
+        let median = if self.scratch.is_empty() {
+            0.0
+        } else {
+            // O(n) selection instead of a full sort: only the median is needed.
+            let mid = self.scratch.len() / 2;
+            *self
+                .scratch
+                .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap())
+                .1
+        };
+        self.memo = Some((key, median));
+        median
+    }
+}
+
 /// Evaluate the strawman rule: switch once at most `cfg.waves` waves of work remain.
+///
+/// Stateless convenience wrapper over [`strawman_decision_cached`]; policies that
+/// evaluate repeatedly should hold a [`SwitchScanCache`] and use the cached variant.
 pub fn strawman_decision(view: &JobView, cfg: &StrawmanConfig) -> SwitchDecision {
+    strawman_decision_cached(view, cfg, &mut SwitchScanCache::new())
+}
+
+/// Evaluate the strawman rule using a per-job [`SwitchScanCache`].
+pub fn strawman_decision_cached(
+    view: &JobView,
+    cfg: &StrawmanConfig,
+    cache: &mut SwitchScanCache,
+) -> SwitchDecision {
     match view.bound {
         Bound::Deadline(_) => {
             // "The point when the time to the deadline is sufficient for at most two
             // waves of tasks": compare remaining deadline against `waves` × the median
             // duration of a task (approximated by the median tnew of unfinished tasks).
             let remaining = view.remaining_deadline().unwrap_or(f64::INFINITY);
-            let median = median_tnew(view);
+            let median = cache.median_tnew(view);
             if median <= 0.0 {
                 return SwitchDecision::Stay;
             }
@@ -113,16 +186,29 @@ pub fn strawman_decision(view: &JobView, cfg: &StrawmanConfig) -> SwitchDecision
 /// Evaluate the learned rule against the sample store. Falls back to the strawman rule
 /// when the store does not yet hold enough samples for a prediction (a freshly started
 /// cluster has nothing to learn from).
+///
+/// Stateless convenience wrapper over [`learned_decision_cached`].
 pub fn learned_decision(
     view: &JobView,
     store: &SampleStore,
     params: &LearnedParams,
 ) -> SwitchDecision {
+    learned_decision_cached(view, store, params, &mut SwitchScanCache::new())
+}
+
+/// Evaluate the learned rule using a per-job [`SwitchScanCache`] for the strawman
+/// fallback's task-list scan.
+pub fn learned_decision_cached(
+    view: &JobView,
+    store: &SampleStore,
+    params: &LearnedParams,
+    cache: &mut SwitchScanCache,
+) -> SwitchDecision {
     match view.bound {
         Bound::Deadline(_) => learned_deadline(view, store, params),
         Bound::Error(_) => learned_error(view, store, params),
     }
-    .unwrap_or_else(|| strawman_decision(view, &StrawmanConfig::default()))
+    .unwrap_or_else(|| strawman_decision_cached(view, &StrawmanConfig::default(), cache))
 }
 
 /// Deadline-bound learned evaluation (§4.1's worked example: with 6s to the deadline,
@@ -136,6 +222,9 @@ fn learned_deadline(
     let remaining = view.remaining_deadline()?;
     if remaining <= 0.0 {
         return Some(SwitchDecision::SwitchNow);
+    }
+    if let Some(shortcut) = sparse_store_shortcut(store, BoundKind::Deadline, params) {
+        return shortcut;
     }
     let ctx = query_context(view, BoundKind::Deadline, remaining);
     let points = params.candidate_points.max(1);
@@ -192,6 +281,9 @@ fn learned_error(
     if needed <= 0.0 {
         return Some(SwitchDecision::SwitchNow);
     }
+    if let Some(shortcut) = sparse_store_shortcut(store, BoundKind::Error, params) {
+        return shortcut;
+    }
     let ctx = query_context(view, BoundKind::Error, needed);
     let points = params.candidate_points.max(1);
     let step = needed / points as f64;
@@ -235,6 +327,36 @@ fn learned_error(
     })
 }
 
+/// Cheap pre-flight over the sample store: when *neither* mode holds
+/// `min_samples` relevant samples — the cold-start case every GRASS job hits
+/// before the ξ-perturbation has produced learning data — the candidate-point
+/// sweep cannot yield a prediction at any split point (a positive-length segment
+/// of either mode returns `None`, and every split has at least one such segment),
+/// so one counting pass (one lock acquisition) replaces up to
+/// `2 × (candidate_points + 1)` store scans that would each come back empty.
+///
+/// Deliberately conservative: with samples for only one mode, zero-length
+/// segments (`Some(0.0)`) can still combine with the sampled mode into a
+/// prediction whose outcome depends on the predicted *values*, so the full sweep
+/// runs for those cases rather than approximating it here.
+///
+/// Returns `Some(None)` for "no prediction possible, fall back to the strawman
+/// rule" and `None` when the sweep must run.
+#[allow(clippy::option_option)]
+fn sparse_store_shortcut(
+    store: &SampleStore,
+    kind: BoundKind,
+    params: &LearnedParams,
+) -> Option<Option<SwitchDecision>> {
+    let (gs, ras) = store.counts_for_kind(kind);
+    let min = params.min_samples;
+    if gs < min && ras < min {
+        Some(None)
+    } else {
+        None
+    }
+}
+
 fn query_context(view: &JobView, kind: BoundKind, bound_value: f64) -> QueryContext {
     QueryContext {
         kind,
@@ -243,21 +365,6 @@ fn query_context(view: &JobView, kind: BoundKind, bound_value: f64) -> QueryCont
         utilization: view.cluster_utilization,
         accuracy: view.estimation_accuracy,
     }
-}
-
-fn median_tnew(view: &JobView) -> f64 {
-    let mut values: Vec<f64> = view
-        .tasks
-        .iter()
-        .filter(|t| t.eligible)
-        .map(|t| t.tnew)
-        .filter(|v| v.is_finite() && *v > 0.0)
-        .collect();
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    values[values.len() / 2]
 }
 
 #[cfg(test)]
@@ -411,6 +518,62 @@ mod tests {
             learned_decision(&v, &store, &LearnedParams::default()),
             SwitchDecision::Stay
         );
+    }
+
+    #[test]
+    fn cached_scan_matches_uncached_and_memoises() {
+        let tasks: Vec<TaskView> = (0..101)
+            .map(|i| unscheduled(i, (i % 9) as f64 + 1.0))
+            .collect();
+        let v = view(&tasks, Bound::Deadline(30.0), 0.0, 2, 0, 120);
+        let mut cache = SwitchScanCache::new();
+        let cached = strawman_decision_cached(&v, &StrawmanConfig::default(), &mut cache);
+        let uncached = strawman_decision(&v, &StrawmanConfig::default());
+        assert_eq!(cached, uncached);
+        // Second evaluation with unchanged progress hits the memo.
+        assert!(cache.memo.is_some());
+        let memo_before = cache.memo;
+        let again = strawman_decision_cached(&v, &StrawmanConfig::default(), &mut cache);
+        assert_eq!(again, cached);
+        assert_eq!(cache.memo, memo_before);
+        // Progress changes (a task completed) invalidate the key.
+        let shorter = &tasks[..90];
+        let v2 = view(shorter, Bound::Deadline(30.0), 0.0, 2, 11, 120);
+        strawman_decision_cached(&v2, &StrawmanConfig::default(), &mut cache);
+        assert_ne!(cache.memo, memo_before);
+        // Manual invalidation drops the memo.
+        cache.invalidate();
+        assert!(cache.memo.is_none());
+    }
+
+    #[test]
+    fn memo_is_keyed_by_job_identity() {
+        let tasks: Vec<TaskView> = (0..10).map(|i| unscheduled(i, 4.0)).collect();
+        let mut v = view(&tasks, Bound::Deadline(30.0), 0.0, 2, 0, 20);
+        let mut cache = SwitchScanCache::new();
+        strawman_decision_cached(&v, &StrawmanConfig::default(), &mut cache);
+        let memo = cache.memo;
+        // Same progress numbers but a different job: the memo must not be reused.
+        v.job = JobId(2);
+        strawman_decision_cached(&v, &StrawmanConfig::default(), &mut cache);
+        assert_ne!(cache.memo, memo);
+    }
+
+    #[test]
+    fn cached_median_is_the_sorted_median() {
+        // Even- and odd-length eligible sets: the O(n) selection must agree with the
+        // upper median of a full sort.
+        for n in [7u32, 8, 101, 500] {
+            let tasks: Vec<TaskView> = (0..n)
+                .map(|i| unscheduled(i, ((i * 37) % 23) as f64 + 0.5))
+                .collect();
+            let v = view(&tasks, Bound::Deadline(1000.0), 0.0, 2, 0, n as usize);
+            let mut cache = SwitchScanCache::new();
+            let selected = cache.median_tnew(&v);
+            let mut sorted: Vec<f64> = tasks.iter().map(|t| t.tnew).collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(selected, sorted[sorted.len() / 2], "n = {n}");
+        }
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod task;
 
 pub use bins::{JobSizeBin, SizeBucket};
 pub use estimate::{degrade_estimate, AccuracyTracker, EstimatorConfig};
-pub use grass::{FactorSet, GrassConfig, GrassFactory, GrassPolicy, SampleStore, StrawmanConfig};
+pub use grass::{
+    FactorSet, GrassConfig, GrassFactory, GrassPolicy, SampleStore, StrawmanConfig, SwitchScanCache,
+};
 pub use job::{Bound, JobSpec, JobView, StageSpec};
 pub use outcome::JobOutcome;
 pub use policy::{Action, ActionKind, BoxedPolicy, PolicyFactory, SpeculationPolicy};

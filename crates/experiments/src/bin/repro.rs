@@ -4,18 +4,34 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [<experiment-id>...]
+//! repro trace record --out <dir> [--jobs N] [--policy P] [...]
+//! repro trace replay <workload.trace> [--policy P]
+//! repro trace stats <trace-file>...
 //! ```
 //!
 //! With no experiment ids, every experiment is run in paper order. `--quick` uses the
 //! reduced configuration (fewer jobs, one seed, smaller cluster) intended for smoke
 //! tests; the default configuration averages three seeds on the 200-slot cluster.
+//! The `trace` subcommand records, replays and inspects workload/execution traces
+//! (see `grass_experiments::trace_cli`).
 
 use std::process::ExitCode;
 
-use grass_experiments::{experiment_ids, run_experiment, ExpConfig};
+use grass_experiments::{experiment_ids, run_experiment, run_trace_command, ExpConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("trace") {
+        return match run_trace_command(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("repro trace: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let requested: Vec<&str> = args
@@ -73,6 +89,14 @@ fn print_help() {
     println!("repro — regenerate the tables and figures of the GRASS (NSDI '14) paper");
     println!();
     println!("USAGE: repro [--quick] [--csv] [<experiment-id>...]");
+    println!("       repro trace record --out <dir> [--jobs N] [--gen-seed S] [--sim-seed S]");
+    println!("                          [--policy P] [--profile facebook|bing]");
+    println!(
+        "                          [--framework hadoop|spark] [--bound deadlines|errors|exact]"
+    );
+    println!("                          [--machines N] [--slots N]");
+    println!("       repro trace replay <workload.trace|dir> [--policy P]");
+    println!("       repro trace stats <trace-file>...");
     println!();
     println!("Experiment ids:");
     for id in experiment_ids() {

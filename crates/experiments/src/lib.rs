@@ -17,11 +17,13 @@ pub mod common;
 pub mod dag;
 pub mod gains;
 pub mod tables;
+pub mod trace_cli;
 
 pub use common::{
     compare, compare_outcomes, metric_for, run_once, run_policy, sample_task_durations,
     workload_jobs, Comparison, ExpConfig, PolicyKind,
 };
+pub use trace_cli::{make_factory, outcome_digest, run_trace_command};
 
 use grass_metrics::Report;
 

@@ -1,0 +1,363 @@
+//! The `repro trace` subcommand surface: record, replay and inspect traces.
+//!
+//! ```text
+//! repro trace record --out <dir> [--jobs N] [--gen-seed S] [--sim-seed S]
+//!                    [--policy P] [--profile facebook|bing] [--framework hadoop|spark]
+//!                    [--bound deadlines|errors|exact] [--machines N] [--slots N]
+//! repro trace replay <workload.trace> [--policy P]
+//! repro trace stats <trace-file>...
+//! ```
+//!
+//! `record` samples a synthetic workload, persists it as `workload.trace`, runs it
+//! through the simulator while streaming `execution.trace`, and prints a
+//! deterministic outcome digest to stdout. `replay` decodes a workload trace, re-runs
+//! it with the recorded simulator seed / cluster / policy and prints the same digest
+//! — so `diff <(record) <(replay)` is the record→replay determinism check CI runs.
+//! Informational messages go to stderr to keep stdout digest-clean.
+
+use std::path::{Path, PathBuf};
+
+use grass_core::{GrassFactory, GsFactory, PolicyFactory, RasFactory};
+use grass_policies::{LateFactory, MantriFactory, NoSpecFactory, OracleFactory};
+use grass_sim::{run_simulation, run_simulation_traced, SimResult};
+use grass_trace::{
+    record_workload, replay_config, ExecutionMeta, ExecutionTraceSink, TraceStats, WorkloadTrace,
+};
+use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
+
+/// Entry point for `repro trace <verb> ...`. Returns an error message on failure.
+pub fn run_trace_command(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown trace verb '{other}'; expected record, replay or stats"
+        )),
+        None => Err("missing trace verb; expected record, replay or stats".to_string()),
+    }
+}
+
+/// One-line-per-job outcome digest. Full-precision floats so that byte-identical
+/// digests imply bit-identical results.
+pub fn outcome_digest(result: &SimResult) -> String {
+    let mut out = String::new();
+    for o in &result.outcomes {
+        out.push_str(&format!(
+            "outcome job={} policy={} finish={} completed_input={} completed_total={} \
+             speculative={} killed={} slot_seconds={}\n",
+            o.job.value(),
+            o.policy,
+            o.finish,
+            o.completed_input_tasks,
+            o.completed_tasks,
+            o.speculative_copies,
+            o.killed_copies,
+            o.slot_seconds,
+        ));
+    }
+    out.push_str(&format!(
+        "summary jobs={} makespan={} total_copies={}\n",
+        result.outcomes.len(),
+        result.makespan,
+        result.total_copies,
+    ));
+    out
+}
+
+/// Build the policy factory for a trace run. Seeded factories (GRASS) derive all
+/// their randomness from `seed`, so record and replay construct identical factories.
+pub fn make_factory(policy: &str, seed: u64) -> Result<Box<dyn PolicyFactory>, String> {
+    match policy.to_ascii_lowercase().as_str() {
+        "gs" => Ok(Box::new(GsFactory)),
+        "ras" => Ok(Box::new(RasFactory)),
+        "grass" => Ok(Box::new(GrassFactory::new(seed))),
+        "late" => Ok(Box::new(LateFactory::default())),
+        "mantri" => Ok(Box::new(MantriFactory::default())),
+        "nospec" => Ok(Box::new(NoSpecFactory)),
+        "oracle" => Ok(Box::new(OracleFactory)),
+        other => Err(format!(
+            "unknown policy '{other}'; expected gs, ras, grass, late, mantri, nospec or oracle"
+        )),
+    }
+}
+
+struct Flags {
+    named: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut named = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+                named.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Flags { named, positional })
+    }
+
+    /// Reject any `--flag` not in `allowed` — a typo must not silently fall back to
+    /// a default and record a trace with the wrong parameters.
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (name, _) in &self.named {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown flag --{name}; expected one of: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name} expects an integer, got '{v}'")),
+        }
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        Ok(self.get_u64(name, default as u64)? as usize)
+    }
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "out",
+        "jobs",
+        "gen-seed",
+        "sim-seed",
+        "machines",
+        "slots",
+        "policy",
+        "profile",
+        "framework",
+        "bound",
+    ])?;
+    if !flags.positional.is_empty() {
+        return Err(format!(
+            "unexpected positional arguments: {:?}",
+            flags.positional
+        ));
+    }
+    let out_dir = PathBuf::from(flags.get("out").unwrap_or("trace-out"));
+    let jobs = flags.get_usize("jobs", 24)?;
+    let gen_seed = flags.get_u64("gen-seed", 7)?;
+    let sim_seed = flags.get_u64("sim-seed", 11)?;
+    let machines = flags.get_usize("machines", 20)?;
+    let slots = flags.get_usize("slots", 4)?;
+    let policy = flags.get("policy").unwrap_or("grass").to_string();
+
+    let profile = match flags.get("profile").unwrap_or("facebook") {
+        "facebook" => TraceProfile::facebook,
+        "bing" => TraceProfile::bing,
+        other => return Err(format!("unknown profile '{other}' (facebook|bing)")),
+    };
+    let framework = match flags.get("framework").unwrap_or("spark") {
+        "hadoop" => Framework::Hadoop,
+        "spark" => Framework::Spark,
+        other => return Err(format!("unknown framework '{other}' (hadoop|spark)")),
+    };
+    let bound = match flags.get("bound").unwrap_or("errors") {
+        "deadlines" => BoundSpec::paper_deadlines(),
+        "errors" => BoundSpec::paper_errors(),
+        "exact" => BoundSpec::Exact,
+        other => return Err(format!("unknown bound '{other}' (deadlines|errors|exact)")),
+    };
+
+    let workload = WorkloadConfig::new(profile(framework))
+        .with_jobs(jobs)
+        .with_bound(bound);
+    let trace = record_workload(&workload, gen_seed, sim_seed, &policy, machines, slots);
+    let sim = replay_config(&trace);
+    let factory = make_factory(&policy, sim_seed)?;
+
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let workload_path = out_dir.join("workload.trace");
+    trace
+        .save(&workload_path)
+        .map_err(|e| format!("cannot write {}: {e}", workload_path.display()))?;
+
+    let execution_path = out_dir.join("execution.trace");
+    let exec_meta = ExecutionMeta {
+        sim_seed,
+        policy: factory.name().to_string(),
+        machines,
+        slots_per_machine: slots,
+    };
+    let file = std::fs::File::create(&execution_path)
+        .map_err(|e| format!("cannot create {}: {e}", execution_path.display()))?;
+    let mut sink = ExecutionTraceSink::new(std::io::BufWriter::new(file), &exec_meta)
+        .map_err(|e| e.to_string())?;
+    let result = run_simulation_traced(&sim, trace.jobs.clone(), factory.as_ref(), &mut sink);
+    sink.finish()
+        .map_err(|e| format!("cannot finish {}: {e}", execution_path.display()))?;
+
+    eprintln!(
+        "recorded {} jobs ({} profile, policy {}) -> {} + {}",
+        trace.jobs.len(),
+        trace.meta.profile,
+        factory.name(),
+        workload_path.display(),
+        execution_path.display(),
+    );
+    print!("{}", outcome_digest(&result));
+    Ok(())
+}
+
+fn replay_cmd(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["policy"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("replay expects exactly one trace path".to_string());
+    };
+    let path = resolve_workload_path(Path::new(path));
+    let trace =
+        WorkloadTrace::load(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let sim = replay_config(&trace);
+    let policy = flags.get("policy").unwrap_or(&trace.meta.policy);
+    let factory = make_factory(policy, trace.meta.sim_seed)?;
+    eprintln!(
+        "replaying {} jobs ({} profile, policy {}, sim seed {})",
+        trace.jobs.len(),
+        trace.meta.profile,
+        factory.name(),
+        trace.meta.sim_seed,
+    );
+    let result = run_simulation(&sim, trace.jobs.clone(), factory.as_ref());
+    print!("{}", outcome_digest(&result));
+    Ok(())
+}
+
+/// Accept either a workload trace file or the directory `record` wrote it into.
+fn resolve_workload_path(path: &Path) -> PathBuf {
+    if path.is_dir() {
+        path.join("workload.trace")
+    } else {
+        path.to_path_buf()
+    }
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("stats expects at least one trace path".to_string());
+    }
+    for path in args {
+        let stats = TraceStats::load(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        println!("== {path}");
+        println!("{stats}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_record_and_replay(dir: &Path, policy: &str) -> (String, String) {
+        let record_args: Vec<String> = [
+            "record",
+            "--out",
+            dir.to_str().unwrap(),
+            "--jobs",
+            "6",
+            "--policy",
+            policy,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run_trace_command(&record_args).unwrap();
+        let trace = WorkloadTrace::load(dir.join("workload.trace")).unwrap();
+        let sim = replay_config(&trace);
+        let factory = make_factory(policy, trace.meta.sim_seed).unwrap();
+        let digest = outcome_digest(&run_simulation(&sim, trace.jobs.clone(), factory.as_ref()));
+        let factory2 = make_factory(policy, trace.meta.sim_seed).unwrap();
+        let digest2 = outcome_digest(&run_simulation(&sim, trace.jobs, factory2.as_ref()));
+        (digest, digest2)
+    }
+
+    #[test]
+    fn record_then_replay_digests_are_identical() {
+        let dir = std::env::temp_dir().join(format!("grass-trace-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for policy in ["gs", "grass"] {
+            let (a, b) = run_record_and_replay(&dir, policy);
+            assert_eq!(a, b, "digest mismatch for policy {policy}");
+            assert!(a.contains("summary jobs=6"));
+        }
+        // The stats verb reads both written files.
+        let stats_args: Vec<String> = vec![
+            "stats".into(),
+            dir.join("workload.trace").to_str().unwrap().into(),
+            dir.join("execution.trace").to_str().unwrap().into(),
+        ];
+        run_trace_command(&stats_args).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_invocations_are_rejected_with_messages() {
+        let err = run_trace_command(&["warp".to_string()]).unwrap_err();
+        assert!(err.contains("unknown trace verb"));
+        let err = run_trace_command(&[]).unwrap_err();
+        assert!(err.contains("missing trace verb"));
+        let err = run_trace_command(&["replay".to_string()]).unwrap_err();
+        assert!(err.contains("exactly one"));
+        let err = run_trace_command(&["stats".to_string()]).unwrap_err();
+        assert!(err.contains("at least one"));
+        let err = run_trace_command(&[
+            "record".to_string(),
+            "--policy".to_string(),
+            "quantum".to_string(),
+            "--out".to_string(),
+            std::env::temp_dir()
+                .join("grass-trace-cli-unreached")
+                .to_str()
+                .unwrap()
+                .to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown policy"));
+        // A typo'd flag must error out, not silently record with defaults.
+        let err = run_trace_command(&["record".to_string(), "--job".to_string(), "12".to_string()])
+            .unwrap_err();
+        assert!(err.contains("unknown flag --job"), "{err}");
+        let err = run_trace_command(&[
+            "replay".to_string(),
+            "x.trace".to_string(),
+            "--sim-seed".to_string(),
+            "3".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown flag --sim-seed"), "{err}");
+        assert!(make_factory("late", 1).is_ok());
+        assert!(make_factory("zzz", 1).is_err());
+    }
+}

@@ -33,11 +33,13 @@ pub mod runtime;
 pub mod simulator;
 pub mod stats;
 pub mod straggler;
+pub mod trace;
 
 pub use cluster::ClusterConfig;
 pub use event::{CopyId, Event, EventQueue};
 pub use machine::{HeterogeneityModel, Machine, SlotId};
 pub use runtime::{CompletionEffect, CopyRuntime, JobRuntime, TaskRuntime};
-pub use simulator::{run_simulation, SimConfig, SimResult};
+pub use simulator::{run_simulation, run_simulation_traced, SimConfig, SimResult};
 pub use stats::TimeWeighted;
 pub use straggler::StragglerModel;
+pub use trace::{NullSink, SimTraceEvent, TraceSink, VecSink};

@@ -28,6 +28,7 @@ use crate::event::{Event, EventQueue};
 use crate::machine::{Machine, SlotId};
 use crate::runtime::JobRuntime;
 use crate::stats::TimeWeighted;
+use crate::trace::{NullSink, SimTraceEvent, TraceSink};
 
 /// Simulation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,12 +98,31 @@ pub fn run_simulation(
     jobs: Vec<JobSpec>,
     factory: &dyn PolicyFactory,
 ) -> SimResult {
-    Simulator::new(config.clone(), jobs, factory).run()
+    let mut sink = NullSink;
+    Simulator::new(config.clone(), jobs, factory, &mut sink).run()
+}
+
+/// Run a full simulation while streaming every scheduling-level event into `sink`.
+///
+/// The sink is strictly passive, so a traced run produces a [`SimResult`] identical
+/// to what [`run_simulation`] would return for the same inputs.
+pub fn run_simulation_traced(
+    config: &SimConfig,
+    jobs: Vec<JobSpec>,
+    factory: &dyn PolicyFactory,
+    sink: &mut dyn TraceSink,
+) -> SimResult {
+    Simulator::new(config.clone(), jobs, factory, sink).run()
 }
 
 struct Simulator<'a> {
     config: SimConfig,
     factory: &'a dyn PolicyFactory,
+    sink: &'a mut dyn TraceSink,
+    /// Scratch buffer reused for every `TaskView` snapshot (hot path: one snapshot
+    /// per slot-free event; rebuilding the `Vec` from scratch each time showed up in
+    /// `microbench/simulator`).
+    view_scratch: Vec<grass_core::TaskView>,
     machines: Vec<Machine>,
     free_slots: Vec<SlotId>,
     total_slots: usize,
@@ -120,7 +140,12 @@ struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    fn new(config: SimConfig, jobs: Vec<JobSpec>, factory: &'a dyn PolicyFactory) -> Self {
+    fn new(
+        config: SimConfig,
+        jobs: Vec<JobSpec>,
+        factory: &'a dyn PolicyFactory,
+        sink: &'a mut dyn TraceSink,
+    ) -> Self {
         let machines = config.cluster.build_machines(config.seed);
         let free_slots: Vec<SlotId> = machines.iter().flat_map(|m| m.slot_ids()).collect();
         let total_slots = free_slots.len();
@@ -135,6 +160,8 @@ impl<'a> Simulator<'a> {
         Simulator {
             config,
             factory,
+            sink,
+            view_scratch: Vec::new(),
             machines,
             free_slots,
             total_slots,
@@ -209,6 +236,10 @@ impl<'a> Simulator<'a> {
         let Some(spec) = self.pending.remove(&id) else {
             return;
         };
+        self.sink.record(&SimTraceEvent::JobArrival {
+            time: self.now,
+            job: id,
+        });
         let policy = self.factory.create(&spec);
         let mut runtime = JobRuntime::new(
             spec,
@@ -236,8 +267,13 @@ impl<'a> Simulator<'a> {
 
         // Let the policy observe the job's initial state.
         {
-            let views =
-                runtime.build_task_views(self.now, &self.config.estimator, self.mean_slowdown);
+            let mut views = std::mem::take(&mut self.view_scratch);
+            runtime.build_task_views_into(
+                self.now,
+                &self.config.estimator,
+                self.mean_slowdown,
+                &mut views,
+            );
             let view = Self::job_view(
                 &runtime,
                 &views,
@@ -246,6 +282,7 @@ impl<'a> Simulator<'a> {
                 self.utilization(),
             );
             runtime.policy.on_job_start(&view);
+            self.view_scratch = views;
         }
 
         self.running.insert(id, runtime);
@@ -289,14 +326,37 @@ impl<'a> Simulator<'a> {
         if effect.stale {
             return;
         }
+        self.sink.record(&SimTraceEvent::CopyFinish {
+            time: self.now,
+            job: job_id,
+            task,
+            copy,
+            task_completed: effect.task_completed,
+        });
+        for &(killed_copy, slot) in &effect.killed_copies {
+            self.sink.record(&SimTraceEvent::CopyKill {
+                time: self.now,
+                job: job_id,
+                task,
+                copy: killed_copy,
+                slot,
+            });
+        }
         self.free_slots.extend(effect.freed_slots.iter().copied());
         self.util_stat.update(self.now, util);
         job.update_stats(self.now, util);
 
         if effect.task_completed {
-            let views = job.build_task_views(self.now, &self.config.estimator, self.mean_slowdown);
+            let mut views = std::mem::take(&mut self.view_scratch);
+            job.build_task_views_into(
+                self.now,
+                &self.config.estimator,
+                self.mean_slowdown,
+                &mut views,
+            );
             let view = Self::job_view(job, &views, self.now, fair, util);
             job.policy.on_task_complete(&view, task);
+            self.view_scratch = views;
         }
 
         // Error-bound jobs finish the moment their bound is satisfied.
@@ -324,10 +384,26 @@ impl<'a> Simulator<'a> {
             return;
         }
         let freed = job.kill_all_copies(self.now);
-        self.free_slots.extend(freed.iter().copied());
+        for &(task, copy, slot) in &freed {
+            self.sink.record(&SimTraceEvent::CopyKill {
+                time: self.now,
+                job: id,
+                task,
+                copy,
+                slot,
+            });
+        }
+        self.free_slots
+            .extend(freed.iter().map(|&(_, _, slot)| slot));
         job.update_stats(self.now, util);
         job.done = true;
         let outcome = job.outcome(self.now);
+        self.sink.record(&SimTraceEvent::JobFinish {
+            time: self.now,
+            job: id,
+            completed_input: outcome.completed_input_tasks,
+            completed_total: outcome.completed_tasks,
+        });
         job.policy.on_job_complete(&outcome);
         self.outcomes.push(outcome);
         self.util_stat.update(self.now, self.utilization());
@@ -408,16 +484,29 @@ impl<'a> Simulator<'a> {
 
     /// Offer one free slot to `job_id`. Returns true if a copy was launched.
     fn try_launch_for(&mut self, job_id: JobId, fair_share: usize, utilization: f64) -> bool {
+        let mut views = std::mem::take(&mut self.view_scratch);
+        let launched = self.try_launch_with_views(job_id, fair_share, utilization, &mut views);
+        self.view_scratch = views;
+        launched
+    }
+
+    fn try_launch_with_views(
+        &mut self,
+        job_id: JobId,
+        fair_share: usize,
+        utilization: f64,
+        views: &mut Vec<grass_core::TaskView>,
+    ) -> bool {
         let mean_slowdown = self.mean_slowdown;
         let estimator = self.config.estimator;
         let Some(job) = self.running.get_mut(&job_id) else {
             return false;
         };
-        let views = job.build_task_views(self.now, &estimator, mean_slowdown);
+        job.build_task_views_into(self.now, &estimator, mean_slowdown, views);
         if views.is_empty() {
             return false;
         }
-        let view = Self::job_view(job, &views, self.now, fair_share, utilization);
+        let view = Self::job_view(job, views, self.now, fair_share, utilization);
         let Some(action) = job.policy.choose(&view) else {
             return false;
         };
@@ -439,11 +528,18 @@ impl<'a> Simulator<'a> {
         let Some(slot) = self.free_slots.pop() else {
             return false;
         };
+        self.sink.record(&SimTraceEvent::Decision {
+            time: self.now,
+            job: job_id,
+            task: action.task,
+            kind: action.kind,
+        });
         let machine_slowdown = self.machines[slot.machine].slowdown;
         let straggle = self.config.cluster.straggler.sample(&mut self.rng);
         let duration = (job.tasks[idx].spec.work * machine_slowdown * straggle).max(1e-6);
         let copy_id = self.next_copy_id;
         self.next_copy_id += 1;
+        let speculative = !job.tasks[idx].copies.is_empty();
         job.launch_copy(
             action.task,
             copy_id,
@@ -453,6 +549,15 @@ impl<'a> Simulator<'a> {
             &estimator,
             &mut self.rng,
         );
+        self.sink.record(&SimTraceEvent::CopyLaunch {
+            time: self.now,
+            job: job_id,
+            task: action.task,
+            copy: copy_id,
+            slot,
+            duration,
+            speculative,
+        });
         self.total_copies += 1;
         self.events.push(
             self.now + duration,
@@ -598,6 +703,35 @@ mod tests {
             "expected at least one speculative copy under heavy-tailed straggling"
         );
         assert_eq!(o.completed_input_tasks, 40);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run_and_captures_events() {
+        use crate::trace::VecSink;
+        let jobs: Vec<JobSpec> = (0..4).map(|i| exact_job(i, i as f64, 12, 3.0)).collect();
+        let config = small_config(11);
+        let plain = run_simulation(&config, jobs.clone(), &GsFactory);
+        let mut sink = VecSink::new();
+        let traced = run_simulation_traced(&config, jobs, &GsFactory, &mut sink);
+
+        // The sink is passive: results must be bit-identical.
+        assert_eq!(plain.outcomes, traced.outcomes);
+        assert_eq!(plain.total_copies, traced.total_copies);
+        assert!((plain.makespan - traced.makespan).abs() < 1e-12);
+
+        // The stream covers every lifecycle stage, in non-decreasing time order.
+        let events = sink.into_events();
+        let count = |label: &str| events.iter().filter(|e| e.kind_label() == label).count();
+        assert_eq!(count("arrive"), 4);
+        assert_eq!(count("jobdone"), 4);
+        assert_eq!(count("launch"), traced.total_copies);
+        assert_eq!(count("decide"), traced.total_copies);
+        assert!(count("finish") >= 4 * 12);
+        let mut last = 0.0;
+        for e in &events {
+            assert!(e.time() >= last - 1e-12, "events out of order");
+            last = e.time();
+        }
     }
 
     #[test]

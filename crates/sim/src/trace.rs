@@ -1,0 +1,269 @@
+//! Execution-trace capture hooks.
+//!
+//! The paper's evaluation is trace-driven (§6.1); this module makes the simulator
+//! itself traceable. A [`TraceSink`] threaded through
+//! [`run_simulation_traced`](crate::run_simulation_traced) observes every
+//! scheduling-level state change — job arrivals, policy decisions, copy launches
+//! with their slot allocation, copy finishes and kills, and job completions — as a
+//! stream of [`SimTraceEvent`]s. Sinks must be passive: recording an event must not
+//! influence the simulation (no randomness, no feedback), so a traced run produces
+//! bit-identical results to an untraced one.
+//!
+//! The `grass-trace` crate provides a sink that encodes this stream into the
+//! versioned on-disk trace format; [`VecSink`] buffers it in memory for tests and
+//! benches; [`NullSink`] discards it (what plain `run_simulation` uses).
+
+use grass_core::{ActionKind, JobId, TaskId, Time};
+
+use crate::event::CopyId;
+use crate::machine::SlotId;
+
+/// One scheduling-level event observed during a simulation run.
+///
+/// Every variant carries the simulation time at which it occurred; events are
+/// emitted in non-decreasing time order (the simulator's event order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimTraceEvent {
+    /// A job arrived and became active.
+    JobArrival {
+        /// Simulation time.
+        time: Time,
+        /// The arriving job.
+        job: JobId,
+    },
+    /// A policy decided what to run on a freed slot (before the copy launches).
+    Decision {
+        /// Simulation time.
+        time: Time,
+        /// Job the decision belongs to.
+        job: JobId,
+        /// Task the decision selects.
+        task: TaskId,
+        /// Whether this launches a first copy or a speculative duplicate.
+        kind: ActionKind,
+    },
+    /// A copy was launched on a slot (the slot allocation record).
+    CopyLaunch {
+        /// Simulation time.
+        time: Time,
+        /// Job the copy belongs to.
+        job: JobId,
+        /// Task the copy belongs to.
+        task: TaskId,
+        /// Unique copy identifier.
+        copy: CopyId,
+        /// Slot the copy occupies.
+        slot: SlotId,
+        /// Ground-truth duration the copy will need on its slot.
+        duration: Time,
+        /// Whether the copy is a speculative duplicate.
+        speculative: bool,
+    },
+    /// A copy finished its work.
+    CopyFinish {
+        /// Simulation time.
+        time: Time,
+        /// Job the copy belongs to.
+        job: JobId,
+        /// Task the copy belongs to.
+        task: TaskId,
+        /// Unique copy identifier.
+        copy: CopyId,
+        /// Whether this finish completed the task (first copy to cross the line).
+        task_completed: bool,
+    },
+    /// A copy was killed (sibling finished first, or the job was finalised).
+    CopyKill {
+        /// Simulation time.
+        time: Time,
+        /// Job the copy belonged to.
+        job: JobId,
+        /// Task the copy belonged to.
+        task: TaskId,
+        /// Unique copy identifier.
+        copy: CopyId,
+        /// Slot the copy was freed from.
+        slot: SlotId,
+    },
+    /// A job finished (deadline fired, error bound satisfied, or run truncated).
+    JobFinish {
+        /// Simulation time.
+        time: Time,
+        /// The finishing job.
+        job: JobId,
+        /// Input-stage tasks completed by the finish time.
+        completed_input: usize,
+        /// Tasks completed across all stages by the finish time.
+        completed_total: usize,
+    },
+}
+
+impl SimTraceEvent {
+    /// Simulation time at which the event occurred.
+    pub fn time(&self) -> Time {
+        match *self {
+            SimTraceEvent::JobArrival { time, .. }
+            | SimTraceEvent::Decision { time, .. }
+            | SimTraceEvent::CopyLaunch { time, .. }
+            | SimTraceEvent::CopyFinish { time, .. }
+            | SimTraceEvent::CopyKill { time, .. }
+            | SimTraceEvent::JobFinish { time, .. } => time,
+        }
+    }
+
+    /// Job the event belongs to.
+    pub fn job(&self) -> JobId {
+        match *self {
+            SimTraceEvent::JobArrival { job, .. }
+            | SimTraceEvent::Decision { job, .. }
+            | SimTraceEvent::CopyLaunch { job, .. }
+            | SimTraceEvent::CopyFinish { job, .. }
+            | SimTraceEvent::CopyKill { job, .. }
+            | SimTraceEvent::JobFinish { job, .. } => job,
+        }
+    }
+
+    /// Short stable label of the event kind (used by trace stats and codecs).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            SimTraceEvent::JobArrival { .. } => "arrive",
+            SimTraceEvent::Decision { .. } => "decide",
+            SimTraceEvent::CopyLaunch { .. } => "launch",
+            SimTraceEvent::CopyFinish { .. } => "finish",
+            SimTraceEvent::CopyKill { .. } => "kill",
+            SimTraceEvent::JobFinish { .. } => "jobdone",
+        }
+    }
+}
+
+/// Passive observer of a simulation run.
+///
+/// Implementations must not feed anything back into the simulation: a traced run
+/// must produce exactly the same [`crate::SimResult`] as an untraced one.
+pub trait TraceSink {
+    /// Record one event. Called in simulation-event order.
+    fn record(&mut self, event: &SimTraceEvent);
+}
+
+/// Sink that discards every event (the default for plain `run_simulation`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &SimTraceEvent) {}
+}
+
+/// Sink that buffers every event in memory, for tests, benches and in-process
+/// consumers.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<SimTraceEvent>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Consume the sink, yielding the recorded events.
+    pub fn into_events(self) -> Vec<SimTraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: &SimTraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch_event() -> SimTraceEvent {
+        SimTraceEvent::CopyLaunch {
+            time: 2.5,
+            job: JobId(3),
+            task: TaskId(1),
+            copy: 9,
+            slot: SlotId {
+                machine: 2,
+                slot: 1,
+            },
+            duration: 4.0,
+            speculative: true,
+        }
+    }
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let events = vec![
+            SimTraceEvent::JobArrival {
+                time: 0.0,
+                job: JobId(1),
+            },
+            SimTraceEvent::Decision {
+                time: 1.0,
+                job: JobId(1),
+                task: TaskId(0),
+                kind: ActionKind::Launch,
+            },
+            launch_event(),
+            SimTraceEvent::CopyFinish {
+                time: 3.0,
+                job: JobId(1),
+                task: TaskId(0),
+                copy: 0,
+                task_completed: true,
+            },
+            SimTraceEvent::CopyKill {
+                time: 3.0,
+                job: JobId(1),
+                task: TaskId(0),
+                copy: 1,
+                slot: SlotId {
+                    machine: 0,
+                    slot: 0,
+                },
+            },
+            SimTraceEvent::JobFinish {
+                time: 4.0,
+                job: JobId(1),
+                completed_input: 5,
+                completed_total: 5,
+            },
+        ];
+        let labels: Vec<&str> = events.iter().map(|e| e.kind_label()).collect();
+        assert_eq!(
+            labels,
+            vec!["arrive", "decide", "launch", "finish", "kill", "jobdone"]
+        );
+        for e in &events {
+            assert!(e.time() >= 0.0);
+        }
+        assert_eq!(launch_event().job(), JobId(3));
+    }
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut sink = VecSink::new();
+        sink.record(&SimTraceEvent::JobArrival {
+            time: 0.0,
+            job: JobId(7),
+        });
+        sink.record(&launch_event());
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].job(), JobId(7));
+        let events = sink.into_events();
+        assert_eq!(events[1].kind_label(), "launch");
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.record(&launch_event());
+    }
+}

@@ -1,0 +1,540 @@
+//! The low-level line codec shared by both trace streams.
+//!
+//! A trace file is plain UTF-8 text, one record per line (JSONL-style framing with a
+//! simpler `key=value` record body so no general-purpose parser is needed — the
+//! workspace's serde shim derives are no-ops, so this codec is deliberately
+//! hand-rolled and dependency-free):
+//!
+//! ```text
+//! grass-trace 1 workload            <- header: magic, format version, stream kind
+//! meta generator_seed=42 ...        <- records: tag, then key=value fields
+//! job id=0 arrival=0 ...
+//! # free-form comment               <- comments and blank lines are ignored
+//! ```
+//!
+//! Numbers are written with Rust's shortest-round-trip `Display` formatting, so every
+//! `f64` survives an encode→decode cycle bit-exactly — the property the replay
+//! guarantee rests on. Text values are percent-escaped down to printable ASCII with
+//! no whitespace, `=`, `%` or list separators. Decoding is strict: an unknown magic,
+//! an unsupported
+//! version, a stream-kind mismatch, an unknown tag or a malformed field is an error
+//! that names the offending line.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Magic word opening every trace file.
+pub const MAGIC: &str = "grass-trace";
+
+/// Current trace format version. Readers reject anything else.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Which of the two record streams a trace file carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// A workload trace: job/task specifications plus generator metadata.
+    Workload,
+    /// An execution trace: timestamped simulator events.
+    Execution,
+}
+
+impl StreamKind {
+    /// Stable label used in the header line.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamKind::Workload => "workload",
+            StreamKind::Execution => "execution",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "workload" => Some(StreamKind::Workload),
+            "execution" => Some(StreamKind::Execution),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything that can go wrong while encoding or decoding a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `grass-trace` magic.
+    BadMagic,
+    /// The file uses a format version this reader does not understand.
+    UnsupportedVersion(u32),
+    /// The header declares a different stream kind than the caller expected.
+    WrongStream {
+        /// Stream kind the caller asked for.
+        expected: StreamKind,
+        /// Stream kind found in the header.
+        found: StreamKind,
+    },
+    /// A record line could not be parsed. Carries the 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a grass-trace file (missing magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace format version {v} (supported: {FORMAT_VERSION})"
+                )
+            }
+            TraceError::WrongStream { expected, found } => {
+                write!(f, "expected a {expected} trace but found a {found} trace")
+            }
+            TraceError::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Percent-escape a text value so what remains is printable ASCII containing no
+/// whitespace and none of the codec's structural characters (`=`, `%`, and the
+/// `:` / `|` / `,` list separators used inside composite fields). Non-ASCII bytes
+/// are escaped too, so the escaped form is byte-for-byte ASCII and [`unescape`]
+/// reassembles the original UTF-8 exactly.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b' ' | b'=' | b'%' | b'\n' | b'\r' | b'\t' | b':' | b'|' | b',' => {
+                escape_byte(b, &mut out)
+            }
+            _ if !b.is_ascii() => escape_byte(b, &mut out),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn escape_byte(b: u8, out: &mut String) {
+    out.push('%');
+    out.push(char::from_digit(u32::from(b >> 4), 16).unwrap());
+    out.push(char::from_digit(u32::from(b & 0xF), 16).unwrap());
+}
+
+/// Invert [`escape`]. Fails on truncated or non-hex escapes.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = Vec::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16));
+            let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16));
+            match (hi, lo) {
+                (Some(h), Some(l)) => {
+                    out.push((h * 16 + l) as u8);
+                    i += 3;
+                }
+                _ => return Err(format!("truncated escape in '{s}'")),
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("escape decodes to invalid UTF-8 in '{s}'"))
+}
+
+/// One decoded record: a tag plus its `key=value` fields (values still escaped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// 1-based line number the record came from (0 for synthesised records).
+    pub line: usize,
+    /// Record tag (the first word of the line).
+    pub tag: String,
+    /// Field key/value pairs in line order, values in escaped wire form.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Raw (still escaped) value of `key`.
+    pub fn raw(&self, key: &str) -> Result<&str, TraceError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| {
+                parse_err(
+                    self.line,
+                    format!("record '{}' is missing field '{key}'", self.tag),
+                )
+            })
+    }
+
+    /// Unescaped text value of `key`.
+    pub fn text(&self, key: &str) -> Result<String, TraceError> {
+        unescape(self.raw(key)?).map_err(|m| parse_err(self.line, m))
+    }
+
+    /// `f64` value of `key` (accepts everything `f64::from_str` accepts).
+    pub fn f64(&self, key: &str) -> Result<f64, TraceError> {
+        let raw = self.raw(key)?;
+        raw.parse()
+            .map_err(|_| parse_err(self.line, format!("field '{key}' is not a number: '{raw}'")))
+    }
+
+    /// `u64` value of `key`.
+    pub fn u64(&self, key: &str) -> Result<u64, TraceError> {
+        let raw = self.raw(key)?;
+        raw.parse().map_err(|_| {
+            parse_err(
+                self.line,
+                format!("field '{key}' is not an integer: '{raw}'"),
+            )
+        })
+    }
+
+    /// `usize` value of `key`.
+    pub fn usize(&self, key: &str) -> Result<usize, TraceError> {
+        let raw = self.raw(key)?;
+        raw.parse().map_err(|_| {
+            parse_err(
+                self.line,
+                format!("field '{key}' is not an integer: '{raw}'"),
+            )
+        })
+    }
+
+    /// Boolean value of `key` (`0` / `1`).
+    pub fn bool(&self, key: &str) -> Result<bool, TraceError> {
+        match self.raw(key)? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(parse_err(
+                self.line,
+                format!("field '{key}' is not a boolean (0/1): '{other}'"),
+            )),
+        }
+    }
+}
+
+/// Builder for one record line. Numeric fields use `Display` (shortest round-trip
+/// for floats); text fields are escaped.
+#[derive(Debug)]
+pub struct LineBuilder {
+    buf: String,
+}
+
+impl LineBuilder {
+    /// Start a record with the given tag.
+    pub fn new(tag: &str) -> Self {
+        LineBuilder {
+            buf: tag.to_string(),
+        }
+    }
+
+    /// Append a numeric (or otherwise wire-safe `Display`) field.
+    pub fn num(mut self, key: &str, value: impl fmt::Display) -> Self {
+        use fmt::Write as _;
+        let _ = write!(self.buf, " {key}={value}");
+        self
+    }
+
+    /// Append a boolean field as `0` / `1`.
+    pub fn flag(self, key: &str, value: bool) -> Self {
+        self.num(key, u8::from(value))
+    }
+
+    /// Append a text field, escaping it.
+    pub fn text(self, key: &str, value: &str) -> Self {
+        let escaped = escape(value);
+        self.num(key, escaped)
+    }
+
+    /// Finish the record (no trailing newline).
+    pub fn build(self) -> String {
+        self.buf
+    }
+}
+
+/// Low-level writer: emits the header line, then record lines.
+pub struct TraceWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Open a trace stream of the given kind on `w`, writing the header line.
+    pub fn new(mut w: W, kind: StreamKind) -> Result<Self, TraceError> {
+        writeln!(w, "{MAGIC} {FORMAT_VERSION} {}", kind.label())?;
+        Ok(TraceWriter { w })
+    }
+
+    /// Write one record line.
+    pub fn record(&mut self, line: &str) -> Result<(), TraceError> {
+        writeln!(self.w, "{line}")?;
+        Ok(())
+    }
+
+    /// Write a `#`-prefixed comment line (ignored by readers).
+    pub fn comment(&mut self, text: &str) -> Result<(), TraceError> {
+        for part in text.lines() {
+            writeln!(self.w, "# {part}")?;
+        }
+        Ok(())
+    }
+
+    /// Flush and hand back the underlying writer.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Low-level reader: validates the header, then yields records line by line.
+pub struct TraceReader<R: BufRead> {
+    r: R,
+    /// Stream kind declared by the header.
+    kind: StreamKind,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Open a trace stream, validating magic and version and that the stream kind is
+    /// `expected` (pass `None` to accept either kind, e.g. for `trace stats`).
+    pub fn new(mut r: R, expected: Option<StreamKind>) -> Result<Self, TraceError> {
+        let mut header = String::new();
+        r.read_line(&mut header)?;
+        let header = header.trim_end_matches(['\n', '\r']);
+        let mut words = header.split(' ');
+        if words.next() != Some(MAGIC) {
+            return Err(TraceError::BadMagic);
+        }
+        let version: u32 = words
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| parse_err(1, "header is missing the format version"))?;
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let kind = words
+            .next()
+            .and_then(StreamKind::parse)
+            .ok_or_else(|| parse_err(1, "header is missing the stream kind"))?;
+        if words.next().is_some() {
+            return Err(parse_err(1, "trailing junk in header"));
+        }
+        if let Some(expected) = expected {
+            if kind != expected {
+                return Err(TraceError::WrongStream {
+                    expected,
+                    found: kind,
+                });
+            }
+        }
+        Ok(TraceReader {
+            r,
+            kind,
+            line_no: 1,
+            buf: String::new(),
+        })
+    }
+
+    /// Stream kind declared by the header.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// Read the next record, skipping blank and comment lines. `Ok(None)` at EOF.
+    pub fn next_record(&mut self) -> Result<Option<Record>, TraceError> {
+        loop {
+            self.buf.clear();
+            if self.r.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split(' ');
+            let tag = words.next().expect("split yields at least one item");
+            let mut fields = Vec::new();
+            for word in words {
+                if word.is_empty() {
+                    return Err(parse_err(self.line_no, "double space in record"));
+                }
+                let Some((key, value)) = word.split_once('=') else {
+                    return Err(parse_err(
+                        self.line_no,
+                        format!("field '{word}' is not of the form key=value"),
+                    ));
+                };
+                fields.push((key.to_string(), value.to_string()));
+            }
+            return Ok(Some(Record {
+                line: self.line_no,
+                tag: tag.to_string(),
+                fields,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_awkward_strings() {
+        for s in [
+            "plain",
+            "with space",
+            "a=b",
+            "100%",
+            "tab\there",
+            "multi\nline",
+            "",
+            "café",
+            "日本語",
+            "map:shuffle",
+            "a|b,c:d",
+        ] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "round trip of {s:?}");
+        }
+        assert!(escape("a b=c%").chars().all(|c| c != ' ' && c != '='));
+        // Escaped output is pure ASCII with no structural characters left.
+        for s in ["café", "map:shuffle", "a|b,c"] {
+            let e = escape(s);
+            assert!(e.is_ascii(), "{e}");
+            assert!(e.chars().all(|c| !": | ,".contains(c)), "{e}");
+        }
+        assert!(unescape("bad%").is_err());
+        assert!(unescape("bad%0").is_err());
+        assert!(unescape("bad%zz").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let values = [
+            0.0,
+            -0.0,
+            1.5,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -123.456e-7,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for v in values {
+            let encoded = LineBuilder::new("x").num("v", v).build();
+            let raw = encoded.strip_prefix("x v=").unwrap();
+            let parsed: f64 = raw.parse().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} -> '{raw}' -> {parsed}");
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = TraceWriter::new(Vec::new(), StreamKind::Workload).unwrap();
+        w.comment("a comment\nwith two lines").unwrap();
+        w.record(
+            &LineBuilder::new("meta")
+                .num("seed", 42u64)
+                .text("profile", "Facebook Hadoop")
+                .flag("quick", true)
+                .build(),
+        )
+        .unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = TraceReader::new(&bytes[..], Some(StreamKind::Workload)).unwrap();
+        assert_eq!(r.kind(), StreamKind::Workload);
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.tag, "meta");
+        assert_eq!(rec.u64("seed").unwrap(), 42);
+        assert_eq!(rec.text("profile").unwrap(), "Facebook Hadoop");
+        assert!(rec.bool("quick").unwrap());
+        assert!(rec.raw("missing").is_err());
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_rejects_bad_headers() {
+        assert!(matches!(
+            TraceReader::new(&b"not-a-trace 1 workload\n"[..], None),
+            Err(TraceError::BadMagic)
+        ));
+        assert!(matches!(
+            TraceReader::new(&b"grass-trace 99 workload\n"[..], None),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+        assert!(matches!(
+            TraceReader::new(
+                &b"grass-trace 1 execution\n"[..],
+                Some(StreamKind::Workload)
+            ),
+            Err(TraceError::WrongStream { .. })
+        ));
+        assert!(TraceReader::new(&b"grass-trace 1 sideways\n"[..], None).is_err());
+        assert!(TraceReader::new(&b"grass-trace one workload\n"[..], None).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_malformed_records() {
+        let input = b"grass-trace 1 workload\nmeta seed\n";
+        let mut r = TraceReader::new(&input[..], None).unwrap();
+        let err = r.next_record().unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err}");
+
+        let input = b"grass-trace 1 workload\nmeta seed=1 x=notanumber\n";
+        let mut r = TraceReader::new(&input[..], None).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert!(rec.u64("x").is_err());
+        assert!(rec.f64("x").is_err());
+        assert!(rec.bool("x").is_err());
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let msg = TraceError::UnsupportedVersion(3).to_string();
+        assert!(msg.contains('3') && msg.contains('1'), "{msg}");
+        let msg = TraceError::Parse {
+            line: 12,
+            message: "boom".into(),
+        }
+        .to_string();
+        assert!(msg.contains("12") && msg.contains("boom"));
+        let msg = TraceError::WrongStream {
+            expected: StreamKind::Workload,
+            found: StreamKind::Execution,
+        }
+        .to_string();
+        assert!(msg.contains("workload") && msg.contains("execution"));
+    }
+}

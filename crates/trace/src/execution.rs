@@ -1,0 +1,375 @@
+//! Execution traces: the timestamped simulator event stream of one run.
+//!
+//! The event vocabulary is `grass-sim`'s [`SimTraceEvent`] — job arrivals, policy
+//! decisions (launch vs speculate), copy launches with their slot allocation, copy
+//! finishes and kills, and job completions — encoded one event per line in emission
+//! order. Capture either in memory (`grass_sim::VecSink` plus
+//! [`ExecutionTrace::new`]) or streamed straight to a writer
+//! ([`crate::ExecutionTraceSink`]).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use grass_core::{ActionKind, JobId, TaskId};
+use grass_sim::{SimTraceEvent, SlotId};
+
+use crate::codec::{LineBuilder, Record, StreamKind, TraceError, TraceReader, TraceWriter};
+
+/// Metadata of an execution trace: the simulation configuration that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionMeta {
+    /// Simulator seed of the run.
+    pub sim_seed: u64,
+    /// Policy family that scheduled the run.
+    pub policy: String,
+    /// Number of cluster machines.
+    pub machines: usize,
+    /// Slots per machine.
+    pub slots_per_machine: usize,
+}
+
+/// A recorded execution: metadata plus the full event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// The simulation configuration that produced the stream.
+    pub meta: ExecutionMeta,
+    /// Events in emission (simulation) order.
+    pub events: Vec<SimTraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// Bundle metadata and a captured event stream.
+    pub fn new(meta: ExecutionMeta, events: Vec<SimTraceEvent>) -> Self {
+        ExecutionTrace { meta, events }
+    }
+
+    /// Encode the trace onto any writer.
+    pub fn write_to<W: Write>(&self, w: W) -> Result<(), TraceError> {
+        let mut out = TraceWriter::new(w, StreamKind::Execution)?;
+        out.record(&encode_meta(&self.meta))?;
+        for event in &self.events {
+            out.record(&encode_event(event))?;
+        }
+        out.finish()?;
+        Ok(())
+    }
+
+    /// Encode the trace into a byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Decode a trace from any buffered reader.
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, TraceError> {
+        let mut reader = TraceReader::new(r, Some(StreamKind::Execution))?;
+        let meta_rec = reader.next_record()?.ok_or(TraceError::Parse {
+            line: 1,
+            message: "execution trace has no meta record".into(),
+        })?;
+        if meta_rec.tag != "meta" {
+            return Err(TraceError::Parse {
+                line: meta_rec.line,
+                message: format!(
+                    "expected 'meta' as the first record, found '{}'",
+                    meta_rec.tag
+                ),
+            });
+        }
+        let meta = decode_meta(&meta_rec)?;
+        let mut events = Vec::new();
+        while let Some(rec) = reader.next_record()? {
+            events.push(decode_event(&rec)?);
+        }
+        Ok(ExecutionTrace { meta, events })
+    }
+
+    /// Decode a trace from a byte slice.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        Self::read_from(bytes)
+    }
+
+    /// Write the trace to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        self.write_to(BufWriter::new(File::create(path)?))
+    }
+
+    /// Read a trace from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::read_from(BufReader::new(File::open(path)?))
+    }
+}
+
+pub(crate) fn encode_meta(meta: &ExecutionMeta) -> String {
+    LineBuilder::new("meta")
+        .num("sim_seed", meta.sim_seed)
+        .text("policy", &meta.policy)
+        .num("machines", meta.machines)
+        .num("slots_per_machine", meta.slots_per_machine)
+        .build()
+}
+
+fn decode_meta(rec: &Record) -> Result<ExecutionMeta, TraceError> {
+    Ok(ExecutionMeta {
+        sim_seed: rec.u64("sim_seed")?,
+        policy: rec.text("policy")?,
+        machines: rec.usize("machines")?,
+        slots_per_machine: rec.usize("slots_per_machine")?,
+    })
+}
+
+/// Encode one simulator event as a record line (tag = the event's kind label).
+pub(crate) fn encode_event(event: &SimTraceEvent) -> String {
+    let base = LineBuilder::new(event.kind_label())
+        .num("t", event.time())
+        .num("job", event.job().value());
+    match *event {
+        SimTraceEvent::JobArrival { .. } => base.build(),
+        SimTraceEvent::Decision { task, kind, .. } => base
+            .num("task", task.0)
+            .num(
+                "kind",
+                match kind {
+                    ActionKind::Launch => "launch",
+                    ActionKind::Speculate => "speculate",
+                },
+            )
+            .build(),
+        SimTraceEvent::CopyLaunch {
+            task,
+            copy,
+            slot,
+            duration,
+            speculative,
+            ..
+        } => base
+            .num("task", task.0)
+            .num("copy", copy)
+            .num("slot", format_slot(slot))
+            .num("dur", duration)
+            .flag("spec", speculative)
+            .build(),
+        SimTraceEvent::CopyFinish {
+            task,
+            copy,
+            task_completed,
+            ..
+        } => base
+            .num("task", task.0)
+            .num("copy", copy)
+            .flag("done", task_completed)
+            .build(),
+        SimTraceEvent::CopyKill {
+            task, copy, slot, ..
+        } => base
+            .num("task", task.0)
+            .num("copy", copy)
+            .num("slot", format_slot(slot))
+            .build(),
+        SimTraceEvent::JobFinish {
+            completed_input,
+            completed_total,
+            ..
+        } => base
+            .num("input", completed_input)
+            .num("total", completed_total)
+            .build(),
+    }
+}
+
+fn format_slot(slot: SlotId) -> String {
+    format!("{}.{}", slot.machine, slot.slot)
+}
+
+fn parse_slot(rec: &Record, key: &str) -> Result<SlotId, TraceError> {
+    let raw = rec.raw(key)?;
+    let parsed = raw.split_once('.').and_then(|(m, s)| {
+        Some(SlotId {
+            machine: m.parse().ok()?,
+            slot: s.parse().ok()?,
+        })
+    });
+    parsed.ok_or(TraceError::Parse {
+        line: rec.line,
+        message: format!("field '{key}' is not a machine.slot pair: '{raw}'"),
+    })
+}
+
+fn decode_event(rec: &Record) -> Result<SimTraceEvent, TraceError> {
+    let time = rec.f64("t")?;
+    let job = JobId(rec.u64("job")?);
+    let task = |rec: &Record| -> Result<TaskId, TraceError> { Ok(TaskId(rec.u64("task")? as u32)) };
+    match rec.tag.as_str() {
+        "arrive" => Ok(SimTraceEvent::JobArrival { time, job }),
+        "decide" => {
+            let kind = match rec.raw("kind")? {
+                "launch" => ActionKind::Launch,
+                "speculate" => ActionKind::Speculate,
+                other => {
+                    return Err(TraceError::Parse {
+                        line: rec.line,
+                        message: format!("unknown decision kind '{other}'"),
+                    })
+                }
+            };
+            Ok(SimTraceEvent::Decision {
+                time,
+                job,
+                task: task(rec)?,
+                kind,
+            })
+        }
+        "launch" => Ok(SimTraceEvent::CopyLaunch {
+            time,
+            job,
+            task: task(rec)?,
+            copy: rec.u64("copy")?,
+            slot: parse_slot(rec, "slot")?,
+            duration: rec.f64("dur")?,
+            speculative: rec.bool("spec")?,
+        }),
+        "finish" => Ok(SimTraceEvent::CopyFinish {
+            time,
+            job,
+            task: task(rec)?,
+            copy: rec.u64("copy")?,
+            task_completed: rec.bool("done")?,
+        }),
+        "kill" => Ok(SimTraceEvent::CopyKill {
+            time,
+            job,
+            task: task(rec)?,
+            copy: rec.u64("copy")?,
+            slot: parse_slot(rec, "slot")?,
+        }),
+        "jobdone" => Ok(SimTraceEvent::JobFinish {
+            time,
+            job,
+            completed_input: rec.usize("input")?,
+            completed_total: rec.usize("total")?,
+        }),
+        other => Err(TraceError::Parse {
+            line: rec.line,
+            message: format!("unknown event tag '{other}'"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_events() -> Vec<SimTraceEvent> {
+        vec![
+            SimTraceEvent::JobArrival {
+                time: 0.0,
+                job: JobId(1),
+            },
+            SimTraceEvent::Decision {
+                time: 0.0,
+                job: JobId(1),
+                task: TaskId(4),
+                kind: ActionKind::Launch,
+            },
+            SimTraceEvent::CopyLaunch {
+                time: 0.0,
+                job: JobId(1),
+                task: TaskId(4),
+                copy: 0,
+                slot: SlotId {
+                    machine: 3,
+                    slot: 1,
+                },
+                duration: 2.5,
+                speculative: false,
+            },
+            SimTraceEvent::Decision {
+                time: 1.5,
+                job: JobId(1),
+                task: TaskId(4),
+                kind: ActionKind::Speculate,
+            },
+            SimTraceEvent::CopyLaunch {
+                time: 1.5,
+                job: JobId(1),
+                task: TaskId(4),
+                copy: 1,
+                slot: SlotId {
+                    machine: 0,
+                    slot: 0,
+                },
+                duration: 0.5,
+                speculative: true,
+            },
+            SimTraceEvent::CopyFinish {
+                time: 2.0,
+                job: JobId(1),
+                task: TaskId(4),
+                copy: 1,
+                task_completed: true,
+            },
+            SimTraceEvent::CopyKill {
+                time: 2.0,
+                job: JobId(1),
+                task: TaskId(4),
+                copy: 0,
+                slot: SlotId {
+                    machine: 3,
+                    slot: 1,
+                },
+            },
+            SimTraceEvent::JobFinish {
+                time: 2.0,
+                job: JobId(1),
+                completed_input: 1,
+                completed_total: 1,
+            },
+        ]
+    }
+
+    fn sample_trace() -> ExecutionTrace {
+        ExecutionTrace::new(
+            ExecutionMeta {
+                sim_seed: 9,
+                policy: "GRASS".into(),
+                machines: 4,
+                slots_per_machine: 2,
+            },
+            sample_events(),
+        )
+    }
+
+    #[test]
+    fn every_event_variant_round_trips() {
+        let trace = sample_trace();
+        let decoded = ExecutionTrace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.to_bytes(), trace.to_bytes());
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_slots_are_rejected() {
+        let bytes = b"grass-trace 1 execution\n\
+            meta sim_seed=0 policy=GS machines=1 slots_per_machine=1\n\
+            teleport t=0 job=1\n";
+        assert!(ExecutionTrace::from_bytes(bytes).is_err());
+
+        let bytes = b"grass-trace 1 execution\n\
+            meta sim_seed=0 policy=GS machines=1 slots_per_machine=1\n\
+            kill t=0 job=1 task=0 copy=0 slot=nonsense\n";
+        let err = ExecutionTrace::from_bytes(bytes).unwrap_err();
+        assert!(err.to_string().contains("machine.slot"), "{err}");
+    }
+
+    #[test]
+    fn workload_header_is_rejected_for_execution_reads() {
+        let bytes = b"grass-trace 1 workload\nmeta num_jobs=0\n";
+        assert!(matches!(
+            ExecutionTrace::from_bytes(bytes),
+            Err(TraceError::WrongStream { .. })
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! # grass-trace
+//!
+//! Trace capture, codec and replay for the GRASS (NSDI '14) reproduction.
+//!
+//! The paper's evaluation replays production traces through a trace-driven simulator
+//! (§6.1); this crate makes the trace a first-class, durable artefact of the
+//! reproduction. Two record streams share one versioned, line-oriented, hand-rolled
+//! text codec (no serde — the workspace's serde shim derives are no-ops):
+//!
+//! * **Workload traces** ([`WorkloadTrace`]) — the full `JobSpec`/`TaskSpec` set of a
+//!   run plus generator seed, profile, cluster size and replay defaults. Floats are
+//!   encoded with shortest-round-trip formatting, so a decoded workload is
+//!   bit-identical to the recorded one and [`replay()`] reproduces the original
+//!   `JobOutcome`s exactly.
+//! * **Execution traces** ([`ExecutionTrace`]) — the timestamped simulator event
+//!   stream (arrivals, speculation decisions, copy launches with slot allocation,
+//!   finishes, kills, job completions), captured through `grass-sim`'s `TraceSink`
+//!   hook either in memory (`grass_sim::VecSink`) or streamed to disk
+//!   ([`ExecutionTraceSink`]).
+//!
+//! Consumers: the `repro` binary's `trace record` / `trace replay` / `trace stats`
+//! subcommands, the `trace_replay` example, and the `grass-bench` `tracebench`
+//! target (codec throughput, replay-vs-regenerate speed).
+//!
+//! ```
+//! use grass_core::GrassFactory;
+//! use grass_trace::{record_workload, replay, replay_config, WorkloadTrace};
+//! use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
+//!
+//! // Record a workload, persist it, decode it, replay it: identical outcomes.
+//! let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+//!     .with_jobs(4)
+//!     .with_bound(BoundSpec::paper_errors());
+//! let trace = record_workload(&config, 7, 11, "GRASS", 4, 2);
+//! let decoded = WorkloadTrace::from_bytes(&trace.to_bytes()).unwrap();
+//! let sim = replay_config(&decoded);
+//! let original = replay(&trace, &sim, &GrassFactory::new(sim.seed));
+//! let replayed = replay(&decoded, &sim, &GrassFactory::new(sim.seed));
+//! assert_eq!(original.outcomes, replayed.outcomes);
+//! ```
+
+pub mod codec;
+pub mod execution;
+pub mod replay;
+pub mod sink;
+pub mod stats;
+pub mod workload;
+
+pub use codec::{Record, StreamKind, TraceError, TraceReader, TraceWriter, FORMAT_VERSION};
+pub use execution::{ExecutionMeta, ExecutionTrace};
+pub use replay::{replay, replay_config};
+pub use sink::ExecutionTraceSink;
+pub use stats::TraceStats;
+pub use workload::{record_workload, WorkloadMeta, WorkloadTrace};

@@ -1,0 +1,151 @@
+//! A streaming [`TraceSink`]: encodes simulator events straight onto a writer.
+//!
+//! Use this to capture an execution trace without buffering the whole event stream
+//! in memory:
+//!
+//! ```
+//! use grass_core::{Bound, GsFactory, JobSpec};
+//! use grass_sim::{run_simulation_traced, ClusterConfig, SimConfig};
+//! use grass_trace::{ExecutionMeta, ExecutionTrace, ExecutionTraceSink};
+//!
+//! let config = SimConfig { cluster: ClusterConfig::small(2, 2), ..SimConfig::default() };
+//! let meta = ExecutionMeta {
+//!     sim_seed: config.seed,
+//!     policy: "GS".into(),
+//!     machines: 2,
+//!     slots_per_machine: 2,
+//! };
+//! let mut sink = ExecutionTraceSink::new(Vec::new(), &meta).unwrap();
+//! let job = JobSpec::single_stage(1, 0.0, Bound::EXACT, vec![1.0; 4]);
+//! run_simulation_traced(&config, vec![job], &GsFactory, &mut sink);
+//! let bytes = sink.finish().unwrap();
+//! let trace = ExecutionTrace::from_bytes(&bytes).unwrap();
+//! assert!(!trace.events.is_empty());
+//! ```
+
+use std::io::Write;
+
+use grass_sim::{SimTraceEvent, TraceSink};
+
+use crate::codec::{StreamKind, TraceError, TraceWriter};
+use crate::execution::{encode_event, encode_meta, ExecutionMeta};
+
+/// Sink that writes each event line as it is emitted.
+///
+/// [`TraceSink::record`] cannot return an error, so I/O failures are latched and
+/// surfaced by [`finish`](ExecutionTraceSink::finish); events after a failure are
+/// dropped.
+pub struct ExecutionTraceSink<W: Write> {
+    writer: Option<TraceWriter<W>>,
+    error: Option<TraceError>,
+}
+
+impl<W: Write> ExecutionTraceSink<W> {
+    /// Open a sink on `w`, writing the execution header and meta record.
+    pub fn new(w: W, meta: &ExecutionMeta) -> Result<Self, TraceError> {
+        let mut writer = TraceWriter::new(w, StreamKind::Execution)?;
+        writer.record(&encode_meta(meta))?;
+        Ok(ExecutionTraceSink {
+            writer: Some(writer),
+            error: None,
+        })
+    }
+
+    /// Flush and return the underlying writer, or the first latched I/O error.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        self.writer
+            .take()
+            .expect("writer only vacated on error")
+            .finish()
+    }
+}
+
+impl<W: Write> TraceSink for ExecutionTraceSink<W> {
+    fn record(&mut self, event: &SimTraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(writer) = self.writer.as_mut() {
+            if let Err(e) = writer.record(&encode_event(event)) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_core::{Bound, GsFactory, JobSpec};
+    use grass_sim::{run_simulation_traced, ClusterConfig, SimConfig, VecSink};
+
+    fn meta() -> ExecutionMeta {
+        ExecutionMeta {
+            sim_seed: 3,
+            policy: "GS".into(),
+            machines: 2,
+            slots_per_machine: 2,
+        }
+    }
+
+    #[test]
+    fn streamed_trace_equals_buffered_trace() {
+        let config = SimConfig {
+            cluster: ClusterConfig::small(2, 2),
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let jobs = vec![JobSpec::single_stage(
+            1,
+            0.0,
+            Bound::Error(0.25),
+            vec![2.0; 8],
+        )];
+
+        let mut streaming = ExecutionTraceSink::new(Vec::new(), &meta()).unwrap();
+        let a = run_simulation_traced(&config, jobs.clone(), &GsFactory, &mut streaming);
+        let streamed_bytes = streaming.finish().unwrap();
+
+        let mut buffered = VecSink::new();
+        let b = run_simulation_traced(&config, jobs, &GsFactory, &mut buffered);
+        let buffered_trace = crate::ExecutionTrace::new(meta(), buffered.into_events());
+
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(streamed_bytes, buffered_trace.to_bytes());
+    }
+
+    struct FailingWriter {
+        allowed: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.allowed == 0 {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.allowed -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_are_latched_and_reported_by_finish() {
+        // Allow enough writes for the header and meta record, then fail; the error
+        // must be latched and surface from finish() regardless of when it hits.
+        let mut sink = ExecutionTraceSink::new(FailingWriter { allowed: 20 }, &meta()).unwrap();
+        let event = SimTraceEvent::JobArrival {
+            time: 0.0,
+            job: grass_core::JobId(1),
+        };
+        for _ in 0..100 {
+            sink.record(&event);
+        }
+        assert!(sink.finish().is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Summary statistics over a trace file of either stream kind.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::codec::{StreamKind, TraceError, TraceReader};
+use crate::execution::ExecutionTrace;
+use crate::workload::WorkloadTrace;
+
+/// Aggregate description of one trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Which stream the file carries.
+    pub kind: StreamKind,
+    /// Jobs described (workload) or observed finishing (execution).
+    pub jobs: usize,
+    /// Tasks described (workload) or task completions observed (execution).
+    pub tasks: usize,
+    /// Record count per record tag.
+    pub records_by_tag: BTreeMap<String, usize>,
+    /// Total task work in seconds (workload), or the summed *planned* duration of
+    /// every launched copy (execution) — copies killed mid-flight count in full, so
+    /// this is an upper bound on actual slot occupancy, not `slot_seconds`.
+    pub total_work: f64,
+    /// Largest arrival time (workload) or event time (execution).
+    pub horizon: f64,
+}
+
+impl TraceStats {
+    /// Compute statistics for a trace held in memory (either stream kind: the
+    /// header is peeked first, then the matching decoder runs).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let kind = TraceReader::new(bytes, None)?.kind();
+        match kind {
+            StreamKind::Workload => Ok(Self::of_workload(&WorkloadTrace::from_bytes(bytes)?)),
+            StreamKind::Execution => Ok(Self::of_execution(&ExecutionTrace::from_bytes(bytes)?)),
+        }
+    }
+
+    /// Compute statistics for a trace file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Statistics of a decoded workload trace.
+    pub fn of_workload(trace: &WorkloadTrace) -> Self {
+        let mut records_by_tag = BTreeMap::new();
+        records_by_tag.insert("meta".to_string(), 1);
+        records_by_tag.insert("job".to_string(), trace.jobs.len());
+        TraceStats {
+            kind: StreamKind::Workload,
+            jobs: trace.jobs.len(),
+            tasks: trace.jobs.iter().map(|j| j.total_tasks()).sum(),
+            records_by_tag,
+            total_work: trace.jobs.iter().map(|j| j.total_work()).sum(),
+            horizon: trace.jobs.iter().map(|j| j.arrival).fold(0.0, f64::max),
+        }
+    }
+
+    /// Statistics of a decoded execution trace.
+    pub fn of_execution(trace: &ExecutionTrace) -> Self {
+        use grass_sim::SimTraceEvent;
+        let mut records_by_tag: BTreeMap<String, usize> = BTreeMap::new();
+        records_by_tag.insert("meta".to_string(), 1);
+        let mut jobs = 0;
+        let mut tasks = 0;
+        let mut total_work = 0.0;
+        let mut horizon: f64 = 0.0;
+        for event in &trace.events {
+            *records_by_tag
+                .entry(event.kind_label().to_string())
+                .or_insert(0) += 1;
+            horizon = horizon.max(event.time());
+            match *event {
+                SimTraceEvent::JobFinish { .. } => jobs += 1,
+                SimTraceEvent::CopyFinish { task_completed, .. } => {
+                    if task_completed {
+                        tasks += 1;
+                    }
+                }
+                SimTraceEvent::CopyLaunch { duration, .. } => total_work += duration,
+                _ => {}
+            }
+        }
+        TraceStats {
+            kind: StreamKind::Execution,
+            jobs,
+            tasks,
+            records_by_tag,
+            total_work,
+            horizon,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stream:      {}", self.kind)?;
+        match self.kind {
+            StreamKind::Workload => {
+                writeln!(f, "jobs:        {}", self.jobs)?;
+                writeln!(f, "tasks:       {}", self.tasks)?;
+                writeln!(f, "total work:  {:.1}s", self.total_work)?;
+                writeln!(f, "last arrival: {:.1}s", self.horizon)?;
+            }
+            StreamKind::Execution => {
+                writeln!(f, "jobs finished:     {}", self.jobs)?;
+                writeln!(f, "tasks completed:   {}", self.tasks)?;
+                writeln!(
+                    f,
+                    "launched copy-sec: {:.1}s (planned; killed copies in full)",
+                    self.total_work
+                )?;
+                writeln!(f, "makespan:          {:.1}s", self.horizon)?;
+            }
+        }
+        write!(f, "records:")?;
+        for (tag, count) in &self.records_by_tag {
+            write!(f, " {tag}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::record_workload;
+    use grass_core::GsFactory;
+    use grass_sim::{run_simulation_traced, ClusterConfig, SimConfig, VecSink};
+    use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
+
+    #[test]
+    fn workload_stats_count_jobs_and_tasks() {
+        let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+            .with_jobs(5)
+            .with_bound(BoundSpec::paper_errors());
+        let trace = record_workload(&config, 1, 2, "GS", 2, 2);
+        let stats = TraceStats::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(stats.kind, StreamKind::Workload);
+        assert_eq!(stats.jobs, 5);
+        assert_eq!(
+            stats.tasks,
+            trace.jobs.iter().map(|j| j.total_tasks()).sum::<usize>()
+        );
+        assert!(stats.total_work > 0.0);
+        assert_eq!(stats.records_by_tag["job"], 5);
+        let rendered = stats.to_string();
+        assert!(
+            rendered.contains("workload") && rendered.contains("job=5"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn execution_stats_count_lifecycle_events() {
+        let config = SimConfig {
+            cluster: ClusterConfig::small(2, 2),
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let jobs = vec![grass_core::JobSpec::single_stage(
+            1,
+            0.0,
+            grass_core::Bound::EXACT,
+            vec![1.5; 6],
+        )];
+        let mut sink = VecSink::new();
+        let result = run_simulation_traced(&config, jobs, &GsFactory, &mut sink);
+        let trace = crate::ExecutionTrace::new(
+            crate::ExecutionMeta {
+                sim_seed: 5,
+                policy: "GS".into(),
+                machines: 2,
+                slots_per_machine: 2,
+            },
+            sink.into_events(),
+        );
+        let stats = TraceStats::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(stats.kind, StreamKind::Execution);
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.tasks, 6);
+        assert_eq!(stats.records_by_tag["launch"], result.total_copies);
+        // Stale completion events can advance the simulator clock past the last
+        // *observable* event, so the trace horizon is a lower bound on the makespan.
+        assert!(stats.horizon > 0.0 && stats.horizon <= result.makespan + 1e-12);
+        let rendered = stats.to_string();
+        assert!(
+            rendered.contains("execution") && rendered.contains("arrive=1"),
+            "{rendered}"
+        );
+    }
+}

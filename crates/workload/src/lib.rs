@@ -23,7 +23,9 @@
 pub mod distributions;
 pub mod generator;
 pub mod profiles;
+pub mod source;
 
 pub use distributions::{InterArrival, WorkDistribution};
 pub use generator::{generate, generate_job, ideal_duration, BoundSpec, WorkloadConfig};
 pub use profiles::{table1_rows, Framework, SizeMix, TraceProfile, TraceSource, TraceSummary};
+pub use source::{GeneratedWorkload, JobSource, RecordedWorkload};

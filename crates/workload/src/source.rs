@@ -1,0 +1,115 @@
+//! Workload sources: where a simulation's jobs come from.
+//!
+//! Historically every experiment sampled a fresh synthetic workload
+//! ([`generate`]); with the `grass-trace` subsystem a recorded
+//! workload can be replayed instead. [`JobSource`] abstracts over the two so
+//! harnesses can take either: a [`GeneratedWorkload`] re-rolls its jobs from a seed,
+//! a [`RecordedWorkload`] returns a fixed job list (typically decoded from a
+//! workload trace) and ignores the seed entirely — the replay path.
+
+use grass_core::JobSpec;
+
+use crate::generator::{generate, WorkloadConfig};
+
+/// A provider of simulation jobs.
+pub trait JobSource {
+    /// Human-readable label of the source ("Facebook-Hadoop", a trace file name, …).
+    fn label(&self) -> String;
+
+    /// Produce the jobs to simulate. Generated sources sample from `seed`; recorded
+    /// sources return their fixed job list and ignore it.
+    fn jobs(&self, seed: u64) -> Vec<JobSpec>;
+}
+
+/// Job source that samples a fresh synthetic workload per seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratedWorkload {
+    /// The generator configuration sampled from.
+    pub config: WorkloadConfig,
+}
+
+impl GeneratedWorkload {
+    /// Wrap a generator configuration.
+    pub fn new(config: WorkloadConfig) -> Self {
+        GeneratedWorkload { config }
+    }
+}
+
+impl JobSource for GeneratedWorkload {
+    fn label(&self) -> String {
+        self.config.profile.label()
+    }
+
+    fn jobs(&self, seed: u64) -> Vec<JobSpec> {
+        generate(&self.config, seed)
+    }
+}
+
+/// Job source that replays a fixed, previously recorded job list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedWorkload {
+    label: String,
+    jobs: Vec<JobSpec>,
+}
+
+impl RecordedWorkload {
+    /// Wrap a fixed job list under a label.
+    pub fn new(label: impl Into<String>, jobs: Vec<JobSpec>) -> Self {
+        RecordedWorkload {
+            label: label.into(),
+            jobs,
+        }
+    }
+
+    /// The recorded jobs, borrowed.
+    pub fn jobs_ref(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Consume the source, yielding the recorded jobs without cloning.
+    pub fn into_jobs(self) -> Vec<JobSpec> {
+        self.jobs
+    }
+}
+
+impl JobSource for RecordedWorkload {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn jobs(&self, _seed: u64) -> Vec<JobSpec> {
+        self.jobs.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::BoundSpec;
+    use crate::profiles::{Framework, TraceProfile};
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+            .with_jobs(6)
+            .with_bound(BoundSpec::paper_errors())
+    }
+
+    #[test]
+    fn generated_source_matches_direct_generation() {
+        let source = GeneratedWorkload::new(config());
+        assert_eq!(source.jobs(3), generate(&config(), 3));
+        assert_ne!(source.jobs(3), source.jobs(4));
+        assert_eq!(source.label(), "Facebook-Spark");
+    }
+
+    #[test]
+    fn recorded_source_ignores_the_seed() {
+        let jobs = generate(&config(), 5);
+        let source = RecordedWorkload::new("fixture", jobs.clone());
+        assert_eq!(source.jobs(0), jobs);
+        assert_eq!(source.jobs(123), jobs);
+        assert_eq!(source.label(), "fixture");
+        assert_eq!(source.jobs_ref(), &jobs[..]);
+        assert_eq!(source.into_jobs(), jobs);
+    }
+}

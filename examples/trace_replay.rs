@@ -1,0 +1,90 @@
+//! Record/replay walkthrough: persist a workload trace, stream an execution trace,
+//! then replay the workload from disk and verify the outcomes are bit-identical.
+//!
+//! This is the paper's trace-driven-simulator workflow (§6.1) applied to this
+//! reproduction's own artefacts: instead of re-rolling a fresh synthetic workload
+//! per experiment, a run is captured once and becomes a durable, diffable input.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use grass::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("grass-trace-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let workload_path = dir.join("workload.trace");
+    let execution_path = dir.join("execution.trace");
+
+    // 1. Sample a workload and persist it with its provenance + replay defaults.
+    let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+        .with_jobs(12)
+        .with_bound(BoundSpec::paper_errors());
+    let trace = record_workload(&config, 7, 11, "GRASS", 10, 4);
+    trace.save(&workload_path).expect("write workload trace");
+    println!(
+        "recorded {} jobs / {} tasks from the {} profile -> {}",
+        trace.jobs.len(),
+        trace.jobs.iter().map(|j| j.total_tasks()).sum::<usize>(),
+        trace.meta.profile,
+        workload_path.display()
+    );
+
+    // 2. Run it under GRASS, streaming every scheduling event to disk as we go.
+    let sim = replay_config(&trace);
+    let exec_meta = ExecutionMeta {
+        sim_seed: sim.seed,
+        policy: "GRASS".into(),
+        machines: trace.meta.machines,
+        slots_per_machine: trace.meta.slots_per_machine,
+    };
+    let file = BufWriter::new(File::create(&execution_path).expect("create execution trace"));
+    let mut sink = ExecutionTraceSink::new(file, &exec_meta).expect("open execution sink");
+    let original = run_simulation_traced(
+        &sim,
+        trace.jobs.clone(),
+        &GrassFactory::new(sim.seed),
+        &mut sink,
+    );
+    sink.finish().expect("flush execution trace");
+
+    let stats = TraceStats::load(&execution_path).expect("stat execution trace");
+    println!("\nexecution trace ({}):", execution_path.display());
+    println!("{stats}\n");
+
+    // 3. Replay: decode the workload from disk and run it again, same seeds.
+    let decoded = WorkloadTrace::load(&workload_path).expect("read workload trace");
+    let replayed = replay(
+        &decoded,
+        &replay_config(&decoded),
+        &GrassFactory::new(sim.seed),
+    );
+
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "run", "jobs", "makespan", "total copies"
+    );
+    for (name, result) in [("original", &original), ("replayed", &replayed)] {
+        println!(
+            "{:<10} {:>14} {:>14.3} {:>14}",
+            name,
+            result.outcomes.len(),
+            result.makespan,
+            result.total_copies
+        );
+    }
+
+    assert_eq!(
+        original.outcomes, replayed.outcomes,
+        "replay must reproduce the recorded run exactly"
+    );
+    assert_eq!(original.makespan.to_bits(), replayed.makespan.to_bits());
+    println!(
+        "\nreplay reproduced all {} job outcomes bit-exactly",
+        original.outcomes.len()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

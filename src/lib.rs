@@ -19,6 +19,7 @@
 //!   baselines,
 //! * [`model`] (`grass-model`) — the Appendix-A analytic model and Hill estimator,
 //! * [`metrics`] (`grass-metrics`) — outcome aggregation and report tables,
+//! * [`trace`] (`grass-trace`) — workload/execution trace capture, codec and replay,
 //! * [`experiments`] (`grass-experiments`) — harnesses regenerating every table and
 //!   figure of the paper.
 //!
@@ -47,27 +48,58 @@ pub use grass_metrics as metrics;
 pub use grass_model as model;
 pub use grass_policies as policies;
 pub use grass_sim as sim;
+pub use grass_trace as trace;
 pub use grass_workload as workload;
 
 /// Convenient single-import prelude for applications and examples.
+///
+/// The prelude is *complete* with respect to the sub-crates' root re-exports: every
+/// name a workspace crate re-exports at its root appears here (the facade test
+/// `tests/facade.rs` parses the crate roots and fails on any drift in either
+/// direction). The sub-crates' own root definitions that are deliberately *not*
+/// re-exported (`grass_core::{Error, Result}`, which would shadow the std prelude)
+/// are accessible through the module re-exports above.
 pub mod prelude {
     pub use grass_core::{
-        Action, ActionKind, Bound, EstimatorConfig, FactorSet, GrassConfig, GrassFactory,
-        GrassPolicy, GsFactory, GsPolicy, JobId, JobOutcome, JobSizeBin, JobSpec, JobView,
-        PolicyFactory, RasFactory, RasPolicy, SampleStore, SpeculationMode, SpeculationPolicy,
-        StageId, TaskId, TaskSpec, TaskView,
+        degrade_estimate, AccuracyTracker, Action, ActionKind, Bound, BoxedPolicy, EstimatorConfig,
+        FactorSet, GrassConfig, GrassFactory, GrassPolicy, GsFactory, GsPolicy, JobId, JobOutcome,
+        JobSizeBin, JobSpec, JobView, PolicyFactory, RasFactory, RasPolicy, SampleStore,
+        SizeBucket, SpeculationMode, SpeculationPolicy, StageId, StageSpec, StrawmanConfig,
+        SwitchScanCache, TaskId, TaskSpec, TaskView, Time,
     };
-    pub use grass_experiments::{run_experiment, ExpConfig, PolicyKind};
-    pub use grass_metrics::{Metric, OutcomeSet, Report, Table};
-    pub use grass_model::{Pareto, ProactiveModel, ReactiveModel};
+    pub use grass_experiments::{
+        compare, compare_outcomes, experiment_ids, make_factory, metric_for, outcome_digest,
+        run_experiment, run_once, run_policy, run_trace_command, sample_task_durations,
+        workload_jobs, Comparison, ExpConfig, PolicyKind,
+    };
+    pub use grass_metrics::{
+        improvement_by_size_bin, improvement_percent, mean_metric, overall_improvement, Cell,
+        Metric, OutcomeSet, Report, Series, Table,
+    };
+    pub use grass_model::{
+        figure4_curves, hill_estimate, hill_plot, tail_index, Figure4Curve, HillPoint, Pareto,
+        ProactiveModel, ReactiveModel,
+    };
     pub use grass_policies::{
-        LateFactory, LatePolicy, MantriFactory, MantriPolicy, NoSpecFactory, OracleFactory,
+        LateConfig, LateFactory, LatePolicy, LjfFactory, LjfPolicy, MantriConfig, MantriFactory,
+        MantriPolicy, NoSpecFactory, NoSpecPolicy, OracleFactory, OraclePolicy, SjfFactory,
+        SjfPolicy,
     };
     pub use grass_sim::{
-        run_simulation, ClusterConfig, HeterogeneityModel, SimConfig, SimResult, StragglerModel,
+        run_simulation, run_simulation_traced, ClusterConfig, CompletionEffect, CopyId,
+        CopyRuntime, Event, EventQueue, HeterogeneityModel, JobRuntime, Machine, NullSink,
+        SimConfig, SimResult, SimTraceEvent, SlotId, StragglerModel, TaskRuntime, TimeWeighted,
+        TraceSink, VecSink,
+    };
+    pub use grass_trace::{
+        record_workload, replay, replay_config, ExecutionMeta, ExecutionTrace, ExecutionTraceSink,
+        Record, StreamKind, TraceError, TraceReader, TraceStats, TraceWriter, WorkloadMeta,
+        WorkloadTrace, FORMAT_VERSION,
     };
     pub use grass_workload::{
-        generate, BoundSpec, Framework, TraceProfile, TraceSource, WorkloadConfig,
+        generate, generate_job, ideal_duration, table1_rows, BoundSpec, Framework,
+        GeneratedWorkload, InterArrival, JobSource, RecordedWorkload, SizeMix, TraceProfile,
+        TraceSource, TraceSummary, WorkDistribution, WorkloadConfig,
     };
 }
 

@@ -1,0 +1,176 @@
+//! Guards the facade against export drift.
+//!
+//! `grass::prelude` re-exports, by hand, every name each workspace crate re-exports
+//! at its root. That list used to drift silently whenever a crate gained or lost an
+//! export (ROADMAP "API warts"). This test closes the gap mechanically: it parses
+//! the `pub use` statements of every `crates/*/src/lib.rs` and of the prelude module
+//! in `src/lib.rs`, and fails — naming the offending identifiers — when the two
+//! sets differ in either direction.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// Root-level items that are `pub` in a sub-crate but deliberately kept out of the
+/// prelude, with the reason. Keep this list short and justified.
+const EXCLUDED: &[(&str, &str)] = &[
+    // Would shadow the std prelude's Result in every `use grass::prelude::*` scope.
+    ("Result", "grass_core::Result shadows std::result::Result"),
+    ("Error", "grass_core::Error shadows common Error names"),
+];
+
+/// Root-level `pub fn`/`pub const` definitions (not re-exports) that belong in the
+/// prelude but are invisible to the `pub use` parser below.
+const DEFINED_AT_ROOT: &[&str] = &["experiment_ids", "run_experiment"];
+
+/// Extract the leaf identifiers of every top-level `pub use` statement in `source`.
+/// Handles multi-line brace lists, `path::Item`, `Item as Alias` and glob-free
+/// nesting as used by the workspace's crate roots.
+fn pub_use_identifiers(source: &str) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    let mut statement: Option<String> = None;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if statement.is_none() {
+            if let Some(rest) = trimmed.strip_prefix("pub use ") {
+                statement = Some(rest.to_string());
+            }
+        } else {
+            statement.as_mut().unwrap().push(' ');
+            statement.as_mut().unwrap().push_str(trimmed);
+        }
+        if let Some(stmt) = &statement {
+            if let Some(end) = stmt.find(';') {
+                collect_from_statement(&stmt[..end], &mut idents);
+                statement = None;
+            }
+        }
+    }
+    assert!(
+        statement.is_none(),
+        "unterminated pub use statement: {statement:?}"
+    );
+    idents
+}
+
+fn collect_from_statement(stmt: &str, idents: &mut BTreeSet<String>) {
+    // `module as alias` re-exports of whole crates (facade top level) are module
+    // renames, not item exports; the crate roots under crates/* never use them for
+    // items, so treat `X as Y` uniformly as exporting `Y`.
+    let stmt = stmt.trim();
+    if let Some(open) = stmt.find('{') {
+        let inner = stmt[open + 1..stmt.rfind('}').expect("matching brace")].trim();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            idents.insert(leaf_name(item));
+        }
+    } else {
+        idents.insert(leaf_name(stmt));
+    }
+}
+
+fn leaf_name(item: &str) -> String {
+    let item = match item.split(" as ").nth(1) {
+        Some(alias) => alias.trim(),
+        None => item.trim(),
+    };
+    item.rsplit("::").next().unwrap().trim().to_string()
+}
+
+fn read(path: &Path) -> String {
+    fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// The prelude block of `src/lib.rs`.
+fn prelude_source(facade: &str) -> &str {
+    let start = facade
+        .find("pub mod prelude")
+        .expect("src/lib.rs declares pub mod prelude");
+    // The prelude module contains no nested braces except the use lists, which the
+    // identifier parser consumes statement-by-statement; slicing to the end of the
+    // file is safe because the prelude is the last module in src/lib.rs before the
+    // test module, which contains no pub use statements.
+    &facade[start..]
+}
+
+#[test]
+fn prelude_is_exactly_the_union_of_crate_root_exports() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let facade = read(&root.join("src/lib.rs"));
+    let prelude: BTreeSet<String> = pub_use_identifiers(prelude_source(&facade));
+
+    let mut expected: BTreeSet<String> = BTreeSet::new();
+    let mut crates_seen = 0;
+    for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+        let lib = entry.expect("dir entry").path().join("src/lib.rs");
+        if !lib.exists() {
+            continue;
+        }
+        crates_seen += 1;
+        expected.extend(pub_use_identifiers(&read(&lib)));
+    }
+    assert!(
+        crates_seen >= 8,
+        "expected at least 8 workspace crates, found {crates_seen}"
+    );
+    for name in DEFINED_AT_ROOT {
+        expected.insert((*name).to_string());
+    }
+    for (name, _reason) in EXCLUDED {
+        expected.remove(*name);
+    }
+    assert!(
+        expected.len() >= 100,
+        "parser found only {} root exports — it is likely broken",
+        expected.len()
+    );
+
+    let missing: Vec<&String> = expected.difference(&prelude).collect();
+    let stale: Vec<&String> = prelude.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "grass::prelude drifted from the crate roots.\n\
+         Missing from prelude (add to src/lib.rs): {missing:?}\n\
+         In prelude but not exported by any crate root (remove): {stale:?}"
+    );
+}
+
+#[test]
+fn excluded_names_really_exist_at_a_crate_root() {
+    // Keep the exclusion list honest: each excluded name must still be a real
+    // root-level definition somewhere, otherwise the entry is dead and should go.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (name, reason) in EXCLUDED {
+        let mut found = false;
+        for entry in fs::read_dir(root.join("crates")).expect("crates/ directory") {
+            let lib = entry.expect("dir entry").path().join("src/lib.rs");
+            if !lib.exists() {
+                continue;
+            }
+            let source = read(&lib);
+            if source.contains(&format!("pub enum {name}"))
+                || source.contains(&format!("pub struct {name}"))
+                || source.contains(&format!("pub type {name}"))
+            {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "excluded name '{name}' ({reason}) no longer exists");
+    }
+}
+
+#[test]
+fn prelude_names_resolve() {
+    // A compile-time sanity check that the prelude actually works as a glob import
+    // alongside std (no ambiguity errors from the exclusion policy).
+    #[allow(unused_imports)]
+    use grass::prelude::*;
+    let _: Result<(), ()> = Ok(()); // std Result, not shadowed
+    let spec = JobSpec::single_stage(1, 0.0, Bound::EXACT, vec![1.0]);
+    assert_eq!(spec.total_tasks(), 1);
+    assert_eq!(FORMAT_VERSION, 1);
+}
