@@ -1,0 +1,61 @@
+//! Benchmarks of the `grass-experiments` sweep runner: serial versus threaded
+//! wall-clock for the same cluster-size × policy grid over one recorded workload.
+//! The grid cells are independent simulations, so the threaded runner should
+//! approach `min(threads, cells)`-way speed-up; the assembled results are
+//! bit-identical either way (asserted by `tests/sweep.rs`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grass_experiments::{run_sweep, ExpConfig, PolicyKind, SweepConfig};
+use grass_trace::record_workload;
+use grass_workload::{BoundSpec, Framework, RecordedWorkload, TraceProfile, WorkloadConfig};
+
+fn recorded_source(jobs: usize) -> RecordedWorkload {
+    let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+        .with_jobs(jobs)
+        .with_bound(BoundSpec::paper_errors());
+    record_workload(&config, 7, 11, "late", 10, 4).to_source()
+}
+
+fn bench_grid() -> SweepConfig {
+    let mut base = ExpConfig::tiny();
+    base.jobs_per_run = 12;
+    SweepConfig {
+        machines: vec![8, 12, 16],
+        policies: vec![
+            PolicyKind::Late,
+            PolicyKind::GsOnly,
+            PolicyKind::RasOnly,
+            PolicyKind::grass(),
+        ],
+        baseline: PolicyKind::Late,
+        threads: 1,
+        base,
+    }
+}
+
+fn sweep_serial_vs_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweepbench");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+
+    let source = recorded_source(12);
+    println!(
+        "# sweep corpus: 12 recorded jobs, 3 cluster sizes x 4 policies = {} cells",
+        bench_grid().machines.len() * bench_grid().policies.len()
+    );
+    for threads in [1usize, 2, 4] {
+        let mut config = bench_grid();
+        config.threads = threads;
+        group.bench_function(format!("sweep_12cells_threads_{threads}"), |b| {
+            b.iter(|| criterion::black_box(run_sweep(&source, &config).cells.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(sweepbench, sweep_serial_vs_threaded);
+criterion_main!(sweepbench);

@@ -131,7 +131,7 @@ impl SwitchScanCache {
             let mid = self.scratch.len() / 2;
             *self
                 .scratch
-                .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap())
+                .select_nth_unstable_by(mid, |a, b| a.total_cmp(b))
                 .1
         };
         self.memo = Some((key, median));
@@ -571,7 +571,7 @@ mod tests {
             let mut cache = SwitchScanCache::new();
             let selected = cache.median_tnew(&v);
             let mut sorted: Vec<f64> = tasks.iter().map(|t| t.tnew).collect();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             assert_eq!(selected, sorted[sorted.len() / 2], "n = {n}");
         }
     }

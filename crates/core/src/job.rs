@@ -132,12 +132,32 @@ impl JobSpec {
         }
     }
 
-    /// Validate internal consistency (bound domain, per-stage task counts, non-empty).
+    /// Validate internal consistency: bound domain, per-stage task counts,
+    /// non-emptiness, and numeric sanity (arrival and task work must be finite and
+    /// non-negative — a NaN or infinity here would silently poison every duration
+    /// comparison downstream, so it is rejected at the decode/validation boundary).
     pub fn validate(&self) -> Result<()> {
         if self.tasks.is_empty() || self.stages.is_empty() {
             return Err(Error::EmptyJob(self.id));
         }
         self.bound.validate()?;
+        if !(self.arrival.is_finite() && self.arrival >= 0.0) {
+            return Err(Error::DegenerateValue {
+                job: self.id,
+                message: format!(
+                    "arrival time {} must be finite and non-negative",
+                    self.arrival
+                ),
+            });
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if !(t.work.is_finite() && t.work >= 0.0) {
+                return Err(Error::DegenerateValue {
+                    job: self.id,
+                    message: format!("task {i} work {} must be finite and non-negative", t.work),
+                });
+            }
+        }
         let declared: usize = self.stages.iter().map(|s| s.task_count).sum();
         if declared != self.tasks.len() {
             return Err(Error::InvalidBound(format!(
@@ -195,7 +215,7 @@ impl JobSpec {
         if w.is_empty() {
             return 0.0;
         }
-        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        w.sort_by(f64::total_cmp);
         w[w.len() / 2]
     }
 
@@ -350,6 +370,28 @@ mod tests {
         assert!(Bound::EXACT.is_exact());
         assert!(!Bound::Error(0.1).is_exact());
         assert!(!Bound::Deadline(5.0).is_exact());
+    }
+
+    #[test]
+    fn degenerate_numeric_fields_fail_validation() {
+        // NaN / infinite / negative task work would poison every duration
+        // comparison downstream; validation rejects it at the boundary.
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let job = JobSpec::single_stage(1, 0.0, Bound::EXACT, vec![1.0, bad]);
+            let err = job.validate().unwrap_err();
+            assert!(
+                matches!(err, Error::DegenerateValue { .. }),
+                "work {bad}: {err}"
+            );
+        }
+        for bad in [f64::NAN, f64::NEG_INFINITY, -0.5] {
+            let job = JobSpec::single_stage(1, bad, Bound::EXACT, vec![1.0]);
+            assert!(job.validate().is_err(), "arrival {bad} must be rejected");
+        }
+        // Zero work and zero arrival stay legal.
+        assert!(JobSpec::single_stage(1, 0.0, Bound::EXACT, vec![0.0])
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub enum Error {
     InvalidBound(String),
     /// A task referenced a stage index that the job does not declare.
     UnknownStage { job: JobId, stage: StageId },
+    /// A numeric field (arrival time, task work) was NaN, infinite or negative —
+    /// such values would otherwise poison every downstream comparison and mean.
+    DegenerateValue { job: JobId, message: String },
 }
 
 impl std::fmt::Display for Error {
@@ -76,6 +79,9 @@ impl std::fmt::Display for Error {
             Error::InvalidBound(msg) => write!(f, "invalid approximation bound: {msg}"),
             Error::UnknownStage { job, stage } => {
                 write!(f, "job {job:?} references undeclared stage {stage:?}")
+            }
+            Error::DegenerateValue { job, message } => {
+                write!(f, "job {job:?} has a degenerate value: {message}")
             }
         }
     }

@@ -97,12 +97,10 @@ fn choose_deadline(view: &JobView, mode: SpeculationMode) -> Option<Action> {
         SpeculationMode::Gs => {
             // SJF over the union of fresh tasks and admissible speculative copies:
             // schedule whatever finishes soonest.
-            let best_fresh = fresh
-                .into_iter()
-                .min_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap());
+            let best_fresh = fresh.into_iter().min_by(|a, b| a.tnew.total_cmp(&b.tnew));
             let best_spec = speculative
                 .into_iter()
-                .min_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap());
+                .min_by(|a, b| a.tnew.total_cmp(&b.tnew));
             match (best_fresh, best_spec) {
                 (Some(f), Some(s)) => {
                     if s.tnew < f.tnew {
@@ -123,14 +121,13 @@ fn choose_deadline(view: &JobView, mode: SpeculationMode) -> Option<Action> {
             if let Some(s) = speculative.into_iter().max_by(|a, b| {
                 a.speculation_saving()
                     .unwrap()
-                    .partial_cmp(&b.speculation_saving().unwrap())
-                    .unwrap()
+                    .total_cmp(&b.speculation_saving().unwrap())
             }) {
                 return Some(Action::speculate(s.id));
             }
             fresh
                 .into_iter()
-                .min_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap())
+                .min_by(|a, b| a.tnew.total_cmp(&b.tnew))
                 .map(|f| Action::launch(f.id))
         }
     }
@@ -145,11 +142,7 @@ fn choose_error(view: &JobView, mode: SpeculationMode) -> Option<Action> {
         .eligible_tasks()
         .filter(|t| t.stage.is_input())
         .collect();
-    input_tasks.sort_by(|a, b| {
-        a.effective_duration()
-            .partial_cmp(&b.effective_duration())
-            .unwrap()
-    });
+    input_tasks.sort_by(|a, b| a.effective_duration().total_cmp(&b.effective_duration()));
     let still_needed = view
         .input_tasks_still_needed()
         .unwrap_or(input_tasks.len())
@@ -191,12 +184,10 @@ fn choose_error(view: &JobView, mode: SpeculationMode) -> Option<Action> {
             // GS picks the candidate with the largest remaining time: the task that
             // most threatens the makespan, whether by launching it (fresh) or by
             // racing a copy against its straggling original.
-            let best_fresh = fresh
-                .into_iter()
-                .max_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap());
+            let best_fresh = fresh.into_iter().max_by(|a, b| a.tnew.total_cmp(&b.tnew));
             let best_spec = speculative
                 .into_iter()
-                .max_by(|a, b| a.trem.partial_cmp(&b.trem).unwrap());
+                .max_by(|a, b| a.trem.total_cmp(&b.trem));
             match (best_fresh, best_spec) {
                 (Some(f), Some(s)) => {
                     if s.trem > f.tnew {
@@ -214,14 +205,13 @@ fn choose_error(view: &JobView, mode: SpeculationMode) -> Option<Action> {
             if let Some(s) = speculative.into_iter().max_by(|a, b| {
                 a.speculation_saving()
                     .unwrap()
-                    .partial_cmp(&b.speculation_saving().unwrap())
-                    .unwrap()
+                    .total_cmp(&b.speculation_saving().unwrap())
             }) {
                 return Some(Action::speculate(s.id));
             }
             fresh
                 .into_iter()
-                .max_by(|a, b| a.tnew.partial_cmp(&b.tnew).unwrap())
+                .max_by(|a, b| a.tnew.total_cmp(&b.tnew))
                 .map(|f| Action::launch(f.id))
         }
     }

@@ -11,6 +11,8 @@ use grass_core::{FactorSet, JobSizeBin};
 use grass_metrics::{Cell, Report, Table};
 use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
 
+use grass_workload::GeneratedWorkload;
+
 use crate::common::{compare_outcomes, run_policy, ExpConfig, PolicyKind};
 
 fn workload(exp: &ExpConfig, profile: TraceProfile, bound: BoundSpec) -> WorkloadConfig {
@@ -30,13 +32,14 @@ fn candidates_table(
     wl: &WorkloadConfig,
     candidates: &[(PolicyKind, &str)],
 ) -> Table {
+    let source = GeneratedWorkload::new(*wl);
     let baseline = PolicyKind::Late;
-    let base = run_policy(exp, wl, &baseline);
+    let base = run_policy(exp, &source, &baseline);
     let comparisons: Vec<_> = candidates
         .iter()
         .map(|(policy, _)| {
-            let cand = run_policy(exp, wl, policy);
-            compare_outcomes(wl, &baseline, policy, &base, &cand)
+            let cand = run_policy(exp, &source, policy);
+            compare_outcomes(&source, &baseline, policy, &base, &cand)
         })
         .collect();
 
@@ -54,7 +57,7 @@ fn candidates_table(
         "overall",
         comparisons
             .iter()
-            .map(|c| Cell::Number(c.overall))
+            .map(|c| c.overall.map(Cell::Number).unwrap_or(Cell::Empty))
             .collect(),
     );
     table
@@ -228,12 +231,12 @@ pub fn fig15(exp: &ExpConfig) -> Report {
                 TraceProfile::facebook(Framework::Spark),
                 TraceProfile::bing(Framework::Spark),
             ] {
-                let wl = workload(exp, profile, bound);
-                let base = run_policy(exp, &wl, &PolicyKind::Late);
+                let source = GeneratedWorkload::new(workload(exp, profile, bound));
+                let base = run_policy(exp, &source, &PolicyKind::Late);
                 let candidate = PolicyKind::grass_with_xi(xi / 100.0);
-                let cand = run_policy(exp, &wl, &candidate);
-                let cmp = compare_outcomes(&wl, &PolicyKind::Late, &candidate, &base, &cand);
-                cells.push(Cell::Number(cmp.overall));
+                let cand = run_policy(exp, &source, &candidate);
+                let cmp = compare_outcomes(&source, &PolicyKind::Late, &candidate, &base, &cand);
+                cells.push(cmp.overall.map(Cell::Number).unwrap_or(Cell::Empty));
             }
             table.push_row(format!("{xi:.0}"), cells);
         }

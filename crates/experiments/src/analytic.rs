@@ -37,7 +37,7 @@ pub fn fig3(exp: &ExpConfig) -> Report {
         table.push_row("measured beta", vec![Cell::Number(beta)]);
     }
     let mut sorted = durations.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let median = sorted[sorted.len() / 2];
     let p999 = sorted[(sorted.len() as f64 * 0.999) as usize];
     table.push_row("p99.9 / median duration", vec![Cell::Number(p999 / median)]);

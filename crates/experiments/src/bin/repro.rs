@@ -7,17 +7,22 @@
 //! repro trace record --out <dir> [--jobs N] [--policy P] [...]
 //! repro trace replay <workload.trace> [--policy P]
 //! repro trace stats <trace-file>...
+//! repro sweep <workload.trace|dir> [--machines 20,50,100] [--policies late,gs,ras,grass]
+//!             [--baseline late] [--threads N] [--seeds a,b,c] [--slots N] [--quick]
 //! ```
 //!
 //! With no experiment ids, every experiment is run in paper order. `--quick` uses the
 //! reduced configuration (fewer jobs, one seed, smaller cluster) intended for smoke
 //! tests; the default configuration averages three seeds on the 200-slot cluster.
 //! The `trace` subcommand records, replays and inspects workload/execution traces
-//! (see `grass_experiments::trace_cli`).
+//! (see `grass_experiments::trace_cli`); `sweep` replays one recorded workload across
+//! a cluster-size × policy grid (see `grass_experiments::sweep`).
 
 use std::process::ExitCode;
 
-use grass_experiments::{experiment_ids, run_experiment, run_trace_command, ExpConfig};
+use grass_experiments::{
+    experiment_ids, run_experiment, run_sweep_command, run_trace_command, ExpConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +32,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("repro trace: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return match run_sweep_command(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("repro sweep: {message}");
                 ExitCode::FAILURE
             }
         };
@@ -97,6 +111,9 @@ fn print_help() {
     println!("                          [--machines N] [--slots N]");
     println!("       repro trace replay <workload.trace|dir> [--policy P]");
     println!("       repro trace stats <trace-file>...");
+    println!("       repro sweep <workload.trace|dir> [--machines 20,50,100]");
+    println!("                   [--policies late,gs,ras,grass] [--baseline late]");
+    println!("                   [--threads N] [--seeds a,b,c] [--slots N] [--quick]");
     println!();
     println!("Experiment ids:");
     for id in experiment_ids() {

@@ -1,6 +1,13 @@
-//! Shared experiment plumbing: which policies to run, how to run a workload through
+//! Shared experiment plumbing: which policies to run, how to run a job source through
 //! the simulator for several seeds, and how to turn the outcomes into the improvement
 //! tables the paper's figures report.
+//!
+//! Every experiment entry point consumes a [`JobSource`] rather than sampling a
+//! workload itself: a [`GeneratedWorkload`] re-rolls a synthetic workload per seed
+//! (the historical behaviour, byte-identical), while a `RecordedWorkload` — typically
+//! decoded from a `grass-trace` workload trace — replays one fixed job list, enabling
+//! controlled comparisons of the *same* jobs across policies and cluster sizes (the
+//! paper's §6.1 methodology; see [`crate::sweep`]).
 
 use std::sync::Arc;
 
@@ -11,7 +18,7 @@ use grass_core::{
 use grass_metrics::{improvement_by_size_bin, overall_improvement, Metric, OutcomeSet};
 use grass_policies::{LateFactory, MantriFactory, NoSpecFactory, OracleFactory};
 use grass_sim::{run_simulation, ClusterConfig, SimConfig};
-use grass_workload::{generate, WorkloadConfig};
+use grass_workload::{GeneratedWorkload, JobSource, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 
 /// Global knobs of an experiment run.
@@ -141,14 +148,14 @@ impl PolicyKind {
     }
 }
 
-/// Run one workload under one policy for a single seed and return all job outcomes.
+/// Run one job source under one policy for a single seed and return all job outcomes.
 pub fn run_once(
     exp: &ExpConfig,
-    workload: &WorkloadConfig,
+    source: &dyn JobSource,
     policy: &PolicyKind,
     seed: u64,
 ) -> OutcomeSet {
-    let jobs = generate(workload, seed);
+    let jobs = source.jobs(seed);
     let estimator = if policy.uses_oracle_estimates() {
         EstimatorConfig::oracle()
     } else {
@@ -168,7 +175,7 @@ pub fn run_once(
         PolicyKind::RasOnly => run_simulation(&sim, jobs, &RasFactory).outcomes,
         PolicyKind::Oracle => run_simulation(&sim, jobs, &OracleFactory).outcomes,
         PolicyKind::Grass(cfg) => {
-            let store = warmed_store(exp, workload, &sim, seed);
+            let store = warmed_store(exp, source, &sim, seed);
             let factory = GrassFactory::with_store(*cfg, store, seed ^ 0x9A55);
             run_simulation(&sim, jobs, &factory).outcomes
         }
@@ -176,20 +183,22 @@ pub fn run_once(
     OutcomeSet::new(outcomes)
 }
 
-/// Run a workload under one policy across all configured seeds and pool the outcomes.
-pub fn run_policy(exp: &ExpConfig, workload: &WorkloadConfig, policy: &PolicyKind) -> OutcomeSet {
+/// Run a job source under one policy across all configured seeds and pool the
+/// outcomes. Generated sources re-roll the workload per seed; recorded sources replay
+/// the same jobs under per-seed simulator randomness.
+pub fn run_policy(exp: &ExpConfig, source: &dyn JobSource, policy: &PolicyKind) -> OutcomeSet {
     let mut all = Vec::new();
     for &seed in &exp.seeds {
-        all.extend(run_once(exp, workload, policy, seed).all().to_vec());
+        all.extend(run_once(exp, source, policy, seed).all().to_vec());
     }
     OutcomeSet::new(all)
 }
 
 /// Build a GRASS sample store warmed up with pure-GS and pure-RAS executions of a
-/// slice of the workload — the "samples of previous jobs" GRASS learns from.
+/// slice of the job source — the "samples of previous jobs" GRASS learns from.
 fn warmed_store(
     exp: &ExpConfig,
-    workload: &WorkloadConfig,
+    source: &dyn JobSource,
     sim: &SimConfig,
     seed: u64,
 ) -> Arc<SampleStore> {
@@ -197,13 +206,8 @@ fn warmed_store(
     if exp.warmup_fraction <= 0.0 {
         return store;
     }
-    let warm_jobs = ((workload.num_jobs as f64 * exp.warmup_fraction).ceil() as usize).max(4);
-    let warm_cfg = WorkloadConfig {
-        num_jobs: warm_jobs,
-        ..*workload
-    };
     for (mode, offset) in [(SpeculationMode::Gs, 0x61), (SpeculationMode::Ras, 0x72)] {
-        let jobs = generate(&warm_cfg, seed ^ offset);
+        let jobs = source.warmup_jobs(exp.warmup_fraction, seed ^ offset);
         let warm_sim = SimConfig {
             seed: seed ^ offset,
             ..*sim
@@ -228,46 +232,56 @@ pub fn metric_for(workload: &WorkloadConfig) -> Metric {
     }
 }
 
-/// Result of comparing one candidate policy against one baseline on one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Metric appropriate for a job source's (predominant) bound kind.
+pub fn metric_for_source(source: &dyn JobSource) -> Metric {
+    if source.deadline_bound() {
+        Metric::Accuracy
+    } else {
+        Metric::Duration
+    }
+}
+
+/// Result of comparing one candidate policy against one baseline on one job source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Comparison {
     /// Candidate policy label.
     pub candidate: String,
     /// Baseline policy label.
     pub baseline: String,
-    /// Overall percentage improvement.
-    pub overall: f64,
+    /// Overall percentage improvement; `None` when the baseline is degenerate (empty
+    /// or a non-positive metric mean) — rendered as `n/a`, not as zero.
+    pub overall: Option<f64>,
     /// Improvement per job-size bin (paper bins `<50`, `51-500`, `>500`), in that
-    /// order; `None` when a bin had no jobs.
+    /// order; `None` when a bin had no jobs or a degenerate baseline.
     pub by_size_bin: Vec<Option<f64>>,
 }
 
-/// Run baseline and candidate on the same workload and compute improvements.
+/// Run baseline and candidate on the same job source and compute improvements.
 pub fn compare(
     exp: &ExpConfig,
-    workload: &WorkloadConfig,
+    source: &dyn JobSource,
     baseline: &PolicyKind,
     candidate: &PolicyKind,
 ) -> Comparison {
-    let base = run_policy(exp, workload, baseline);
-    let cand = run_policy(exp, workload, candidate);
-    compare_outcomes(workload, baseline, candidate, &base, &cand)
+    let base = run_policy(exp, source, baseline);
+    let cand = run_policy(exp, source, candidate);
+    compare_outcomes(source, baseline, candidate, &base, &cand)
 }
 
 /// Compute improvements from already-collected outcome sets.
 pub fn compare_outcomes(
-    workload: &WorkloadConfig,
+    source: &dyn JobSource,
     baseline: &PolicyKind,
     candidate: &PolicyKind,
     base: &OutcomeSet,
     cand: &OutcomeSet,
 ) -> Comparison {
-    let metric = metric_for(workload);
+    let metric = metric_for_source(source);
     let by_bin = improvement_by_size_bin(base, cand, metric);
     Comparison {
         candidate: candidate.label(),
         baseline: baseline.label(),
-        overall: overall_improvement(base, cand, metric).unwrap_or(0.0),
+        overall: overall_improvement(base, cand, metric),
         by_size_bin: grass_core::JobSizeBin::all()
             .iter()
             .map(|b| by_bin.get(b).copied())
@@ -285,13 +299,16 @@ pub fn sample_task_durations(
     seed: u64,
 ) -> Vec<f64> {
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let machines = cluster.build_machines(seed);
     (0..count)
-        .map(|i| {
+        .map(|_| {
             let work = workload.profile.task_work.sample(&mut rng);
-            let machine = &machines[i % machines.len()];
+            // Uniform machine draw: the former `i % machines.len()` round-robin
+            // over-represented low-index machines whenever `count` was not a
+            // multiple of the cluster size, biasing the Figure 3 sample.
+            let machine = &machines[rng.gen_range(0..machines.len())];
             let straggle = cluster.straggler.sample(&mut rng);
             work * machine.slowdown * straggle
         })
@@ -301,7 +318,7 @@ pub fn sample_task_durations(
 /// Convenience: the whole set of job specs an experiment would feed the simulator
 /// (exposed for tests and for the quickstart example).
 pub fn workload_jobs(workload: &WorkloadConfig, seed: u64) -> Vec<JobSpec> {
-    generate(workload, seed)
+    GeneratedWorkload::new(*workload).jobs(seed)
 }
 
 #[cfg(test)]
@@ -313,6 +330,10 @@ mod tests {
         WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
             .with_jobs(10)
             .with_bound(bound)
+    }
+
+    fn tiny_source(bound: BoundSpec) -> GeneratedWorkload {
+        GeneratedWorkload::new(tiny_workload(bound))
     }
 
     #[test]
@@ -333,8 +354,8 @@ mod tests {
     #[test]
     fn run_once_produces_one_outcome_per_job() {
         let exp = ExpConfig::tiny();
-        let wl = tiny_workload(BoundSpec::paper_errors());
-        let outcomes = run_once(&exp, &wl, &PolicyKind::Late, 1);
+        let src = tiny_source(BoundSpec::paper_errors());
+        let outcomes = run_once(&exp, &src, &PolicyKind::Late, 1);
         assert_eq!(outcomes.len(), 10);
         assert!(outcomes.all().iter().all(|o| o.policy == "LATE"));
     }
@@ -343,16 +364,16 @@ mod tests {
     fn run_policy_pools_all_seeds() {
         let mut exp = ExpConfig::tiny();
         exp.seeds = vec![1, 2];
-        let wl = tiny_workload(BoundSpec::paper_deadlines());
-        let outcomes = run_policy(&exp, &wl, &PolicyKind::GsOnly);
+        let src = tiny_source(BoundSpec::paper_deadlines());
+        let outcomes = run_policy(&exp, &src, &PolicyKind::GsOnly);
         assert_eq!(outcomes.len(), 20);
     }
 
     #[test]
     fn grass_runs_label_jobs_as_grass_or_perturbed_modes() {
         let exp = ExpConfig::tiny();
-        let wl = tiny_workload(BoundSpec::paper_errors());
-        let outcomes = run_once(&exp, &wl, &PolicyKind::grass(), 3);
+        let src = tiny_source(BoundSpec::paper_errors());
+        let outcomes = run_once(&exp, &src, &PolicyKind::grass(), 3);
         assert_eq!(outcomes.len(), 10);
         for o in outcomes.all() {
             assert!(
@@ -366,12 +387,12 @@ mod tests {
     #[test]
     fn comparison_has_all_bins_slots() {
         let exp = ExpConfig::tiny();
-        let wl = tiny_workload(BoundSpec::paper_deadlines());
-        let cmp = compare(&exp, &wl, &PolicyKind::NoSpec, &PolicyKind::GsOnly);
+        let src = tiny_source(BoundSpec::paper_deadlines());
+        let cmp = compare(&exp, &src, &PolicyKind::NoSpec, &PolicyKind::GsOnly);
         assert_eq!(cmp.by_size_bin.len(), 3);
         assert_eq!(cmp.baseline, "NoSpec");
         assert_eq!(cmp.candidate, "GS-only");
-        assert!(cmp.overall.is_finite());
+        assert!(cmp.overall.expect("non-degenerate baseline").is_finite());
     }
 
     #[test]
@@ -384,6 +405,14 @@ mod tests {
             metric_for(&tiny_workload(BoundSpec::paper_errors())),
             Metric::Duration
         );
+        assert_eq!(
+            metric_for_source(&tiny_source(BoundSpec::paper_deadlines())),
+            Metric::Accuracy
+        );
+        assert_eq!(
+            metric_for_source(&tiny_source(BoundSpec::paper_errors())),
+            Metric::Duration
+        );
     }
 
     #[test]
@@ -393,7 +422,7 @@ mod tests {
         assert_eq!(durations.len(), 5000);
         assert!(durations.iter().all(|d| *d > 0.0));
         let mut sorted = durations.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
         let max = sorted[sorted.len() - 1];
         assert!(max / median > 5.0, "max/median = {}", max / median);

@@ -4,6 +4,8 @@
 use grass_metrics::{Cell, Report, Table};
 use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
 
+use grass_workload::GeneratedWorkload;
+
 use crate::common::{compare_outcomes, run_policy, ExpConfig, PolicyKind};
 
 /// The DAG lengths swept in Figure 9.
@@ -44,12 +46,17 @@ pub fn fig9(exp: &ExpConfig) -> Report {
                 TraceProfile::facebook(Framework::Hadoop),
                 TraceProfile::bing(Framework::Hadoop),
             ] {
-                let wl = workload(exp, profile, bound, dag);
-                let base = run_policy(exp, &wl, &PolicyKind::Late);
-                let cand = run_policy(exp, &wl, &PolicyKind::grass());
-                let cmp =
-                    compare_outcomes(&wl, &PolicyKind::Late, &PolicyKind::grass(), &base, &cand);
-                cells.push(Cell::Number(cmp.overall));
+                let source = GeneratedWorkload::new(workload(exp, profile, bound, dag));
+                let base = run_policy(exp, &source, &PolicyKind::Late);
+                let cand = run_policy(exp, &source, &PolicyKind::grass());
+                let cmp = compare_outcomes(
+                    &source,
+                    &PolicyKind::Late,
+                    &PolicyKind::grass(),
+                    &base,
+                    &cand,
+                );
+                cells.push(cmp.overall.map(Cell::Number).unwrap_or(Cell::Empty));
             }
             table.push_row(format!("{dag}"), cells);
         }

@@ -5,6 +5,8 @@ use grass_core::JobSizeBin;
 use grass_metrics::{Cell, Report, Table};
 use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
 
+use grass_workload::GeneratedWorkload;
+
 use crate::common::{compare_outcomes, run_policy, ExpConfig, PolicyKind};
 
 /// All four trace × framework combinations the paper evaluates.
@@ -35,6 +37,7 @@ fn size_bin_table(
     baselines: &[PolicyKind],
     candidates: &[PolicyKind],
 ) -> Table {
+    let source = GeneratedWorkload::new(*wl);
     // Collect outcomes once per distinct policy.
     let mut policies: Vec<PolicyKind> = Vec::new();
     for p in baselines.iter().chain(candidates.iter()) {
@@ -42,7 +45,10 @@ fn size_bin_table(
             policies.push(p.clone());
         }
     }
-    let outcome_sets: Vec<_> = policies.iter().map(|p| run_policy(exp, wl, p)).collect();
+    let outcome_sets: Vec<_> = policies
+        .iter()
+        .map(|p| run_policy(exp, &source, p))
+        .collect();
     let lookup = |p: &PolicyKind| {
         let idx = policies.iter().position(|q| q == p).unwrap();
         &outcome_sets[idx]
@@ -61,7 +67,7 @@ fn size_bin_table(
             };
             columns.push(column);
             comparisons.push(compare_outcomes(
-                wl,
+                &source,
                 baseline,
                 candidate,
                 lookup(baseline),
@@ -80,7 +86,7 @@ fn size_bin_table(
     }
     let overall: Vec<Cell> = comparisons
         .iter()
-        .map(|c| Cell::Number(c.overall))
+        .map(|c| c.overall.map(Cell::Number).unwrap_or(Cell::Empty))
         .collect();
     table.push_row("overall", overall);
     table
@@ -110,11 +116,14 @@ pub fn potential_gains(exp: &ExpConfig) -> Report {
             (BoundSpec::paper_deadlines(), "deadline-bound accuracy"),
             (BoundSpec::paper_errors(), "error-bound duration"),
         ] {
-            let wl = workload(exp, profile, bound);
-            let base = run_policy(exp, &wl, &baseline);
-            let cand = run_policy(exp, &wl, &PolicyKind::Oracle);
-            let cmp = compare_outcomes(&wl, &baseline, &PolicyKind::Oracle, &base, &cand);
-            table.push_row(label, vec![Cell::Number(cmp.overall)]);
+            let source = GeneratedWorkload::new(workload(exp, profile, bound));
+            let base = run_policy(exp, &source, &baseline);
+            let cand = run_policy(exp, &source, &PolicyKind::Oracle);
+            let cmp = compare_outcomes(&source, &baseline, &PolicyKind::Oracle, &base, &cand);
+            table.push_row(
+                label,
+                vec![cmp.overall.map(Cell::Number).unwrap_or(Cell::Empty)],
+            );
         }
         report.add_table(table);
     }
@@ -168,10 +177,17 @@ pub fn fig6(exp: &ExpConfig) -> Report {
                     max_factor: *hi,
                 },
             );
-            let base = run_policy(exp, &wl, &PolicyKind::Late);
-            let cand = run_policy(exp, &wl, &PolicyKind::grass());
-            let cmp = compare_outcomes(&wl, &PolicyKind::Late, &PolicyKind::grass(), &base, &cand);
-            cells.push(Cell::Number(cmp.overall));
+            let source = GeneratedWorkload::new(wl);
+            let base = run_policy(exp, &source, &PolicyKind::Late);
+            let cand = run_policy(exp, &source, &PolicyKind::grass());
+            let cmp = compare_outcomes(
+                &source,
+                &PolicyKind::Late,
+                &PolicyKind::grass(),
+                &base,
+                &cand,
+            );
+            cells.push(cmp.overall.map(Cell::Number).unwrap_or(Cell::Empty));
         }
         table_a.push_row(*label, cells);
     }
@@ -196,10 +212,17 @@ pub fn fig6(exp: &ExpConfig) -> Report {
             TraceProfile::bing(Framework::Hadoop),
         ] {
             let wl = workload(exp, profile, BoundSpec::ErrorRange { min: *lo, max: *hi });
-            let base = run_policy(exp, &wl, &PolicyKind::Late);
-            let cand = run_policy(exp, &wl, &PolicyKind::grass());
-            let cmp = compare_outcomes(&wl, &PolicyKind::Late, &PolicyKind::grass(), &base, &cand);
-            cells.push(Cell::Number(cmp.overall));
+            let source = GeneratedWorkload::new(wl);
+            let base = run_policy(exp, &source, &PolicyKind::Late);
+            let cand = run_policy(exp, &source, &PolicyKind::grass());
+            let cmp = compare_outcomes(
+                &source,
+                &PolicyKind::Late,
+                &PolicyKind::grass(),
+                &base,
+                &cand,
+            );
+            cells.push(cmp.overall.map(Cell::Number).unwrap_or(Cell::Empty));
         }
         table_b.push_row(*label, cells);
     }

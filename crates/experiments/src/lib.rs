@@ -16,13 +16,15 @@ pub mod analytic;
 pub mod common;
 pub mod dag;
 pub mod gains;
+pub mod sweep;
 pub mod tables;
 pub mod trace_cli;
 
 pub use common::{
-    compare, compare_outcomes, metric_for, run_once, run_policy, sample_task_durations,
-    workload_jobs, Comparison, ExpConfig, PolicyKind,
+    compare, compare_outcomes, metric_for, metric_for_source, run_once, run_policy,
+    sample_task_durations, workload_jobs, Comparison, ExpConfig, PolicyKind,
 };
+pub use sweep::{parse_policy, run_sweep, run_sweep_command, SweepCell, SweepConfig, SweepResult};
 pub use trace_cli::{make_factory, outcome_digest, run_trace_command};
 
 use grass_metrics::Report;

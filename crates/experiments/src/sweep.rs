@@ -1,0 +1,578 @@
+//! Controlled cluster-size × policy sweeps over one job source.
+//!
+//! The paper's evaluation (§6.1) replays production-derived workloads across
+//! schedulers so that every comparison sees the *same* jobs. This module is the
+//! whole-experiment version of that methodology: one [`JobSource`] — typically a
+//! `RecordedWorkload` decoded from a `grass-trace` workload trace — is replayed
+//! across a grid of cluster sizes and policies, and every cell is compared against a
+//! baseline policy *at the same cluster size*.
+//!
+//! Cells are independent simulations, so the runner executes them on a scoped
+//! `std::thread` pool sized by [`SweepConfig::threads`]; results are assembled in
+//! grid order afterwards, which makes the output — including the machine-readable
+//! [`SweepResult::digest`] — bit-identical regardless of thread count or scheduling.
+//!
+//! The `repro sweep` subcommand (see [`run_sweep_command`]) wires this to recorded
+//! traces on disk; `diff` of two digests is the determinism check CI runs.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use grass_metrics::{Cell, Metric, OutcomeSet, Table};
+use grass_sim::ClusterConfig;
+use grass_trace::WorkloadTrace;
+use grass_workload::JobSource;
+
+use crate::common::{compare_outcomes, metric_for_source, run_policy, Comparison, ExpConfig};
+use crate::trace_cli::{resolve_workload_path, Flags};
+use crate::PolicyKind;
+
+/// Grid definition of a sweep: which cluster sizes and policies to run one job
+/// source through, and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Cluster sizes (number of machines) to sweep, in presentation order.
+    pub machines: Vec<usize>,
+    /// Policies to evaluate at every cluster size.
+    pub policies: Vec<PolicyKind>,
+    /// Baseline policy every cell is compared against (at the same cluster size).
+    pub baseline: PolicyKind,
+    /// Worker threads for cell execution; `0` or `1` runs serially. The result is
+    /// identical either way.
+    pub threads: usize,
+    /// Base experiment configuration: seeds, estimator model, warm-up fraction and
+    /// slots per machine are taken from here; `base.cluster.machines` is overridden
+    /// per grid column.
+    pub base: ExpConfig,
+}
+
+impl SweepConfig {
+    /// The paper-scale default grid: 20/50/100 machines × LATE/GS/RAS/GRASS with
+    /// LATE as the baseline.
+    pub fn paper_grid(base: ExpConfig) -> Self {
+        SweepConfig {
+            machines: vec![20, 50, 100],
+            policies: vec![
+                PolicyKind::Late,
+                PolicyKind::GsOnly,
+                PolicyKind::RasOnly,
+                PolicyKind::grass(),
+            ],
+            baseline: PolicyKind::Late,
+            threads: 1,
+            base,
+        }
+    }
+
+    /// A reduced grid (smaller clusters, same policy set) for smoke tests and CI.
+    pub fn quick_grid(base: ExpConfig) -> Self {
+        SweepConfig {
+            machines: vec![8, 16, 24],
+            ..SweepConfig::paper_grid(base)
+        }
+    }
+
+    /// The distinct policies of the grid in first-appearance order (simulating a
+    /// duplicate `--policies` entry twice would waste a full multi-seed run and
+    /// duplicate digest lines), with the baseline prepended when it is not already
+    /// among them.
+    fn distinct_policies(&self) -> Vec<PolicyKind> {
+        let mut policies: Vec<PolicyKind> = Vec::new();
+        if !self.policies.contains(&self.baseline) {
+            policies.push(self.baseline.clone());
+        }
+        for p in &self.policies {
+            if !policies.contains(p) {
+                policies.push(p.clone());
+            }
+        }
+        policies
+    }
+
+    /// The distinct cluster sizes in first-appearance order (mirrors
+    /// [`SweepConfig::distinct_policies`]: a duplicate `--machines` entry must not
+    /// re-simulate a whole column or emit duplicate digest cells).
+    fn distinct_machines(&self) -> Vec<usize> {
+        let mut machines: Vec<usize> = Vec::new();
+        for &m in &self.machines {
+            if !machines.contains(&m) {
+                machines.push(m);
+            }
+        }
+        machines
+    }
+
+    /// Every (machines, policy) unit the runner must simulate: the cross product of
+    /// the distinct cluster sizes with the distinct policies.
+    fn units(&self) -> Vec<(usize, PolicyKind)> {
+        let machines = self.distinct_machines();
+        let policies = self.distinct_policies();
+        let mut units = Vec::with_capacity(machines.len() * policies.len());
+        for &m in &machines {
+            for p in &policies {
+                units.push((m, p.clone()));
+            }
+        }
+        units
+    }
+}
+
+/// One grid cell: a policy's pooled outcomes at one cluster size, compared against
+/// the baseline at the same size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Cluster size (machines) of this cell.
+    pub machines: usize,
+    /// Policy label of this cell.
+    pub policy: String,
+    /// Jobs pooled into the cell (jobs per run × seeds).
+    pub jobs: usize,
+    /// Mean metric value (accuracy or duration) of the cell's outcomes.
+    pub mean: Option<f64>,
+    /// Improvement over the baseline at the same cluster size.
+    pub comparison: Comparison,
+}
+
+/// Result of a sweep: the grid cells in row-major (machines × policy) order plus
+/// presentation and provenance metadata.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Label of the swept job source.
+    pub source: String,
+    /// Metric the comparisons use (from the source's bound kind).
+    pub metric: Metric,
+    /// Baseline policy label.
+    pub baseline: String,
+    /// Seeds the cells pooled over.
+    pub seeds: Vec<u64>,
+    /// Grid cells, row-major: machines outer, policy inner.
+    pub cells: Vec<SweepCell>,
+    /// Wall-clock time of cell execution (not part of the digest).
+    pub elapsed: Duration,
+    /// Worker threads the cells were executed on.
+    pub threads: usize,
+}
+
+impl SweepResult {
+    /// Improvement-vs-baseline table: one row per cluster size, one column per
+    /// policy.
+    pub fn improvement_table(&self) -> Table {
+        let metric_label = match self.metric {
+            Metric::Accuracy => "accuracy",
+            Metric::Duration => "duration",
+        };
+        self.table(
+            format!(
+                "Sweep of {}: {} improvement over {} (%) by cluster size",
+                self.source, metric_label, self.baseline
+            ),
+            |cell| cell.comparison.overall,
+        )
+    }
+
+    /// Raw-mean table: the mean metric value per cell (seconds for durations,
+    /// a fraction for accuracies).
+    pub fn mean_table(&self) -> Table {
+        let metric_label = match self.metric {
+            Metric::Accuracy => "mean accuracy",
+            Metric::Duration => "mean duration (s)",
+        };
+        self.table(
+            format!("Sweep of {}: {metric_label} by cluster size", self.source),
+            |cell| cell.mean,
+        )
+    }
+
+    fn table(&self, title: String, value: impl Fn(&SweepCell) -> Option<f64>) -> Table {
+        let mut columns = vec!["Machines".to_string()];
+        let mut policies: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !policies.contains(&cell.policy.as_str()) {
+                policies.push(&cell.policy);
+            }
+        }
+        columns.extend(policies.iter().map(|p| p.to_string()));
+        let mut table = Table::new(title, columns.iter().map(String::as_str).collect());
+        let mut machines: Vec<usize> = Vec::new();
+        for cell in &self.cells {
+            if !machines.contains(&cell.machines) {
+                machines.push(cell.machines);
+            }
+        }
+        for m in machines {
+            let cells: Vec<Cell> = policies
+                .iter()
+                .map(|p| {
+                    self.cells
+                        .iter()
+                        .find(|c| c.machines == m && &c.policy == p)
+                        .and_then(&value)
+                        .map(Cell::Number)
+                        .unwrap_or(Cell::Empty)
+                })
+                .collect();
+            table.push_row(format!("{m}"), cells);
+        }
+        table
+    }
+
+    /// Machine-readable digest, one line per cell, floats at full precision
+    /// (shortest-round-trip formatting) so byte-identical digests imply bit-identical
+    /// sweeps. Wall-clock and thread count are deliberately excluded: two runs of the
+    /// same sweep — serial or threaded — must diff clean.
+    pub fn digest(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map(|x| x.to_string()).unwrap_or_else(|| "n/a".into())
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sweep source={} metric={} baseline={} seeds={}\n",
+            self.source,
+            match self.metric {
+                Metric::Accuracy => "accuracy",
+                Metric::Duration => "duration",
+            },
+            self.baseline,
+            self.seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        ));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "cell machines={} policy={} jobs={} mean={} overall={} bins={}\n",
+                cell.machines,
+                cell.policy,
+                cell.jobs,
+                opt(cell.mean),
+                opt(cell.comparison.overall),
+                cell.comparison
+                    .by_size_bin
+                    .iter()
+                    .map(|b| opt(*b))
+                    .collect::<Vec<_>>()
+                    .join("|"),
+            ));
+        }
+        out.push_str(&format!("summary cells={}\n", self.cells.len()));
+        out
+    }
+}
+
+/// Run the full grid over one job source. Cells execute on up to
+/// [`SweepConfig::threads`] scoped worker threads; the assembled result is identical
+/// to a serial run.
+pub fn run_sweep(source: &(dyn JobSource + Sync), config: &SweepConfig) -> SweepResult {
+    let units = config.units();
+    let started = Instant::now();
+    let sets = run_units(source, config, &units);
+    let elapsed = started.elapsed();
+
+    let metric = metric_for_source(source);
+    let lookup = |m: usize, p: &PolicyKind| -> &OutcomeSet {
+        let idx = units
+            .iter()
+            .position(|(um, up)| *um == m && up == p)
+            .expect("unit present in grid");
+        &sets[idx]
+    };
+    let mut cell_policies: Vec<PolicyKind> = Vec::new();
+    for p in &config.policies {
+        if !cell_policies.contains(p) {
+            cell_policies.push(p.clone());
+        }
+    }
+    let mut cells = Vec::new();
+    for m in config.distinct_machines() {
+        let base = lookup(m, &config.baseline);
+        for p in &cell_policies {
+            let cand = lookup(m, p);
+            cells.push(SweepCell {
+                machines: m,
+                policy: p.label(),
+                jobs: cand.len(),
+                mean: cand.mean(metric),
+                comparison: compare_outcomes(source, &config.baseline, p, base, cand),
+            });
+        }
+    }
+    SweepResult {
+        source: source.label(),
+        metric,
+        baseline: config.baseline.label(),
+        seeds: config.base.seeds.clone(),
+        cells,
+        elapsed,
+        threads: config.threads.max(1),
+    }
+}
+
+/// Simulate every unit, in grid order. With more than one thread, workers claim
+/// units from a shared counter; the result vector is indexed, not push-ordered, so
+/// scheduling cannot reorder it.
+fn run_units(
+    source: &(dyn JobSource + Sync),
+    config: &SweepConfig,
+    units: &[(usize, PolicyKind)],
+) -> Vec<OutcomeSet> {
+    let run_unit = |(machines, policy): &(usize, PolicyKind)| -> OutcomeSet {
+        let exp = ExpConfig {
+            cluster: ClusterConfig {
+                machines: *machines,
+                ..config.base.cluster
+            },
+            ..config.base.clone()
+        };
+        run_policy(&exp, source, policy)
+    };
+
+    let workers = config.threads.max(1).min(units.len().max(1));
+    if workers <= 1 {
+        return units.iter().map(run_unit).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, OutcomeSet)>> = Mutex::new(Vec::with_capacity(units.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let set = run_unit(&units[i]);
+                collected
+                    .lock()
+                    .expect("sweep worker poisoned the results lock")
+                    .push((i, set));
+            });
+        }
+    });
+    let mut indexed = collected.into_inner().expect("workers have exited");
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), units.len());
+    indexed.into_iter().map(|(_, set)| set).collect()
+}
+
+/// Parse a `--policies`/`--baseline` policy name into a [`PolicyKind`].
+pub fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "late" => Ok(PolicyKind::Late),
+        "mantri" => Ok(PolicyKind::Mantri),
+        "nospec" => Ok(PolicyKind::NoSpec),
+        "gs" => Ok(PolicyKind::GsOnly),
+        "ras" => Ok(PolicyKind::RasOnly),
+        "grass" => Ok(PolicyKind::grass()),
+        "oracle" => Ok(PolicyKind::Oracle),
+        other => Err(format!(
+            "unknown policy '{other}'; expected late, mantri, nospec, gs, ras, grass or oracle"
+        )),
+    }
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    raw: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()).map_err(|e| format!("bad {what} '{s}': {e}")))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("{what} list is empty"));
+    }
+    Ok(items)
+}
+
+/// Entry point for `repro sweep <workload.trace|dir> [flags]`.
+///
+/// Decodes a recorded workload trace and sweeps it across the configured grid. The
+/// rendered tables and progress go to stderr; stdout carries only the digest, so
+/// `diff <(run1) <(run2)` is the determinism check.
+pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse_with_switches(args, &["quick"])?;
+    flags.reject_unknown(&[
+        "machines", "slots", "policies", "baseline", "threads", "seeds", "quick",
+    ])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err("sweep expects exactly one workload trace path".to_string());
+    };
+    let path = resolve_workload_path(Path::new(path));
+    let trace =
+        WorkloadTrace::load(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+
+    let quick = flags.has("quick");
+    let slots = flags.get_usize("slots", trace.meta.slots_per_machine)?;
+    let threads = flags.get_usize("threads", 1)?;
+    let seeds = match flags.get("seeds") {
+        Some(raw) => parse_list(raw, "seed", |s| s.parse::<u64>())?,
+        None => vec![trace.meta.sim_seed],
+    };
+    let base = ExpConfig {
+        jobs_per_run: trace.jobs.len(),
+        seeds,
+        cluster: ClusterConfig {
+            machines: trace.meta.machines,
+            slots_per_machine: slots,
+            ..ClusterConfig::ec2_scaled()
+        },
+        ..ExpConfig::full()
+    };
+    let mut config = if quick {
+        SweepConfig::quick_grid(base)
+    } else {
+        SweepConfig::paper_grid(base)
+    };
+    config.threads = threads;
+    if let Some(raw) = flags.get("machines") {
+        config.machines = parse_list(raw, "machine count", |s| s.parse::<usize>())?;
+    }
+    if let Some(raw) = flags.get("policies") {
+        config.policies = parse_list(raw, "policy", parse_policy)?;
+    }
+    if let Some(raw) = flags.get("baseline") {
+        config.baseline = parse_policy(raw)?;
+    }
+
+    let source = trace.to_source();
+    eprintln!(
+        "sweeping {} jobs ({}) across {} cluster sizes x {} policies on {} thread(s)",
+        trace.jobs.len(),
+        source.label(),
+        config.machines.len(),
+        config.policies.len(),
+        config.threads.max(1),
+    );
+    let result = run_sweep(&source, &config);
+    eprintln!(
+        "{}",
+        result
+            .improvement_table()
+            .render_text()
+            .trim_end_matches('\n')
+    );
+    eprintln!(
+        "{}",
+        result.mean_table().render_text().trim_end_matches('\n')
+    );
+    eprintln!(
+        "swept {} cells in {:.2?} on {} thread(s)",
+        result.cells.len(),
+        result.elapsed,
+        result.threads,
+    );
+    print!("{}", result.digest());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_trace::record_workload;
+    use grass_workload::{BoundSpec, Framework, RecordedWorkload, TraceProfile, WorkloadConfig};
+
+    fn tiny_base() -> ExpConfig {
+        let mut base = ExpConfig::tiny();
+        base.jobs_per_run = 8;
+        base
+    }
+
+    fn tiny_grid() -> SweepConfig {
+        SweepConfig {
+            machines: vec![6, 10],
+            policies: vec![PolicyKind::Late, PolicyKind::GsOnly],
+            baseline: PolicyKind::Late,
+            threads: 1,
+            base: tiny_base(),
+        }
+    }
+
+    fn recorded_source() -> RecordedWorkload {
+        let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+            .with_jobs(8)
+            .with_bound(BoundSpec::paper_errors());
+        record_workload(&config, 7, 11, "late", 10, 4).to_source()
+    }
+
+    #[test]
+    fn grid_units_cover_the_cross_product_and_prepend_missing_baselines() {
+        let grid = tiny_grid();
+        assert_eq!(grid.units().len(), 4); // baseline is already a policy
+        let mut oracle_base = tiny_grid();
+        oracle_base.baseline = PolicyKind::Oracle;
+        let units = oracle_base.units();
+        assert_eq!(units.len(), 6);
+        assert_eq!(units[0], (6, PolicyKind::Oracle));
+        // Duplicate policy and machine entries are simulated (and reported) once.
+        let mut dup = tiny_grid();
+        dup.policies = vec![PolicyKind::Late, PolicyKind::GsOnly, PolicyKind::GsOnly];
+        dup.machines = vec![6, 10, 6];
+        assert_eq!(dup.units().len(), 4);
+        let result = run_sweep(&recorded_source(), &dup);
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(result.digest().matches("policy=GS-only").count(), 2);
+        assert_eq!(result.digest().matches("machines=6 ").count(), 2);
+    }
+
+    #[test]
+    fn serial_and_threaded_sweeps_are_identical() {
+        let source = recorded_source();
+        let serial = run_sweep(&source, &tiny_grid());
+        let mut threaded_grid = tiny_grid();
+        threaded_grid.threads = 3;
+        let threaded = run_sweep(&source, &threaded_grid);
+        assert_eq!(serial.cells, threaded.cells);
+        assert_eq!(serial.digest(), threaded.digest());
+        // The baseline cell compares against itself: exactly zero improvement.
+        let late = &serial.cells[0];
+        assert_eq!(late.policy, "LATE");
+        assert_eq!(late.comparison.overall, Some(0.0));
+    }
+
+    #[test]
+    fn tables_have_one_row_per_cluster_size_and_one_column_per_policy() {
+        let source = recorded_source();
+        let result = run_sweep(&source, &tiny_grid());
+        assert_eq!(result.cells.len(), 4);
+        let table = result.improvement_table();
+        assert_eq!(table.columns.len(), 3); // Machines + 2 policies
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.value("6", "GS-only").is_some());
+        let means = result.mean_table();
+        assert!(means.value("10", "LATE").unwrap() > 0.0);
+        // The digest names every cell and the grid shape.
+        let digest = result.digest();
+        assert_eq!(digest.matches("\ncell ").count(), 4);
+        assert!(digest.starts_with("sweep source="));
+        assert!(digest.trim_end().ends_with("summary cells=4"));
+    }
+
+    #[test]
+    fn policy_names_parse_and_reject() {
+        assert_eq!(parse_policy("late").unwrap(), PolicyKind::Late);
+        assert_eq!(parse_policy("GRASS").unwrap(), PolicyKind::grass());
+        assert!(parse_policy("quantum").is_err());
+        assert_eq!(
+            parse_list("20,50,100", "machine count", |s| s.parse::<usize>()).unwrap(),
+            vec![20, 50, 100]
+        );
+        assert!(parse_list("", "machine count", |s| s.parse::<usize>()).is_err());
+        assert!(parse_list("20,x", "machine count", |s| s.parse::<usize>()).is_err());
+    }
+
+    #[test]
+    fn sweep_command_rejects_bad_invocations() {
+        let err = run_sweep_command(&[]).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = run_sweep_command(&["a.trace".into(), "--jobs".into(), "3".into()]).unwrap_err();
+        assert!(err.contains("unknown flag --jobs"), "{err}");
+        let err = run_sweep_command(&["/nonexistent/x.trace".into()]).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -82,18 +82,30 @@ pub fn make_factory(policy: &str, seed: u64) -> Result<Box<dyn PolicyFactory>, S
     }
 }
 
-struct Flags {
+/// Minimal `--flag value` command-line parser shared by the `trace` and `sweep`
+/// subcommands.
+pub(crate) struct Flags {
     named: Vec<(String, String)>,
-    positional: Vec<String>,
+    pub(crate) positional: Vec<String>,
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    pub(crate) fn parse(args: &[String]) -> Result<Self, String> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parse flags; names in `switches` are valueless booleans (present or absent),
+    /// every other `--flag` consumes the following argument as its value.
+    pub(crate) fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Self, String> {
         let mut named = Vec::new();
         let mut positional = Vec::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if switches.contains(&name) {
+                    named.push((name.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag --{name} is missing its value"))?;
@@ -107,7 +119,7 @@ impl Flags {
 
     /// Reject any `--flag` not in `allowed` — a typo must not silently fall back to
     /// a default and record a trace with the wrong parameters.
-    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+    pub(crate) fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
         for (name, _) in &self.named {
             if !allowed.contains(&name.as_str()) {
                 return Err(format!(
@@ -123,7 +135,12 @@ impl Flags {
         Ok(())
     }
 
-    fn get(&self, name: &str) -> Option<&str> {
+    /// Whether a boolean switch was present.
+    pub(crate) fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Option<&str> {
         self.named
             .iter()
             .rev()
@@ -131,7 +148,7 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+    pub(crate) fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
@@ -140,7 +157,7 @@ impl Flags {
         }
     }
 
-    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+    pub(crate) fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         Ok(self.get_u64(name, default as u64)? as usize)
     }
 }
@@ -256,7 +273,7 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
 }
 
 /// Accept either a workload trace file or the directory `record` wrote it into.
-fn resolve_workload_path(path: &Path) -> PathBuf {
+pub(crate) fn resolve_workload_path(path: &Path) -> PathBuf {
     if path.is_dir() {
         path.join("workload.trace")
     } else {

@@ -53,14 +53,18 @@ pub fn mean_metric(outcomes: &[&JobOutcome], metric: Metric) -> Option<f64> {
 ///
 /// * Accuracy: `(candidate − baseline) / baseline × 100`.
 /// * Duration: `(baseline − candidate) / baseline × 100` (a speed-up).
-pub fn improvement_percent(baseline: f64, candidate: f64, metric: Metric) -> f64 {
+///
+/// A non-positive baseline (e.g. a deadline job that completed zero tasks) makes the
+/// ratio meaningless; it is reported as `None` — distinct from "no improvement" — and
+/// rendered as `n/a` in the figure tables.
+pub fn improvement_percent(baseline: f64, candidate: f64, metric: Metric) -> Option<f64> {
     if baseline <= 0.0 {
-        return 0.0;
+        return None;
     }
-    match metric {
+    Some(match metric {
         Metric::Accuracy => (candidate - baseline) / baseline * 100.0,
         Metric::Duration => (baseline - candidate) / baseline * 100.0,
-    }
+    })
 }
 
 /// A keyed collection of outcomes (e.g. one entry per policy), convenient for the
@@ -123,6 +127,7 @@ impl OutcomeSet {
 }
 
 /// Per-bin improvement of one policy's outcomes over a baseline's, matched bin-wise.
+/// Bins with no jobs, or with a degenerate (non-positive) baseline mean, are absent.
 pub fn improvement_by_size_bin(
     baseline: &OutcomeSet,
     candidate: &OutcomeSet,
@@ -133,23 +138,22 @@ pub fn improvement_by_size_bin(
         let base = mean_metric(&baseline.in_size_bin(bin), metric);
         let cand = mean_metric(&candidate.in_size_bin(bin), metric);
         if let (Some(b), Some(c)) = (base, cand) {
-            out.insert(bin, improvement_percent(b, c, metric));
+            if let Some(improvement) = improvement_percent(b, c, metric) {
+                out.insert(bin, improvement);
+            }
         }
     }
     out
 }
 
-/// Overall improvement of one policy over a baseline.
+/// Overall improvement of one policy over a baseline. `None` when either set is
+/// empty or the baseline mean is degenerate (non-positive).
 pub fn overall_improvement(
     baseline: &OutcomeSet,
     candidate: &OutcomeSet,
     metric: Metric,
 ) -> Option<f64> {
-    Some(improvement_percent(
-        baseline.mean(metric)?,
-        candidate.mean(metric)?,
-        metric,
-    ))
+    improvement_percent(baseline.mean(metric)?, candidate.mean(metric)?, metric)
 }
 
 #[cfg(test)]
@@ -190,14 +194,31 @@ mod tests {
     #[test]
     fn improvement_signs() {
         // Accuracy 0.5 -> 0.75 is a 50% improvement.
-        assert!((improvement_percent(0.5, 0.75, Metric::Accuracy) - 50.0).abs() < 1e-9);
+        assert!((improvement_percent(0.5, 0.75, Metric::Accuracy).unwrap() - 50.0).abs() < 1e-9);
         // Duration 100 -> 60 is a 40% speed-up.
-        assert!((improvement_percent(100.0, 60.0, Metric::Duration) - 40.0).abs() < 1e-9);
+        assert!((improvement_percent(100.0, 60.0, Metric::Duration).unwrap() - 40.0).abs() < 1e-9);
         // Regressions are negative.
-        assert!(improvement_percent(0.5, 0.4, Metric::Accuracy) < 0.0);
-        assert!(improvement_percent(100.0, 120.0, Metric::Duration) < 0.0);
-        // Degenerate baseline.
-        assert_eq!(improvement_percent(0.0, 1.0, Metric::Accuracy), 0.0);
+        assert!(improvement_percent(0.5, 0.4, Metric::Accuracy).unwrap() < 0.0);
+        assert!(improvement_percent(100.0, 120.0, Metric::Duration).unwrap() < 0.0);
+        // A degenerate baseline is not "no improvement" — it has no defined ratio.
+        assert_eq!(improvement_percent(0.0, 1.0, Metric::Accuracy), None);
+        assert_eq!(improvement_percent(-3.0, 1.0, Metric::Duration), None);
+    }
+
+    #[test]
+    fn degenerate_baselines_propagate_as_none() {
+        // A baseline whose every job completed zero tasks has mean accuracy 0.
+        let baseline = OutcomeSet::new(vec![outcome(10, 0, 10.0, Bound::Deadline(10.0))]);
+        let candidate = OutcomeSet::new(vec![outcome(10, 5, 10.0, Bound::Deadline(10.0))]);
+        assert_eq!(
+            overall_improvement(&baseline, &candidate, Metric::Accuracy),
+            None
+        );
+        let by_bin = improvement_by_size_bin(&baseline, &candidate, Metric::Accuracy);
+        assert!(
+            by_bin.is_empty(),
+            "degenerate bins must be absent: {by_bin:?}"
+        );
     }
 
     #[test]

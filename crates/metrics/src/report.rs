@@ -8,7 +8,8 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-/// A cell value: either a number (rendered with one decimal) or free text.
+/// A cell value: either a number (rendered with one decimal), free text, or a
+/// missing/not-applicable value (rendered as `n/a`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Cell {
     /// Numeric cell.
@@ -32,7 +33,7 @@ impl Cell {
         match self {
             Cell::Number(v) => format!("{v:.1}"),
             Cell::Text(s) => s.clone(),
-            Cell::Empty => "-".to_string(),
+            Cell::Empty => "n/a".to_string(),
         }
     }
 }
@@ -175,7 +176,7 @@ impl Series {
         self.points
             .iter()
             .map(|(_, y)| *y)
-            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Maximum y value.
@@ -183,7 +184,7 @@ impl Series {
         self.points
             .iter()
             .map(|(_, y)| *y)
-            .max_by(|a, b| a.partial_cmp(b).unwrap())
+            .max_by(|a, b| a.total_cmp(b))
     }
 }
 
@@ -256,7 +257,7 @@ mod tests {
         assert_eq!(Cell::from(3.0).as_number(), Some(3.0));
         assert_eq!(Cell::from("abc"), Cell::Text("abc".to_string()));
         assert_eq!(Cell::from("x".to_string()).as_number(), None);
-        assert_eq!(Cell::Empty.render(), "-");
+        assert_eq!(Cell::Empty.render(), "n/a");
         assert_eq!(Cell::Number(1.25).render(), "1.2");
     }
 
@@ -280,7 +281,7 @@ mod tests {
         assert!(text.contains("12.3"));
         let csv = t.render_csv();
         assert!(csv.starts_with("Job Bin,LATE,Mantri"));
-        assert!(csv.contains("51-500,20.0,-"));
+        assert!(csv.contains("51-500,20.0,n/a"));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn hill_plot(samples: &[f64], points: usize) -> Vec<HillPoint> {
     if sorted.len() < 10 {
         return Vec::new();
     }
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_by(|a, b| b.total_cmp(a));
     // Very small k gives extremely noisy estimates; start where the estimator has a
     // reasonable variance while still being well inside the tail.
     let k_min = 50.min(sorted.len() / 4).max(2);
@@ -80,7 +80,7 @@ pub fn tail_index(samples: &[f64]) -> Option<f64> {
     let lo = plot.len() / 4;
     let hi = (3 * plot.len() / 4).max(lo + 1);
     let mut betas: Vec<f64> = plot[lo..hi].iter().map(|p| p.beta).collect();
-    betas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    betas.sort_by(f64::total_cmp);
     Some(betas[betas.len() / 2])
 }
 

@@ -77,7 +77,7 @@ impl LatePolicy {
         if rates.is_empty() {
             return None;
         }
-        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rates.sort_by(f64::total_cmp);
         let idx = ((rates.len() as f64) * self.config.slow_task_threshold).floor() as usize;
         Some(rates[idx.min(rates.len() - 1)])
     }
@@ -92,7 +92,7 @@ impl LatePolicy {
                     && t.progress >= self.config.min_progress
                     && t.progress_rate <= cutoff
             })
-            .max_by(|a, b| a.trem.partial_cmp(&b.trem).unwrap())
+            .max_by(|a, b| a.trem.total_cmp(&b.trem))
     }
 }
 

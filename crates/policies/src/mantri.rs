@@ -59,7 +59,7 @@ impl MantriPolicy {
                     && t.progress >= self.config.min_progress
                     && t.trem > self.config.restart_threshold * t.tnew
             })
-            .max_by(|a, b| a.trem.partial_cmp(&b.trem).unwrap())
+            .max_by(|a, b| a.trem.total_cmp(&b.trem))
     }
 }
 

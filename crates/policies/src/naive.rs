@@ -53,7 +53,7 @@ impl SpeculationPolicy for SjfPolicy {
     }
 
     fn choose(&mut self, view: &JobView) -> Option<Action> {
-        pick_unscheduled(view, |a, b| a.tnew.partial_cmp(&b.tnew).unwrap())
+        pick_unscheduled(view, |a, b| a.tnew.total_cmp(&b.tnew))
     }
 }
 
@@ -68,7 +68,7 @@ impl SpeculationPolicy for LjfPolicy {
     }
 
     fn choose(&mut self, view: &JobView) -> Option<Action> {
-        pick_unscheduled(view, |a, b| b.tnew.partial_cmp(&a.tnew).unwrap())
+        pick_unscheduled(view, |a, b| b.tnew.total_cmp(&a.tnew))
     }
 }
 

@@ -81,11 +81,9 @@ impl TaskRuntime {
 
     /// The running copy expected to finish first, by ground truth.
     pub fn best_copy(&self, now: Time) -> Option<&CopyRuntime> {
-        self.copies.iter().min_by(|a, b| {
-            a.true_remaining(now)
-                .partial_cmp(&b.true_remaining(now))
-                .unwrap()
-        })
+        self.copies
+            .iter()
+            .min_by(|a, b| a.true_remaining(now).total_cmp(&b.true_remaining(now)))
     }
 }
 

@@ -148,7 +148,7 @@ mod tests {
         let mut ratios = Vec::new();
         for _ in 0..200 {
             let mut batch: Vec<f64> = (0..200).map(|_| m.sample(&mut rng)).collect();
-            batch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            batch.sort_by(f64::total_cmp);
             let median = batch[batch.len() / 2];
             let max = batch[batch.len() - 1];
             ratios.push(max / median);

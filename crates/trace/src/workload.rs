@@ -348,6 +348,22 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_task_work_is_rejected_at_decode() {
+        // `f64::from_str` happily parses NaN/inf; a corrupted trace must fail
+        // decode/validation rather than feed NaN into downstream comparisons.
+        for bad in ["NaN", "inf", "-3"] {
+            let bytes = format!(
+                "grass-trace 1 workload\n\
+                 meta generator_seed=0 sim_seed=0 policy=GS profile=x machines=1 \
+                 slots_per_machine=1 num_jobs=1\n\
+                 job id=0 arrival=0 bound=error:0 stages=input:2 tasks=0:1,0:{bad}\n"
+            );
+            let err = WorkloadTrace::from_bytes(bytes.as_bytes()).unwrap_err();
+            assert!(err.to_string().contains("degenerate"), "work {bad}: {err}");
+        }
+    }
+
+    #[test]
     fn to_source_exposes_the_recorded_jobs() {
         use grass_workload::JobSource;
         let trace = sample_trace();

@@ -194,7 +194,7 @@ mod tests {
         let d = WorkDistribution::paper_pareto(1.0);
         let mut rng = StdRng::seed_from_u64(7);
         let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         let p999 = samples[(samples.len() as f64 * 0.999) as usize];
         assert!(

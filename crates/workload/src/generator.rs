@@ -188,7 +188,7 @@ pub fn ideal_duration(config: &WorkloadConfig, stage_work: &[Vec<f64>]) -> Time 
         .filter(|stage| !stage.is_empty())
         .map(|stage| {
             let mut sorted = stage.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let median = sorted[sorted.len() / 2];
             let waves = (stage.len() as f64 / share).ceil();
             median * waves * config.duration_calibration

@@ -19,6 +19,32 @@ pub trait JobSource {
     /// Produce the jobs to simulate. Generated sources sample from `seed`; recorded
     /// sources return their fixed job list and ignore it.
     fn jobs(&self, seed: u64) -> Vec<JobSpec>;
+
+    /// A `fraction` slice of the workload used to warm a learning policy's sample
+    /// store with "executions of previous jobs" (GRASS §4.1). The default takes a
+    /// prefix of [`JobSource::jobs`]; generated sources instead re-sample a smaller
+    /// workload from the same configuration, which yields the identical prefix while
+    /// also honouring the minimum of four warm-up jobs on tiny workloads.
+    ///
+    /// Caveat for fixed-job sources: a recording has no "other jobs of the same
+    /// workload" to warm from, so the prefix of the evaluation jobs themselves
+    /// stands in — a deliberate, mild train-on-test leak (the store holds only
+    /// per-size-bucket duration samples, which the prefix shares with any draw from
+    /// the same distribution). Generated sources warm on a *different* sample
+    /// (`seed` is already offset by the caller) and have no such leak.
+    fn warmup_jobs(&self, fraction: f64, seed: u64) -> Vec<JobSpec> {
+        let mut jobs = self.jobs(seed);
+        let count = ((jobs.len() as f64 * fraction).ceil() as usize)
+            .max(4)
+            .min(jobs.len());
+        jobs.truncate(count);
+        jobs
+    }
+
+    /// Whether this source's jobs are (predominantly) deadline-bound — the accuracy
+    /// metric — rather than error-bound — the duration metric. Harnesses use this to
+    /// pick the comparison metric without materialising the job list.
+    fn deadline_bound(&self) -> bool;
 }
 
 /// Job source that samples a fresh synthetic workload per seed.
@@ -43,6 +69,23 @@ impl JobSource for GeneratedWorkload {
     fn jobs(&self, seed: u64) -> Vec<JobSpec> {
         generate(&self.config, seed)
     }
+
+    fn warmup_jobs(&self, fraction: f64, seed: u64) -> Vec<JobSpec> {
+        // Regenerate rather than truncate: byte-identical to the historical
+        // behaviour of the experiment harness (generation is prefix-stable, so a
+        // smaller `num_jobs` yields a prefix of the full workload), and `.max(4)`
+        // can exceed the source's own job count on tiny workloads.
+        let num_jobs = ((self.config.num_jobs as f64 * fraction).ceil() as usize).max(4);
+        let warm_cfg = WorkloadConfig {
+            num_jobs,
+            ..self.config
+        };
+        generate(&warm_cfg, seed)
+    }
+
+    fn deadline_bound(&self) -> bool {
+        self.config.bound.is_deadline()
+    }
 }
 
 /// Job source that replays a fixed, previously recorded job list.
@@ -50,13 +93,17 @@ impl JobSource for GeneratedWorkload {
 pub struct RecordedWorkload {
     label: String,
     jobs: Vec<JobSpec>,
+    deadline_bound: bool,
 }
 
 impl RecordedWorkload {
-    /// Wrap a fixed job list under a label.
+    /// Wrap a fixed job list under a label. The metric kind is inferred from the
+    /// majority bound kind of the recorded jobs.
     pub fn new(label: impl Into<String>, jobs: Vec<JobSpec>) -> Self {
+        let deadline_jobs = jobs.iter().filter(|j| j.bound.is_deadline()).count();
         RecordedWorkload {
             label: label.into(),
+            deadline_bound: deadline_jobs * 2 > jobs.len(),
             jobs,
         }
     }
@@ -79,6 +126,10 @@ impl JobSource for RecordedWorkload {
 
     fn jobs(&self, _seed: u64) -> Vec<JobSpec> {
         self.jobs.clone()
+    }
+
+    fn deadline_bound(&self) -> bool {
+        self.deadline_bound
     }
 }
 
@@ -111,5 +162,38 @@ mod tests {
         assert_eq!(source.label(), "fixture");
         assert_eq!(source.jobs_ref(), &jobs[..]);
         assert_eq!(source.into_jobs(), jobs);
+    }
+
+    #[test]
+    fn generated_warmup_matches_a_smaller_regeneration() {
+        let source = GeneratedWorkload::new(config().with_jobs(10));
+        // ceil(10 * 0.5) = 5 warm jobs, a prefix of the full workload.
+        let warm = source.warmup_jobs(0.5, 9);
+        assert_eq!(warm.len(), 5);
+        assert_eq!(warm, source.jobs(9)[..5].to_vec());
+        // Tiny workloads still warm with at least four jobs.
+        let tiny = GeneratedWorkload::new(config().with_jobs(2));
+        assert_eq!(tiny.warmup_jobs(0.5, 9).len(), 4);
+    }
+
+    #[test]
+    fn recorded_warmup_is_a_prefix_of_the_recording() {
+        let jobs = generate(&config(), 5);
+        let source = RecordedWorkload::new("fixture", jobs.clone());
+        let warm = source.warmup_jobs(0.5, 0);
+        assert_eq!(warm.len(), 4); // ceil(6 * 0.5) = 3, raised to the minimum of 4
+        assert_eq!(warm, jobs[..4].to_vec());
+        // The prefix can never exceed the recording itself.
+        assert_eq!(source.warmup_jobs(5.0, 0), jobs);
+    }
+
+    #[test]
+    fn metric_kind_follows_the_bounds() {
+        use crate::generator::BoundSpec;
+        assert!(!GeneratedWorkload::new(config()).deadline_bound());
+        let deadline_cfg = config().with_bound(BoundSpec::paper_deadlines());
+        assert!(GeneratedWorkload::new(deadline_cfg).deadline_bound());
+        assert!(!RecordedWorkload::new("e", generate(&config(), 5)).deadline_bound());
+        assert!(RecordedWorkload::new("d", generate(&deadline_cfg, 5)).deadline_bound());
     }
 }

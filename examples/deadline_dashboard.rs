@@ -24,6 +24,7 @@ fn main() {
     workload.expected_share = (exp.cluster.total_slots() / 5).max(4);
     workload.duration_calibration = exp.cluster.mean_slowdown() * 0.8;
 
+    let source = GeneratedWorkload::new(workload);
     println!(
         "Deadline-bound dashboard workload: {} jobs, {} slots\n",
         exp.jobs_per_run,
@@ -41,7 +42,7 @@ fn main() {
         PolicyKind::RasOnly,
         PolicyKind::grass(),
     ] {
-        let outcomes = grass::experiments::run_policy(&exp, &workload, &policy);
+        let outcomes = grass::experiments::run_policy(&exp, &source, &policy);
         let by_bin = outcomes.mean_by_size_bin(Metric::Accuracy);
         let overall = outcomes.mean(Metric::Accuracy).unwrap_or(0.0);
         println!(

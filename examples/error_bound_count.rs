@@ -30,8 +30,9 @@ fn main() {
             .with_bound(BoundSpec::ErrorFixed(epsilon));
         workload.expected_share = (exp.cluster.total_slots() / 5).max(4);
 
-        let late = grass::experiments::run_policy(&exp, &workload, &PolicyKind::Late);
-        let grass_outcomes = grass::experiments::run_policy(&exp, &workload, &PolicyKind::grass());
+        let source = GeneratedWorkload::new(workload);
+        let late = grass::experiments::run_policy(&exp, &source, &PolicyKind::Late);
+        let grass_outcomes = grass::experiments::run_policy(&exp, &source, &PolicyKind::grass());
         let late_duration = late.mean(Metric::Duration).unwrap_or(f64::NAN);
         let grass_duration = grass_outcomes.mean(Metric::Duration).unwrap_or(f64::NAN);
         let speedup = (late_duration - grass_duration) / late_duration * 100.0;

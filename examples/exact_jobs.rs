@@ -22,7 +22,8 @@ fn main() {
         .with_bound(BoundSpec::Exact);
     workload.expected_share = (exp.cluster.total_slots() / 5).max(4);
 
-    let baseline = grass::experiments::run_policy(&exp, &workload, &PolicyKind::NoSpec);
+    let source = GeneratedWorkload::new(workload);
+    let baseline = grass::experiments::run_policy(&exp, &source, &PolicyKind::NoSpec);
     let baseline_duration = baseline.mean(Metric::Duration).unwrap_or(f64::NAN);
 
     println!("Exact jobs (error bound = 0): average duration and speed-up over NoSpec\n");
@@ -40,7 +41,7 @@ fn main() {
         PolicyKind::grass(),
         PolicyKind::Oracle,
     ] {
-        let outcomes = grass::experiments::run_policy(&exp, &workload, &policy);
+        let outcomes = grass::experiments::run_policy(&exp, &source, &policy);
         let duration = outcomes.mean(Metric::Duration).unwrap_or(f64::NAN);
         let spec_copies: usize = outcomes.all().iter().map(|o| o.speculative_copies).sum();
         let speedup = (baseline_duration - duration) / baseline_duration * 100.0;

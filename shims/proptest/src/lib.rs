@@ -45,8 +45,16 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Honours the `PROPTEST_CASES` environment variable, like the real proptest's
+    /// env-aware defaults; falls back to 64 cases. (Deliberately not exposed as a
+    /// helper: test files that want an env-overridable *explicit* count read the
+    /// variable themselves, so they keep compiling against the real proptest.)
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 

@@ -68,9 +68,10 @@ pub mod prelude {
         SwitchScanCache, TaskId, TaskSpec, TaskView, Time,
     };
     pub use grass_experiments::{
-        compare, compare_outcomes, experiment_ids, make_factory, metric_for, outcome_digest,
-        run_experiment, run_once, run_policy, run_trace_command, sample_task_durations,
-        workload_jobs, Comparison, ExpConfig, PolicyKind,
+        compare, compare_outcomes, experiment_ids, make_factory, metric_for, metric_for_source,
+        outcome_digest, parse_policy, run_experiment, run_once, run_policy, run_sweep,
+        run_sweep_command, run_trace_command, sample_task_durations, workload_jobs, Comparison,
+        ExpConfig, PolicyKind, SweepCell, SweepConfig, SweepResult,
     };
     pub use grass_metrics::{
         improvement_by_size_bin, improvement_percent, mean_metric, overall_improvement, Cell,

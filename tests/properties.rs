@@ -5,6 +5,17 @@
 use grass::prelude::*;
 use proptest::prelude::*;
 
+/// Case count for this suite: 24 by default (it dominates `cargo test` wall-time —
+/// ROADMAP "slow test tail"), overridable via `PROPTEST_CASES` (the same variable the
+/// real proptest reads) to shrink smoke runs or broaden nightly ones. Read locally —
+/// not via a shim helper — so this file compiles unchanged against the real proptest.
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
 fn small_sim(seed: u64) -> SimConfig {
     SimConfig {
         cluster: ClusterConfig {
@@ -36,7 +47,7 @@ fn policy_for(selector: u8) -> Box<dyn PolicyFactory> {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 24,
+        cases: configured_cases(),
         ..ProptestConfig::default()
     })]
 
