@@ -1,17 +1,24 @@
-//! Benchmarks of the `grass-trace` subsystem: codec encode/decode throughput for
-//! both record streams, and replay-from-trace versus regenerate-from-seed
-//! simulation speed (the cost a trace-driven experiment pays — or saves — relative
-//! to re-rolling the workload every run).
+//! Benchmarks of the `grass-trace` subsystem: per-format codec encode/decode
+//! throughput for both record streams (text v1 vs compact binary v2 on the same
+//! workload), and replay-from-trace versus regenerate-from-seed simulation speed
+//! (the cost a trace-driven experiment pays — or saves — relative to re-rolling
+//! the workload every run).
+//!
+//! Filter one format via the shim's CLI filtering, e.g.
+//! `cargo bench -p grass-bench --bench tracebench -- binary`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use grass_core::GsFactory;
 use grass_sim::{run_simulation, run_simulation_traced, SimConfig, VecSink};
 use grass_trace::{
-    record_workload, replay, replay_config, ExecutionMeta, ExecutionTrace, WorkloadTrace,
+    record_workload, replay, replay_config, ExecutionMeta, ExecutionTrace, TraceFormat,
+    WorkloadTrace,
 };
 use grass_workload::{generate, BoundSpec, Framework, TraceProfile, WorkloadConfig};
+
+const FORMATS: [TraceFormat; 2] = [TraceFormat::Text, TraceFormat::Binary];
 
 fn workload_config(jobs: usize) -> WorkloadConfig {
     WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
@@ -23,34 +30,13 @@ fn recorded_trace(jobs: usize) -> WorkloadTrace {
     record_workload(&workload_config(jobs), 7, 11, "GS", 20, 4)
 }
 
-fn codec_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_codec");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2));
-
-    // Workload stream: 500 heavy-tailed jobs (tens of thousands of tasks).
-    let trace = recorded_trace(500);
-    let bytes = trace.to_bytes();
-    let tasks: usize = trace.jobs.iter().map(|j| j.total_tasks()).sum();
-    println!(
-        "# workload corpus: 500 jobs, {tasks} tasks, {:.1} KiB encoded",
-        bytes.len() as f64 / 1024.0
-    );
-    group.bench_function("encode_workload_500_jobs", |b| {
-        b.iter(|| criterion::black_box(trace.to_bytes().len()))
-    });
-    group.bench_function("decode_workload_500_jobs", |b| {
-        b.iter(|| criterion::black_box(WorkloadTrace::from_bytes(&bytes).unwrap().jobs.len()))
-    });
-
-    // Execution stream: the event log of a 20-job simulated run.
+/// The event log of a 20-job simulated run (the execution-stream corpus).
+fn recorded_execution() -> ExecutionTrace {
     let small = recorded_trace(20);
     let sim = replay_config(&small);
     let mut sink = VecSink::new();
     run_simulation_traced(&sim, small.jobs.clone(), &GsFactory, &mut sink);
-    let exec = ExecutionTrace::new(
+    ExecutionTrace::new(
         ExecutionMeta {
             sim_seed: sim.seed,
             policy: "GS".into(),
@@ -58,30 +44,170 @@ fn codec_throughput(c: &mut Criterion) {
             slots_per_machine: 4,
         },
         sink.into_events(),
-    );
-    let exec_bytes = exec.to_bytes();
-    println!(
-        "# execution corpus: {} events, {:.1} KiB encoded",
-        exec.events.len(),
-        exec_bytes.len() as f64 / 1024.0
-    );
-    group.bench_function("encode_execution_20_jobs", |b| {
-        b.iter(|| criterion::black_box(exec.to_bytes().len()))
-    });
-    group.bench_function("decode_execution_20_jobs", |b| {
-        b.iter(|| {
-            criterion::black_box(
-                ExecutionTrace::from_bytes(&exec_bytes)
-                    .unwrap()
-                    .events
-                    .len(),
-            )
+    )
+}
+
+/// Minimum wall time of `f` over `reps` runs (same convention as the shim's
+/// "min" column); used for the printed throughput summary table.
+fn time_min(reps: usize, mut f: impl FnMut()) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
         })
-    });
+        .min()
+        .expect("reps > 0")
+}
+
+/// Print the text-vs-binary throughput table the EXPERIMENTS.md entry pins:
+/// MiB/s against each format's own encoded size, plus the speedup of binary
+/// over text in wall time per operation on the same in-memory trace.
+///
+/// The summary is plain `println!` work, not a registered benchmark, so it
+/// checks the CLI filter itself (through the shim's matcher, so the semantics
+/// cannot diverge): `cargo bench ... -- binary` skips the ~10 s summary rather
+/// than paying for output it was asked to filter out.
+fn throughput_summary(c: &mut Criterion) {
+    if !c.filter_matches("trace_codec/throughput_summary") {
+        return;
+    }
+    let workload = recorded_trace(500);
+    let execution = recorded_execution();
+    let tasks: usize = workload.jobs.iter().map(|j| j.total_tasks()).sum();
+    println!(
+        "# corpus: workload 500 jobs / {tasks} tasks; execution {} events",
+        execution.events.len()
+    );
+    println!("# stream    format  size-KiB  encode-ms  enc-MiB/s  decode-ms  dec-MiB/s");
+    let mut op_times: Vec<(f64, f64)> = Vec::new();
+    for (stream, encode, bytes) in [
+        (
+            "workload",
+            Box::new(|f: TraceFormat| workload.to_bytes_as(f))
+                as Box<dyn Fn(TraceFormat) -> Vec<u8>>,
+            FORMATS.map(|f| workload.to_bytes_as(f)),
+        ),
+        (
+            "execution",
+            Box::new(|f: TraceFormat| execution.to_bytes_as(f)),
+            FORMATS.map(|f| execution.to_bytes_as(f)),
+        ),
+    ] {
+        for (format, encoded) in FORMATS.iter().zip(bytes.iter()) {
+            let mib = encoded.len() as f64 / (1024.0 * 1024.0);
+            let enc = time_min(15, || {
+                criterion::black_box(encode(*format).len());
+            })
+            .as_secs_f64();
+            let dec = time_min(15, || match stream {
+                "workload" => {
+                    criterion::black_box(WorkloadTrace::from_bytes(encoded).unwrap().jobs.len());
+                }
+                _ => {
+                    criterion::black_box(ExecutionTrace::from_bytes(encoded).unwrap().events.len());
+                }
+            })
+            .as_secs_f64();
+            op_times.push((enc, dec));
+            println!(
+                "# {stream:<9} {format:<7} {:>8.1}  {:>9.2}  {:>9.0}  {:>9.2}  {:>9.0}",
+                encoded.len() as f64 / 1024.0,
+                enc * 1e3,
+                mib / enc,
+                dec * 1e3,
+                mib / dec,
+            );
+        }
+    }
+    for (stream, pair) in ["workload", "execution"].iter().zip(op_times.chunks(2)) {
+        let [(text_enc, text_dec), (bin_enc, bin_dec)] = pair else {
+            unreachable!()
+        };
+        println!(
+            "# {stream} speedup (binary over text, same trace): encode {:.1}x, decode {:.1}x",
+            text_enc / bin_enc,
+            text_dec / bin_dec,
+        );
+    }
+}
+
+/// Whether the CLI filter selects any id of the form `prefix_{text|binary}`.
+fn any_format_selected(c: &Criterion, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|prefix| {
+        FORMATS
+            .iter()
+            .any(|format| c.filter_matches(&format!("{prefix}_{format}")))
+    })
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    // Build each corpus only when the filter selects at least one of its
+    // benchmarks — the 500-job recording and the 20-job simulation dominate a
+    // filtered run's wall time otherwise.
+    let run_workload = any_format_selected(
+        c,
+        &[
+            "trace_codec/encode_workload_500_jobs",
+            "trace_codec/decode_workload_500_jobs",
+        ],
+    );
+    let run_execution = any_format_selected(
+        c,
+        &[
+            "trace_codec/encode_execution_20_jobs",
+            "trace_codec/decode_execution_20_jobs",
+        ],
+    );
+    if !run_workload && !run_execution {
+        return;
+    }
+    let mut group = c.benchmark_group("trace_codec");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    // Workload stream: 500 heavy-tailed jobs (tens of thousands of tasks).
+    if run_workload {
+        let trace = recorded_trace(500);
+        for format in FORMATS {
+            let bytes = trace.to_bytes_as(format);
+            group.bench_function(format!("encode_workload_500_jobs_{format}"), |b| {
+                b.iter(|| criterion::black_box(trace.to_bytes_as(format).len()))
+            });
+            group.bench_function(format!("decode_workload_500_jobs_{format}"), |b| {
+                b.iter(|| {
+                    criterion::black_box(WorkloadTrace::from_bytes(&bytes).unwrap().jobs.len())
+                })
+            });
+        }
+    }
+
+    // Execution stream: the event log of a 20-job simulated run.
+    if run_execution {
+        let exec = recorded_execution();
+        for format in FORMATS {
+            let bytes = exec.to_bytes_as(format);
+            group.bench_function(format!("encode_execution_20_jobs_{format}"), |b| {
+                b.iter(|| criterion::black_box(exec.to_bytes_as(format).len()))
+            });
+            group.bench_function(format!("decode_execution_20_jobs_{format}"), |b| {
+                b.iter(|| {
+                    criterion::black_box(ExecutionTrace::from_bytes(&bytes).unwrap().events.len())
+                })
+            });
+        }
+    }
     group.finish();
 }
 
 fn replay_vs_regenerate(c: &mut Criterion) {
+    if !c.filter_matches("trace_replay/regenerate_and_run_20_jobs")
+        && !any_format_selected(c, &["trace_replay/decode_and_run_20_jobs"])
+    {
+        return;
+    }
     let mut group = c.benchmark_group("trace_replay");
     group
         .sample_size(10)
@@ -90,7 +216,6 @@ fn replay_vs_regenerate(c: &mut Criterion) {
 
     let config = workload_config(20);
     let trace = recorded_trace(20);
-    let bytes = trace.to_bytes();
     let sim: SimConfig = replay_config(&trace);
 
     // Baseline: the status quo ante — sample the workload fresh, then simulate.
@@ -101,14 +226,22 @@ fn replay_vs_regenerate(c: &mut Criterion) {
         })
     });
     // Replay: decode the recorded workload from bytes, then simulate.
-    group.bench_function("decode_and_run_20_jobs", |b| {
-        b.iter(|| {
-            let decoded = WorkloadTrace::from_bytes(&bytes).unwrap();
-            criterion::black_box(replay(&decoded, &sim, &GsFactory).total_copies)
-        })
-    });
+    for format in FORMATS {
+        let bytes = trace.to_bytes_as(format);
+        group.bench_function(format!("decode_and_run_20_jobs_{format}"), |b| {
+            b.iter(|| {
+                let decoded = WorkloadTrace::from_bytes(&bytes).unwrap();
+                criterion::black_box(replay(&decoded, &sim, &GsFactory).total_copies)
+            })
+        });
+    }
     group.finish();
 }
 
-criterion_group!(tracebench, codec_throughput, replay_vs_regenerate);
+criterion_group!(
+    tracebench,
+    throughput_summary,
+    codec_throughput,
+    replay_vs_regenerate
+);
 criterion_main!(tracebench);

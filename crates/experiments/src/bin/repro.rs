@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [<experiment-id>...]
-//! repro trace record --out <dir> [--jobs N] [--policy P] [...]
+//! repro trace record --out <dir> [--jobs N] [--policy P] [--format text|binary] [...]
 //! repro trace replay <workload.trace> [--policy P]
+//! repro trace convert <in> <out> --format text|binary
 //! repro trace stats <trace-file>...
 //! repro sweep <workload.trace|dir> [--machines 20,50,100] [--policies late,gs,ras,grass]
 //!             [--baseline late] [--threads N] [--seeds a,b,c] [--slots N] [--quick]
@@ -14,9 +15,10 @@
 //! With no experiment ids, every experiment is run in paper order. `--quick` uses the
 //! reduced configuration (fewer jobs, one seed, smaller cluster) intended for smoke
 //! tests; the default configuration averages three seeds on the 200-slot cluster.
-//! The `trace` subcommand records, replays and inspects workload/execution traces
-//! (see `grass_experiments::trace_cli`); `sweep` replays one recorded workload across
-//! a cluster-size × policy grid (see `grass_experiments::sweep`).
+//! The `trace` subcommand records, replays, converts and inspects workload/execution
+//! traces in either wire format (see `grass_experiments::trace_cli`); `sweep` replays
+//! one recorded workload across a cluster-size × policy grid (see
+//! `grass_experiments::sweep`).
 
 use std::process::ExitCode;
 
@@ -108,8 +110,9 @@ fn print_help() {
     println!(
         "                          [--framework hadoop|spark] [--bound deadlines|errors|exact]"
     );
-    println!("                          [--machines N] [--slots N]");
+    println!("                          [--machines N] [--slots N] [--format text|binary]");
     println!("       repro trace replay <workload.trace|dir> [--policy P]");
+    println!("       repro trace convert <in> <out> --format text|binary");
     println!("       repro trace stats <trace-file>...");
     println!("       repro sweep <workload.trace|dir> [--machines 20,50,100]");
     println!("                   [--policies late,gs,ras,grass] [--baseline late]");

@@ -1,19 +1,25 @@
-//! The `repro trace` subcommand surface: record, replay and inspect traces.
+//! The `repro trace` subcommand surface: record, replay, convert and inspect
+//! traces.
 //!
 //! ```text
 //! repro trace record --out <dir> [--jobs N] [--gen-seed S] [--sim-seed S]
 //!                    [--policy P] [--profile facebook|bing] [--framework hadoop|spark]
 //!                    [--bound deadlines|errors|exact] [--machines N] [--slots N]
+//!                    [--format text|binary]
 //! repro trace replay <workload.trace> [--policy P]
+//! repro trace convert <in> <out> --format text|binary
 //! repro trace stats <trace-file>...
 //! ```
 //!
 //! `record` samples a synthetic workload, persists it as `workload.trace`, runs it
-//! through the simulator while streaming `execution.trace`, and prints a
-//! deterministic outcome digest to stdout. `replay` decodes a workload trace, re-runs
-//! it with the recorded simulator seed / cluster / policy and prints the same digest
-//! — so `diff <(record) <(replay)` is the record→replay determinism check CI runs.
-//! Informational messages go to stderr to keep stdout digest-clean.
+//! through the simulator while streaming `execution.trace` (both in the chosen
+//! `--format`), and prints a deterministic outcome digest to stdout. `replay`
+//! decodes a workload trace — the format is sniffed, so text and binary replay
+//! identically — re-runs it with the recorded simulator seed / cluster / policy
+//! and prints the same digest, so `diff <(record) <(replay)` is the record→replay
+//! determinism check CI runs in both formats. `convert` re-encodes a trace of
+//! either stream kind into the requested format. Informational messages go to
+//! stderr to keep stdout digest-clean.
 
 use std::path::{Path, PathBuf};
 
@@ -21,7 +27,8 @@ use grass_core::{GrassFactory, GsFactory, PolicyFactory, RasFactory};
 use grass_policies::{LateFactory, MantriFactory, NoSpecFactory, OracleFactory};
 use grass_sim::{run_simulation, run_simulation_traced, SimResult};
 use grass_trace::{
-    record_workload, replay_config, ExecutionMeta, ExecutionTraceSink, TraceStats, WorkloadTrace,
+    record_workload, replay_config, sniff_bytes, ExecutionMeta, ExecutionTrace, ExecutionTraceSink,
+    StreamKind, TraceFormat, TraceStats, WorkloadTrace,
 };
 use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
 
@@ -30,11 +37,22 @@ pub fn run_trace_command(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
+        Some("convert") => convert(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some(other) => Err(format!(
-            "unknown trace verb '{other}'; expected record, replay or stats"
+            "unknown trace verb '{other}'; expected record, replay, convert or stats"
         )),
-        None => Err("missing trace verb; expected record, replay or stats".to_string()),
+        None => Err("missing trace verb; expected record, replay, convert or stats".to_string()),
+    }
+}
+
+/// Parse a `--format` value, defaulting to text when the flag is absent.
+fn parse_format(value: Option<&str>) -> Result<TraceFormat, String> {
+    match value {
+        None => Ok(TraceFormat::Text),
+        Some(v) => {
+            TraceFormat::parse(v).ok_or_else(|| format!("unknown format '{v}' (text|binary)"))
+        }
     }
 }
 
@@ -175,6 +193,7 @@ fn record(args: &[String]) -> Result<(), String> {
         "profile",
         "framework",
         "bound",
+        "format",
     ])?;
     if !flags.positional.is_empty() {
         return Err(format!(
@@ -189,6 +208,7 @@ fn record(args: &[String]) -> Result<(), String> {
     let machines = flags.get_usize("machines", 20)?;
     let slots = flags.get_usize("slots", 4)?;
     let policy = flags.get("policy").unwrap_or("grass").to_string();
+    let format = parse_format(flags.get("format"))?;
 
     let profile = match flags.get("profile").unwrap_or("facebook") {
         "facebook" => TraceProfile::facebook,
@@ -218,7 +238,7 @@ fn record(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let workload_path = out_dir.join("workload.trace");
     trace
-        .save(&workload_path)
+        .save_as(&workload_path, format)
         .map_err(|e| format!("cannot write {}: {e}", workload_path.display()))?;
 
     let execution_path = out_dir.join("execution.trace");
@@ -230,14 +250,15 @@ fn record(args: &[String]) -> Result<(), String> {
     };
     let file = std::fs::File::create(&execution_path)
         .map_err(|e| format!("cannot create {}: {e}", execution_path.display()))?;
-    let mut sink = ExecutionTraceSink::new(std::io::BufWriter::new(file), &exec_meta)
-        .map_err(|e| e.to_string())?;
+    let mut sink =
+        ExecutionTraceSink::with_format(std::io::BufWriter::new(file), &exec_meta, format)
+            .map_err(|e| e.to_string())?;
     let result = run_simulation_traced(&sim, trace.jobs.clone(), factory.as_ref(), &mut sink);
     sink.finish()
         .map_err(|e| format!("cannot finish {}: {e}", execution_path.display()))?;
 
     eprintln!(
-        "recorded {} jobs ({} profile, policy {}) -> {} + {}",
+        "recorded {} jobs ({} profile, policy {}, {format} format) -> {} + {}",
         trace.jobs.len(),
         trace.meta.profile,
         factory.name(),
@@ -272,6 +293,32 @@ fn replay_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn convert(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["format"])?;
+    let [input, output] = flags.positional.as_slice() else {
+        return Err("convert expects exactly two paths: <in> <out>".to_string());
+    };
+    let format = parse_format(Some(
+        flags
+            .get("format")
+            .ok_or("convert requires --format text|binary")?,
+    ))?;
+    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let (from, kind) = sniff_bytes(&bytes).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let result = match kind {
+        StreamKind::Workload => {
+            WorkloadTrace::from_bytes(&bytes).and_then(|trace| trace.save_as(output, format))
+        }
+        StreamKind::Execution => {
+            ExecutionTrace::from_bytes(&bytes).and_then(|trace| trace.save_as(output, format))
+        }
+    };
+    result.map_err(|e| format!("cannot convert {input}: {e}"))?;
+    eprintln!("converted {input} ({from} {kind} trace) -> {output} ({format})");
+    Ok(())
+}
+
 /// Accept either a workload trace file or the directory `record` wrote it into.
 pub(crate) fn resolve_workload_path(path: &Path) -> PathBuf {
     if path.is_dir() {
@@ -297,7 +344,7 @@ fn stats(args: &[String]) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run_record_and_replay(dir: &Path, policy: &str) -> (String, String) {
+    fn run_record_and_replay(dir: &Path, policy: &str, format: &str) -> (String, String) {
         let record_args: Vec<String> = [
             "record",
             "--out",
@@ -306,6 +353,8 @@ mod tests {
             "6",
             "--policy",
             policy,
+            "--format",
+            format,
         ]
         .iter()
         .map(|s| s.to_string())
@@ -321,21 +370,62 @@ mod tests {
     }
 
     #[test]
-    fn record_then_replay_digests_are_identical() {
+    fn record_then_replay_digests_are_identical_in_both_formats() {
         let dir = std::env::temp_dir().join(format!("grass-trace-cli-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        for policy in ["gs", "grass"] {
-            let (a, b) = run_record_and_replay(&dir, policy);
-            assert_eq!(a, b, "digest mismatch for policy {policy}");
-            assert!(a.contains("summary jobs=6"));
+        let mut digests = Vec::new();
+        for format in ["text", "binary"] {
+            for policy in ["gs", "grass"] {
+                let (a, b) = run_record_and_replay(&dir, policy, format);
+                assert_eq!(a, b, "digest mismatch for policy {policy} ({format})");
+                assert!(a.contains("summary jobs=6"));
+                digests.push(a);
+            }
+            // The stats verb reads both written files, whichever format they are in.
+            let stats_args: Vec<String> = vec![
+                "stats".into(),
+                dir.join("workload.trace").to_str().unwrap().into(),
+                dir.join("execution.trace").to_str().unwrap().into(),
+            ];
+            run_trace_command(&stats_args).unwrap();
         }
-        // The stats verb reads both written files.
-        let stats_args: Vec<String> = vec![
-            "stats".into(),
-            dir.join("workload.trace").to_str().unwrap().into(),
-            dir.join("execution.trace").to_str().unwrap().into(),
-        ];
-        run_trace_command(&stats_args).unwrap();
+        // Same seeds, same policy: the digest must not depend on the wire format.
+        assert_eq!(digests[0], digests[2]);
+        assert_eq!(digests[1], digests[3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn convert_round_trips_both_stream_kinds() {
+        let dir = std::env::temp_dir().join(format!("grass-trace-conv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        run_record_and_replay(&dir, "gs", "binary");
+        for name in ["workload.trace", "execution.trace"] {
+            let binary = dir.join(name);
+            let text = dir.join(format!("{name}.txt"));
+            let back = dir.join(format!("{name}.bin"));
+            let args = |input: &Path, output: &Path, fmt: &str| -> Vec<String> {
+                vec![
+                    "convert".into(),
+                    input.to_str().unwrap().into(),
+                    output.to_str().unwrap().into(),
+                    "--format".into(),
+                    fmt.into(),
+                ]
+            };
+            run_trace_command(&args(&binary, &text, "text")).unwrap();
+            run_trace_command(&args(&text, &back, "binary")).unwrap();
+            // Canonical encodings: binary -> text -> binary is byte-identical.
+            assert_eq!(
+                std::fs::read(&binary).unwrap(),
+                std::fs::read(&back).unwrap(),
+                "{name}"
+            );
+            assert_ne!(
+                std::fs::read(&binary).unwrap(),
+                std::fs::read(&text).unwrap()
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -376,5 +466,22 @@ mod tests {
         assert!(err.contains("unknown flag --sim-seed"), "{err}");
         assert!(make_factory("late", 1).is_ok());
         assert!(make_factory("zzz", 1).is_err());
+        // Format handling: unknown labels and a missing --format on convert.
+        let err = run_trace_command(&[
+            "record".to_string(),
+            "--format".to_string(),
+            "json".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown format"), "{err}");
+        let err = run_trace_command(&[
+            "convert".to_string(),
+            "a.trace".to_string(),
+            "b.trace".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("requires --format"), "{err}");
+        let err = run_trace_command(&["convert".to_string(), "only-one".to_string()]).unwrap_err();
+        assert!(err.contains("exactly two"), "{err}");
     }
 }

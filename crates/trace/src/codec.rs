@@ -23,11 +23,16 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-/// Magic word opening every trace file.
+/// Magic word opening every trace file (both formats share it: the text header
+/// follows it with a space, the binary header with a NUL byte).
 pub const MAGIC: &str = "grass-trace";
 
-/// Current trace format version. Readers reject anything else.
+/// Version of the *text* trace format (v1, frozen). Text readers reject anything
+/// else; the binary framing is [`BINARY_FORMAT_VERSION`].
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Version of the *binary* trace framing (v2). See [`crate::binary`].
+pub const BINARY_FORMAT_VERSION: u32 = 2;
 
 /// Which of the two record streams a trace file carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +90,14 @@ pub enum TraceError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A binary frame could not be decoded (or encoded). Carries the absolute byte
+    /// offset — the binary analogue of [`TraceError::Parse`]'s line number.
+    Frame {
+        /// 0-based byte offset of the offending byte in the trace stream.
+        offset: u64,
+        /// Human-readable description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -95,13 +108,17 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported trace format version {v} (supported: {FORMAT_VERSION})"
+                    "unsupported trace format version {v} (supported: {FORMAT_VERSION} = text, \
+                     {BINARY_FORMAT_VERSION} = binary)"
                 )
             }
             TraceError::WrongStream { expected, found } => {
                 write!(f, "expected a {expected} trace but found a {found} trace")
             }
             TraceError::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+            TraceError::Frame { offset, message } => {
+                write!(f, "trace byte offset {offset}: {message}")
+            }
         }
     }
 }

@@ -2,19 +2,20 @@
 //!
 //! The event vocabulary is `grass-sim`'s [`SimTraceEvent`] — job arrivals, policy
 //! decisions (launch vs speculate), copy launches with their slot allocation, copy
-//! finishes and kills, and job completions — encoded one event per line in emission
-//! order. Capture either in memory (`grass_sim::VecSink` plus
-//! [`ExecutionTrace::new`]) or streamed straight to a writer
-//! ([`crate::ExecutionTraceSink`]).
+//! finishes and kills, and job completions — encoded one record per event in
+//! emission order, in either [`TraceFormat`]. Capture either in memory
+//! (`grass_sim::VecSink` plus [`ExecutionTrace::new`]) or streamed straight to a
+//! writer ([`crate::ExecutionTraceSink`]). Reads sniff the format; writes default
+//! to text (v1) and take an explicit format via the `*_as` methods.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use grass_core::{ActionKind, JobId, TaskId};
-use grass_sim::{SimTraceEvent, SlotId};
+use grass_sim::SimTraceEvent;
 
-use crate::codec::{LineBuilder, Record, StreamKind, TraceError, TraceReader, TraceWriter};
+use crate::codec::TraceError;
+use crate::format::{codec_for, decode_sniffed, TraceFormat};
 
 /// Metadata of an execution trace: the simulation configuration that produced it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,223 +45,73 @@ impl ExecutionTrace {
         ExecutionTrace { meta, events }
     }
 
-    /// Encode the trace onto any writer.
+    /// Encode the trace onto any writer in the text (v1) format.
     pub fn write_to<W: Write>(&self, w: W) -> Result<(), TraceError> {
-        let mut out = TraceWriter::new(w, StreamKind::Execution)?;
-        out.record(&encode_meta(&self.meta))?;
+        self.write_as(w, TraceFormat::Text)
+    }
+
+    /// Encode the trace onto any writer in the chosen format.
+    pub fn write_as<W: Write>(&self, mut w: W, format: TraceFormat) -> Result<(), TraceError> {
+        let mut codec = codec_for(format);
+        let w: &mut dyn Write = &mut w;
+        codec.begin_execution(w, &self.meta)?;
         for event in &self.events {
-            out.record(&encode_event(event))?;
+            codec.encode_event(w, event)?;
         }
-        out.finish()?;
+        codec.finish(w)?;
+        w.flush()?;
         Ok(())
     }
 
-    /// Encode the trace into a byte buffer.
+    /// Encode the trace into a byte buffer in the text (v1) format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_as(TraceFormat::Text)
+    }
+
+    /// Encode the trace into a byte buffer in the chosen format.
+    ///
+    /// Panics on the one non-I/O encode failure (a single record over the binary
+    /// frame cap — unreachable for real event streams); use
+    /// [`write_as`](Self::write_as) to handle it as an error instead.
+    pub fn to_bytes_as(&self, format: TraceFormat) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.write_to(&mut buf)
-            .expect("writing to a Vec cannot fail");
+        self.write_as(&mut buf, format)
+            .unwrap_or_else(|e| panic!("in-memory {format} encode failed: {e}"));
         buf
     }
 
-    /// Decode a trace from any buffered reader.
+    /// Decode a trace from any buffered reader; the format is sniffed from the
+    /// header, so text and binary traces read through the same call.
     pub fn read_from<R: BufRead>(r: R) -> Result<Self, TraceError> {
-        let mut reader = TraceReader::new(r, Some(StreamKind::Execution))?;
-        let meta_rec = reader.next_record()?.ok_or(TraceError::Parse {
-            line: 1,
-            message: "execution trace has no meta record".into(),
-        })?;
-        if meta_rec.tag != "meta" {
-            return Err(TraceError::Parse {
-                line: meta_rec.line,
-                message: format!(
-                    "expected 'meta' as the first record, found '{}'",
-                    meta_rec.tag
-                ),
-            });
-        }
-        let meta = decode_meta(&meta_rec)?;
-        let mut events = Vec::new();
-        while let Some(rec) = reader.next_record()? {
-            events.push(decode_event(&rec)?);
-        }
-        Ok(ExecutionTrace { meta, events })
+        decode_sniffed(r, |codec, r| codec.decode_execution(r))
     }
 
-    /// Decode a trace from a byte slice.
+    /// Decode a trace from a byte slice (either format).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
         Self::read_from(bytes)
     }
 
-    /// Write the trace to a file.
+    /// Write the trace to a file in the text (v1) format.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
-        self.write_to(BufWriter::new(File::create(path)?))
+        self.save_as(path, TraceFormat::Text)
     }
 
-    /// Read a trace from a file.
+    /// Write the trace to a file in the chosen format.
+    pub fn save_as(&self, path: impl AsRef<Path>, format: TraceFormat) -> Result<(), TraceError> {
+        self.write_as(BufWriter::new(File::create(path)?), format)
+    }
+
+    /// Read a trace from a file (either format).
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         Self::read_from(BufReader::new(File::open(path)?))
-    }
-}
-
-pub(crate) fn encode_meta(meta: &ExecutionMeta) -> String {
-    LineBuilder::new("meta")
-        .num("sim_seed", meta.sim_seed)
-        .text("policy", &meta.policy)
-        .num("machines", meta.machines)
-        .num("slots_per_machine", meta.slots_per_machine)
-        .build()
-}
-
-fn decode_meta(rec: &Record) -> Result<ExecutionMeta, TraceError> {
-    Ok(ExecutionMeta {
-        sim_seed: rec.u64("sim_seed")?,
-        policy: rec.text("policy")?,
-        machines: rec.usize("machines")?,
-        slots_per_machine: rec.usize("slots_per_machine")?,
-    })
-}
-
-/// Encode one simulator event as a record line (tag = the event's kind label).
-pub(crate) fn encode_event(event: &SimTraceEvent) -> String {
-    let base = LineBuilder::new(event.kind_label())
-        .num("t", event.time())
-        .num("job", event.job().value());
-    match *event {
-        SimTraceEvent::JobArrival { .. } => base.build(),
-        SimTraceEvent::Decision { task, kind, .. } => base
-            .num("task", task.0)
-            .num(
-                "kind",
-                match kind {
-                    ActionKind::Launch => "launch",
-                    ActionKind::Speculate => "speculate",
-                },
-            )
-            .build(),
-        SimTraceEvent::CopyLaunch {
-            task,
-            copy,
-            slot,
-            duration,
-            speculative,
-            ..
-        } => base
-            .num("task", task.0)
-            .num("copy", copy)
-            .num("slot", format_slot(slot))
-            .num("dur", duration)
-            .flag("spec", speculative)
-            .build(),
-        SimTraceEvent::CopyFinish {
-            task,
-            copy,
-            task_completed,
-            ..
-        } => base
-            .num("task", task.0)
-            .num("copy", copy)
-            .flag("done", task_completed)
-            .build(),
-        SimTraceEvent::CopyKill {
-            task, copy, slot, ..
-        } => base
-            .num("task", task.0)
-            .num("copy", copy)
-            .num("slot", format_slot(slot))
-            .build(),
-        SimTraceEvent::JobFinish {
-            completed_input,
-            completed_total,
-            ..
-        } => base
-            .num("input", completed_input)
-            .num("total", completed_total)
-            .build(),
-    }
-}
-
-fn format_slot(slot: SlotId) -> String {
-    format!("{}.{}", slot.machine, slot.slot)
-}
-
-fn parse_slot(rec: &Record, key: &str) -> Result<SlotId, TraceError> {
-    let raw = rec.raw(key)?;
-    let parsed = raw.split_once('.').and_then(|(m, s)| {
-        Some(SlotId {
-            machine: m.parse().ok()?,
-            slot: s.parse().ok()?,
-        })
-    });
-    parsed.ok_or(TraceError::Parse {
-        line: rec.line,
-        message: format!("field '{key}' is not a machine.slot pair: '{raw}'"),
-    })
-}
-
-fn decode_event(rec: &Record) -> Result<SimTraceEvent, TraceError> {
-    let time = rec.f64("t")?;
-    let job = JobId(rec.u64("job")?);
-    let task = |rec: &Record| -> Result<TaskId, TraceError> { Ok(TaskId(rec.u64("task")? as u32)) };
-    match rec.tag.as_str() {
-        "arrive" => Ok(SimTraceEvent::JobArrival { time, job }),
-        "decide" => {
-            let kind = match rec.raw("kind")? {
-                "launch" => ActionKind::Launch,
-                "speculate" => ActionKind::Speculate,
-                other => {
-                    return Err(TraceError::Parse {
-                        line: rec.line,
-                        message: format!("unknown decision kind '{other}'"),
-                    })
-                }
-            };
-            Ok(SimTraceEvent::Decision {
-                time,
-                job,
-                task: task(rec)?,
-                kind,
-            })
-        }
-        "launch" => Ok(SimTraceEvent::CopyLaunch {
-            time,
-            job,
-            task: task(rec)?,
-            copy: rec.u64("copy")?,
-            slot: parse_slot(rec, "slot")?,
-            duration: rec.f64("dur")?,
-            speculative: rec.bool("spec")?,
-        }),
-        "finish" => Ok(SimTraceEvent::CopyFinish {
-            time,
-            job,
-            task: task(rec)?,
-            copy: rec.u64("copy")?,
-            task_completed: rec.bool("done")?,
-        }),
-        "kill" => Ok(SimTraceEvent::CopyKill {
-            time,
-            job,
-            task: task(rec)?,
-            copy: rec.u64("copy")?,
-            slot: parse_slot(rec, "slot")?,
-        }),
-        "jobdone" => Ok(SimTraceEvent::JobFinish {
-            time,
-            job,
-            completed_input: rec.usize("input")?,
-            completed_total: rec.usize("total")?,
-        }),
-        other => Err(TraceError::Parse {
-            line: rec.line,
-            message: format!("unknown event tag '{other}'"),
-        }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grass_core::{ActionKind, JobId, TaskId};
+    use grass_sim::SlotId;
 
     pub(crate) fn sample_events() -> Vec<SimTraceEvent> {
         vec![
@@ -343,11 +194,14 @@ mod tests {
     }
 
     #[test]
-    fn every_event_variant_round_trips() {
+    fn every_event_variant_round_trips_in_both_formats() {
         let trace = sample_trace();
-        let decoded = ExecutionTrace::from_bytes(&trace.to_bytes()).unwrap();
-        assert_eq!(decoded, trace);
-        assert_eq!(decoded.to_bytes(), trace.to_bytes());
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = trace.to_bytes_as(format);
+            let decoded = ExecutionTrace::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, trace, "{format}");
+            assert_eq!(decoded.to_bytes_as(format), bytes, "{format}");
+        }
     }
 
     #[test]
@@ -366,9 +220,14 @@ mod tests {
 
     #[test]
     fn workload_header_is_rejected_for_execution_reads() {
-        let bytes = b"grass-trace 1 workload\nmeta num_jobs=0\n";
+        let text = b"grass-trace 1 workload\nmeta num_jobs=0\n";
         assert!(matches!(
-            ExecutionTrace::from_bytes(bytes),
+            ExecutionTrace::from_bytes(text),
+            Err(TraceError::WrongStream { .. })
+        ));
+        let binary = b"grass-trace\0\x02\x00";
+        assert!(matches!(
+            ExecutionTrace::from_bytes(binary),
             Err(TraceError::WrongStream { .. })
         ));
     }

@@ -1,0 +1,230 @@
+//! The pluggable trace-format layer: [`TraceFormat`] names a wire format,
+//! [`TraceCodec`] is the encode/decode plugin interface both formats implement, and
+//! [`sniff_format`] recognises which format a stream carries so every read path is
+//! format-agnostic.
+//!
+//! The two streams ([`WorkloadTrace`], [`ExecutionTrace`]) are built *on top of*
+//! this layer rather than on one codec: a stream hands the codec its typed records
+//! (meta, jobs, events) one at a time, so whole-trace encodes and the streaming
+//! [`crate::ExecutionTraceSink`] share the same plugin. Formats:
+//!
+//! * **Text (v1)** — the original line codec ([`crate::text::TextCodec`], built on
+//!   [`crate::codec`]). Frozen: its byte output is pinned by golden fixtures.
+//! * **Binary (v2)** — compact length-prefixed framing
+//!   ([`crate::binary::BinaryCodec`]): varint integers, raw-bits `f64`, an order of
+//!   magnitude faster than text on GB-scale traces.
+//!
+//! Both formats open with the shared `grass-trace` magic; byte 11 discriminates
+//! (`0x20` space = text header, `0x00` NUL = binary header), so [`sniff_format`]
+//! needs only the first twelve bytes.
+
+use std::io::{BufRead, Read, Write};
+
+use grass_core::JobSpec;
+use grass_sim::SimTraceEvent;
+
+use crate::binary::BinaryCodec;
+use crate::codec::{StreamKind, TraceError, MAGIC};
+use crate::execution::{ExecutionMeta, ExecutionTrace};
+use crate::text::TextCodec;
+use crate::workload::{WorkloadMeta, WorkloadTrace};
+
+/// Number of leading bytes [`sniff_format`] needs: the 11-byte magic plus the
+/// discriminator byte that follows it.
+pub const SNIFF_LEN: usize = MAGIC.len() + 1;
+
+/// The wire formats a trace can be encoded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Line-oriented `key=value` text (format v1). Human-readable and debuggable;
+    /// frozen byte-for-byte against the golden fixtures.
+    Text,
+    /// Compact length-prefixed binary framing (format v2). Varint integers,
+    /// raw-bits `f64`; the high-volume interchange path.
+    Binary,
+}
+
+impl TraceFormat {
+    /// Stable label, as accepted by [`TraceFormat::parse`] and the CLI `--format`
+    /// flag.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "text",
+            TraceFormat::Binary => "binary",
+        }
+    }
+
+    /// Trace-format version number carried in the header (`1` = text, `2` =
+    /// binary).
+    pub fn version(self) -> u32 {
+        match self {
+            TraceFormat::Text => crate::codec::FORMAT_VERSION,
+            TraceFormat::Binary => crate::codec::BINARY_FORMAT_VERSION,
+        }
+    }
+
+    /// Parse a format label (`"text"` / `"binary"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "text" => Some(TraceFormat::Text),
+            "binary" => Some(TraceFormat::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A trace-format plugin: encodes and decodes both record streams.
+///
+/// Encoding is record-at-a-time so streaming sinks work without buffering; a
+/// stream encode is `begin_*`, then one `encode_*` per record, then [`finish`]
+/// (`finish` writes any trailer — none for the built-in formats — but never
+/// flushes: the caller owns the writer). Decoding is whole-stream: each codec
+/// reads and validates its own header, so decoders compose with [`sniff_format`]
+/// for format-agnostic reads.
+///
+/// Codecs may keep scratch state between calls (the binary codec reuses frame
+/// buffers), hence `&mut self`; a fresh codec from [`codec_for`] is always in the
+/// ready state.
+///
+/// [`finish`]: TraceCodec::finish
+pub trait TraceCodec {
+    /// Which format this codec implements.
+    fn format(&self) -> TraceFormat;
+
+    /// Write the workload-stream header and meta record. `num_jobs` is declared up
+    /// front so decoders can verify completeness.
+    fn begin_workload(
+        &mut self,
+        w: &mut dyn Write,
+        meta: &WorkloadMeta,
+        num_jobs: usize,
+    ) -> Result<(), TraceError>;
+
+    /// Write one job record.
+    fn encode_job(&mut self, w: &mut dyn Write, job: &JobSpec) -> Result<(), TraceError>;
+
+    /// Write the execution-stream header and meta record.
+    fn begin_execution(
+        &mut self,
+        w: &mut dyn Write,
+        meta: &ExecutionMeta,
+    ) -> Result<(), TraceError>;
+
+    /// Write one simulator event record.
+    fn encode_event(&mut self, w: &mut dyn Write, event: &SimTraceEvent) -> Result<(), TraceError>;
+
+    /// Write any stream trailer (a no-op for both built-in formats). Does not
+    /// flush; the caller owns the writer.
+    fn finish(&mut self, w: &mut dyn Write) -> Result<(), TraceError>;
+
+    /// Decode a complete workload trace, header included.
+    fn decode_workload(&mut self, r: &mut dyn BufRead) -> Result<WorkloadTrace, TraceError>;
+
+    /// Decode a complete execution trace, header included.
+    fn decode_execution(&mut self, r: &mut dyn BufRead) -> Result<ExecutionTrace, TraceError>;
+
+    /// Read and validate the header only, returning the stream kind it declares.
+    fn peek_kind(&mut self, r: &mut dyn BufRead) -> Result<StreamKind, TraceError>;
+}
+
+/// Construct the codec plugin for a format.
+pub fn codec_for(format: TraceFormat) -> Box<dyn TraceCodec> {
+    match format {
+        TraceFormat::Text => Box::new(TextCodec::new()),
+        TraceFormat::Binary => Box::new(BinaryCodec::new()),
+    }
+}
+
+/// Recognise the format of a trace from its first bytes (at least [`SNIFF_LEN`];
+/// extra bytes are ignored). Anything that does not open with the shared magic —
+/// including a stream shorter than the magic itself — is [`TraceError::BadMagic`].
+pub fn sniff_format(prefix: &[u8]) -> Result<TraceFormat, TraceError> {
+    let magic = MAGIC.as_bytes();
+    if prefix.len() < SNIFF_LEN || &prefix[..magic.len()] != magic {
+        return Err(TraceError::BadMagic);
+    }
+    match prefix[magic.len()] {
+        b' ' => Ok(TraceFormat::Text),
+        0 => Ok(TraceFormat::Binary),
+        _ => Err(TraceError::BadMagic),
+    }
+}
+
+/// Sniff the format and stream kind of an in-memory trace without decoding its
+/// records.
+pub fn sniff_bytes(bytes: &[u8]) -> Result<(TraceFormat, StreamKind), TraceError> {
+    let format = sniff_format(bytes)?;
+    let kind = codec_for(format).peek_kind(&mut &bytes[..])?;
+    Ok((format, kind))
+}
+
+/// Run a decode closure against the sniffed format of `r`: peeks the first
+/// [`SNIFF_LEN`] bytes, picks the codec, and hands the closure a reader that
+/// replays the peeked bytes before the rest of the stream.
+pub(crate) fn decode_sniffed<R: BufRead, T>(
+    mut r: R,
+    decode: impl FnOnce(&mut dyn TraceCodec, &mut dyn BufRead) -> Result<T, TraceError>,
+) -> Result<T, TraceError> {
+    let mut prefix = [0u8; SNIFF_LEN];
+    let mut filled = 0;
+    while filled < SNIFF_LEN {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let format = sniff_format(&prefix[..filled])?;
+    let mut codec = codec_for(format);
+    let mut replaying = prefix[..filled].chain(r);
+    decode(codec.as_mut(), &mut replaying)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_versions_and_parsing_are_consistent() {
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            assert_eq!(TraceFormat::parse(format.label()), Some(format));
+            assert_eq!(format.to_string(), format.label());
+        }
+        assert_eq!(TraceFormat::Text.version(), 1);
+        assert_eq!(TraceFormat::Binary.version(), 2);
+        assert_eq!(TraceFormat::parse("json"), None);
+        assert_eq!(codec_for(TraceFormat::Text).format(), TraceFormat::Text);
+        assert_eq!(codec_for(TraceFormat::Binary).format(), TraceFormat::Binary);
+    }
+
+    #[test]
+    fn sniffing_discriminates_on_the_twelfth_byte() {
+        assert_eq!(
+            sniff_format(b"grass-trace 1 workload\n").unwrap(),
+            TraceFormat::Text
+        );
+        assert_eq!(
+            sniff_format(b"grass-trace\0\x02\x00").unwrap(),
+            TraceFormat::Binary
+        );
+        for bad in [
+            &b"grass-trace"[..], // magic but no discriminator
+            &b"grass-tracX 1 "[..],
+            &b""[..],
+            &b"{\"not\": \"a trace\"}"[..],
+            &b"grass-trace\t1"[..], // unknown discriminator
+        ] {
+            assert!(
+                matches!(sniff_format(bad), Err(TraceError::BadMagic)),
+                "{bad:?}"
+            );
+        }
+    }
+}

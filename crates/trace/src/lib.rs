@@ -1,54 +1,75 @@
 //! # grass-trace
 //!
-//! Trace capture, codec and replay for the GRASS (NSDI '14) reproduction.
+//! Trace capture, formats and replay for the GRASS (NSDI '14) reproduction.
 //!
 //! The paper's evaluation replays production traces through a trace-driven simulator
 //! (§6.1); this crate makes the trace a first-class, durable artefact of the
-//! reproduction. Two record streams share one versioned, line-oriented, hand-rolled
-//! text codec (no serde — the workspace's serde shim derives are no-ops):
+//! reproduction. Two typed record streams sit on a **pluggable format layer**
+//! ([`TraceFormat`] / [`TraceCodec`]) with two built-in wire formats:
+//!
+//! * **Text (v1)** — the original line-oriented `key=value` codec ([`text`], on the
+//!   [`codec`] primitives). Human-readable, hand-rolled (the workspace's serde shim
+//!   derives are no-ops), and frozen byte-for-byte against golden fixtures.
+//! * **Binary (v2)** — compact length-prefixed framing ([`binary`]): shared magic +
+//!   stream-kind header, varint integers, raw-bits `f64`. Same data model, an order
+//!   of magnitude faster — the interchange path once traces reach GBs.
+//!
+//! Reads **sniff the format automatically** ([`sniff_format`]), so every consumer —
+//! replay, stats, sweeps, the CLI — accepts either format through one call; writes
+//! take a [`TraceFormat`] (defaulting to text for debuggability). Both formats
+//! round-trip every `f64` bit-exactly, the property the replay guarantee rests on.
+//!
+//! The streams:
 //!
 //! * **Workload traces** ([`WorkloadTrace`]) — the full `JobSpec`/`TaskSpec` set of a
-//!   run plus generator seed, profile, cluster size and replay defaults. Floats are
-//!   encoded with shortest-round-trip formatting, so a decoded workload is
-//!   bit-identical to the recorded one and [`replay()`] reproduces the original
-//!   `JobOutcome`s exactly.
+//!   run plus generator seed, profile, cluster size and replay defaults; [`replay()`]
+//!   reproduces the original `JobOutcome`s exactly from a decoded trace.
 //! * **Execution traces** ([`ExecutionTrace`]) — the timestamped simulator event
 //!   stream (arrivals, speculation decisions, copy launches with slot allocation,
 //!   finishes, kills, job completions), captured through `grass-sim`'s `TraceSink`
-//!   hook either in memory (`grass_sim::VecSink`) or streamed to disk
-//!   ([`ExecutionTraceSink`]).
+//!   hook either in memory (`grass_sim::VecSink`) or streamed to disk in either
+//!   format ([`ExecutionTraceSink`]).
 //!
-//! Consumers: the `repro` binary's `trace record` / `trace replay` / `trace stats`
-//! subcommands, the `trace_replay` example, and the `grass-bench` `tracebench`
-//! target (codec throughput, replay-vs-regenerate speed).
+//! Consumers: the `repro` binary's `trace record / replay / stats / convert`
+//! subcommands and `repro sweep`, the `trace_replay` example, and the `grass-bench`
+//! `tracebench` target (per-format codec throughput, replay-vs-regenerate speed).
 //!
 //! ```
 //! use grass_core::GrassFactory;
-//! use grass_trace::{record_workload, replay, replay_config, WorkloadTrace};
+//! use grass_trace::{record_workload, replay, replay_config, TraceFormat, WorkloadTrace};
 //! use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
 //!
-//! // Record a workload, persist it, decode it, replay it: identical outcomes.
+//! // Record a workload, persist it as compact binary, decode it (format sniffed),
+//! // replay it: identical outcomes.
 //! let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
 //!     .with_jobs(4)
 //!     .with_bound(BoundSpec::paper_errors());
 //! let trace = record_workload(&config, 7, 11, "GRASS", 4, 2);
-//! let decoded = WorkloadTrace::from_bytes(&trace.to_bytes()).unwrap();
+//! let decoded = WorkloadTrace::from_bytes(&trace.to_bytes_as(TraceFormat::Binary)).unwrap();
 //! let sim = replay_config(&decoded);
 //! let original = replay(&trace, &sim, &GrassFactory::new(sim.seed));
 //! let replayed = replay(&decoded, &sim, &GrassFactory::new(sim.seed));
 //! assert_eq!(original.outcomes, replayed.outcomes);
 //! ```
 
+pub mod binary;
 pub mod codec;
 pub mod execution;
+pub mod format;
 pub mod replay;
 pub mod sink;
 pub mod stats;
+pub mod text;
 pub mod workload;
 
-pub use codec::{Record, StreamKind, TraceError, TraceReader, TraceWriter, FORMAT_VERSION};
+pub use binary::BinaryCodec;
+pub use codec::{
+    Record, StreamKind, TraceError, TraceReader, TraceWriter, BINARY_FORMAT_VERSION, FORMAT_VERSION,
+};
 pub use execution::{ExecutionMeta, ExecutionTrace};
+pub use format::{codec_for, sniff_bytes, sniff_format, TraceCodec, TraceFormat};
 pub use replay::{replay, replay_config};
 pub use sink::ExecutionTraceSink;
 pub use stats::TraceStats;
+pub use text::TextCodec;
 pub use workload::{record_workload, WorkloadMeta, WorkloadTrace};

@@ -1,4 +1,5 @@
-//! A streaming [`TraceSink`]: encodes simulator events straight onto a writer.
+//! A streaming [`TraceSink`]: encodes simulator events straight onto a writer, in
+//! either trace format.
 //!
 //! Use this to capture an execution trace without buffering the whole event stream
 //! in memory:
@@ -6,7 +7,7 @@
 //! ```
 //! use grass_core::{Bound, GsFactory, JobSpec};
 //! use grass_sim::{run_simulation_traced, ClusterConfig, SimConfig};
-//! use grass_trace::{ExecutionMeta, ExecutionTrace, ExecutionTraceSink};
+//! use grass_trace::{ExecutionMeta, ExecutionTrace, ExecutionTraceSink, TraceFormat};
 //!
 //! let config = SimConfig { cluster: ClusterConfig::small(2, 2), ..SimConfig::default() };
 //! let meta = ExecutionMeta {
@@ -15,7 +16,7 @@
 //!     machines: 2,
 //!     slots_per_machine: 2,
 //! };
-//! let mut sink = ExecutionTraceSink::new(Vec::new(), &meta).unwrap();
+//! let mut sink = ExecutionTraceSink::with_format(Vec::new(), &meta, TraceFormat::Binary).unwrap();
 //! let job = JobSpec::single_stage(1, 0.0, Bound::EXACT, vec![1.0; 4]);
 //! run_simulation_traced(&config, vec![job], &GsFactory, &mut sink);
 //! let bytes = sink.finish().unwrap();
@@ -27,28 +28,47 @@ use std::io::Write;
 
 use grass_sim::{SimTraceEvent, TraceSink};
 
-use crate::codec::{StreamKind, TraceError, TraceWriter};
-use crate::execution::{encode_event, encode_meta, ExecutionMeta};
+use crate::codec::TraceError;
+use crate::execution::ExecutionMeta;
+use crate::format::{codec_for, TraceCodec, TraceFormat};
 
-/// Sink that writes each event line as it is emitted.
+/// Sink that writes each event record as it is emitted, through the chosen
+/// format's [`TraceCodec`] plugin.
 ///
 /// [`TraceSink::record`] cannot return an error, so I/O failures are latched and
 /// surfaced by [`finish`](ExecutionTraceSink::finish); events after a failure are
 /// dropped.
 pub struct ExecutionTraceSink<W: Write> {
-    writer: Option<TraceWriter<W>>,
+    w: W,
+    codec: Box<dyn TraceCodec>,
     error: Option<TraceError>,
 }
 
 impl<W: Write> ExecutionTraceSink<W> {
-    /// Open a sink on `w`, writing the execution header and meta record.
+    /// Open a text (v1) sink on `w`, writing the execution header and meta record.
     pub fn new(w: W, meta: &ExecutionMeta) -> Result<Self, TraceError> {
-        let mut writer = TraceWriter::new(w, StreamKind::Execution)?;
-        writer.record(&encode_meta(meta))?;
+        Self::with_format(w, meta, TraceFormat::Text)
+    }
+
+    /// Open a sink on `w` in the chosen format, writing the execution header and
+    /// meta record.
+    pub fn with_format(
+        mut w: W,
+        meta: &ExecutionMeta,
+        format: TraceFormat,
+    ) -> Result<Self, TraceError> {
+        let mut codec = codec_for(format);
+        codec.begin_execution(&mut w, meta)?;
         Ok(ExecutionTraceSink {
-            writer: Some(writer),
+            w,
+            codec,
             error: None,
         })
+    }
+
+    /// Format this sink encodes into.
+    pub fn format(&self) -> TraceFormat {
+        self.codec.format()
     }
 
     /// Flush and return the underlying writer, or the first latched I/O error.
@@ -56,10 +76,9 @@ impl<W: Write> ExecutionTraceSink<W> {
         if let Some(error) = self.error.take() {
             return Err(error);
         }
-        self.writer
-            .take()
-            .expect("writer only vacated on error")
-            .finish()
+        self.codec.finish(&mut self.w)?;
+        self.w.flush()?;
+        Ok(self.w)
     }
 }
 
@@ -68,10 +87,8 @@ impl<W: Write> TraceSink for ExecutionTraceSink<W> {
         if self.error.is_some() {
             return;
         }
-        if let Some(writer) = self.writer.as_mut() {
-            if let Err(e) = writer.record(&encode_event(event)) {
-                self.error = Some(e);
-            }
+        if let Err(e) = self.codec.encode_event(&mut self.w, event) {
+            self.error = Some(e);
         }
     }
 }
@@ -92,7 +109,7 @@ mod tests {
     }
 
     #[test]
-    fn streamed_trace_equals_buffered_trace() {
+    fn streamed_trace_equals_buffered_trace_in_both_formats() {
         let config = SimConfig {
             cluster: ClusterConfig::small(2, 2),
             seed: 3,
@@ -105,16 +122,24 @@ mod tests {
             vec![2.0; 8],
         )];
 
-        let mut streaming = ExecutionTraceSink::new(Vec::new(), &meta()).unwrap();
-        let a = run_simulation_traced(&config, jobs.clone(), &GsFactory, &mut streaming);
-        let streamed_bytes = streaming.finish().unwrap();
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let mut streaming =
+                ExecutionTraceSink::with_format(Vec::new(), &meta(), format).unwrap();
+            assert_eq!(streaming.format(), format);
+            let a = run_simulation_traced(&config, jobs.clone(), &GsFactory, &mut streaming);
+            let streamed_bytes = streaming.finish().unwrap();
 
-        let mut buffered = VecSink::new();
-        let b = run_simulation_traced(&config, jobs, &GsFactory, &mut buffered);
-        let buffered_trace = crate::ExecutionTrace::new(meta(), buffered.into_events());
+            let mut buffered = VecSink::new();
+            let b = run_simulation_traced(&config, jobs.clone(), &GsFactory, &mut buffered);
+            let buffered_trace = crate::ExecutionTrace::new(meta(), buffered.into_events());
 
-        assert_eq!(a.outcomes, b.outcomes);
-        assert_eq!(streamed_bytes, buffered_trace.to_bytes());
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(
+                streamed_bytes,
+                buffered_trace.to_bytes_as(format),
+                "{format}"
+            );
+        }
     }
 
     struct FailingWriter {
@@ -138,14 +163,18 @@ mod tests {
     fn io_errors_are_latched_and_reported_by_finish() {
         // Allow enough writes for the header and meta record, then fail; the error
         // must be latched and surface from finish() regardless of when it hits.
-        let mut sink = ExecutionTraceSink::new(FailingWriter { allowed: 20 }, &meta()).unwrap();
-        let event = SimTraceEvent::JobArrival {
-            time: 0.0,
-            job: grass_core::JobId(1),
-        };
-        for _ in 0..100 {
-            sink.record(&event);
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let mut sink =
+                ExecutionTraceSink::with_format(FailingWriter { allowed: 20 }, &meta(), format)
+                    .unwrap();
+            let event = SimTraceEvent::JobArrival {
+                time: 0.0,
+                job: grass_core::JobId(1),
+            };
+            for _ in 0..100 {
+                sink.record(&event);
+            }
+            assert!(sink.finish().is_err(), "{format}");
         }
-        assert!(sink.finish().is_err());
     }
 }

@@ -4,13 +4,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
-use crate::codec::{StreamKind, TraceError, TraceReader};
+use crate::codec::{StreamKind, TraceError};
 use crate::execution::ExecutionTrace;
+use crate::format::{sniff_bytes, TraceFormat};
 use crate::workload::WorkloadTrace;
 
 /// Aggregate description of one trace file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
+    /// Which wire format the file was encoded in (when computed from bytes or a
+    /// file; in-memory stats default to text).
+    pub format: TraceFormat,
     /// Which stream the file carries.
     pub kind: StreamKind,
     /// Jobs described (workload) or observed finishing (execution).
@@ -28,14 +32,17 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
-    /// Compute statistics for a trace held in memory (either stream kind: the
-    /// header is peeked first, then the matching decoder runs).
+    /// Compute statistics for a trace held in memory (either format, either
+    /// stream kind: format and kind are sniffed first, then the matching decoder
+    /// runs).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
-        let kind = TraceReader::new(bytes, None)?.kind();
-        match kind {
-            StreamKind::Workload => Ok(Self::of_workload(&WorkloadTrace::from_bytes(bytes)?)),
-            StreamKind::Execution => Ok(Self::of_execution(&ExecutionTrace::from_bytes(bytes)?)),
-        }
+        let (format, kind) = sniff_bytes(bytes)?;
+        let mut stats = match kind {
+            StreamKind::Workload => Self::of_workload(&WorkloadTrace::from_bytes(bytes)?),
+            StreamKind::Execution => Self::of_execution(&ExecutionTrace::from_bytes(bytes)?),
+        };
+        stats.format = format;
+        Ok(stats)
     }
 
     /// Compute statistics for a trace file.
@@ -49,6 +56,7 @@ impl TraceStats {
         records_by_tag.insert("meta".to_string(), 1);
         records_by_tag.insert("job".to_string(), trace.jobs.len());
         TraceStats {
+            format: TraceFormat::Text,
             kind: StreamKind::Workload,
             jobs: trace.jobs.len(),
             tasks: trace.jobs.iter().map(|j| j.total_tasks()).sum(),
@@ -84,6 +92,7 @@ impl TraceStats {
             }
         }
         TraceStats {
+            format: TraceFormat::Text,
             kind: StreamKind::Execution,
             jobs,
             tasks,
@@ -96,6 +105,12 @@ impl TraceStats {
 
 impl fmt::Display for TraceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "format:      {} (v{})",
+            self.format,
+            self.format.version()
+        )?;
         writeln!(f, "stream:      {}", self.kind)?;
         match self.kind {
             StreamKind::Workload => {
@@ -138,8 +153,22 @@ mod tests {
             .with_bound(BoundSpec::paper_errors());
         let trace = record_workload(&config, 1, 2, "GS", 2, 2);
         let stats = TraceStats::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(stats.format, TraceFormat::Text);
         assert_eq!(stats.kind, StreamKind::Workload);
         assert_eq!(stats.jobs, 5);
+
+        // The binary encoding of the same trace yields identical statistics,
+        // apart from the reported format.
+        let binary = TraceStats::from_bytes(&trace.to_bytes_as(TraceFormat::Binary)).unwrap();
+        assert_eq!(binary.format, TraceFormat::Binary);
+        assert!(binary.to_string().contains("binary (v2)"));
+        assert_eq!(
+            TraceStats {
+                format: TraceFormat::Text,
+                ..binary
+            },
+            stats
+        );
         assert_eq!(
             stats.tasks,
             trace.jobs.iter().map(|j| j.total_tasks()).sum::<usize>()

@@ -4,19 +4,23 @@
 //! A workload trace is self-contained for replay: it carries the generator seed and
 //! profile label it was sampled from (provenance), the simulator seed and policy it
 //! was first run with (replay defaults), the cluster size, and every job with every
-//! task. Decoding reconstructs `JobSpec`s bit-identical to the originals — floats are
-//! encoded with shortest-round-trip formatting — so feeding the decoded jobs through
-//! `run_simulation` with the same `SimConfig` reproduces the original `JobOutcome`s
-//! exactly.
+//! task. Decoding reconstructs `JobSpec`s bit-identical to the originals — the text
+//! format uses shortest-round-trip float formatting, the binary format raw IEEE-754
+//! bits — so feeding the decoded jobs through `run_simulation` with the same
+//! `SimConfig` reproduces the original `JobOutcome`s exactly, whichever
+//! [`TraceFormat`] the trace was persisted in. Reads sniff the format
+//! automatically; writes default to text (v1) and take an explicit format via the
+//! `*_as` methods.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use grass_core::{Bound, JobId, JobSpec, StageSpec, TaskSpec};
+use grass_core::JobSpec;
 use grass_workload::{generate, RecordedWorkload, WorkloadConfig};
 
-use crate::codec::{LineBuilder, Record, StreamKind, TraceError, TraceReader, TraceWriter};
+use crate::codec::TraceError;
+use crate::format::{codec_for, decode_sniffed, TraceFormat};
 
 /// Provenance and replay metadata of a workload trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,93 +55,63 @@ impl WorkloadTrace {
         WorkloadTrace { meta, jobs }
     }
 
-    /// Encode the trace onto any writer.
+    /// Encode the trace onto any writer in the text (v1) format.
     pub fn write_to<W: Write>(&self, w: W) -> Result<(), TraceError> {
-        let mut out = TraceWriter::new(w, StreamKind::Workload)?;
-        out.record(
-            &LineBuilder::new("meta")
-                .num("generator_seed", self.meta.generator_seed)
-                .num("sim_seed", self.meta.sim_seed)
-                .text("policy", &self.meta.policy)
-                .text("profile", &self.meta.profile)
-                .num("machines", self.meta.machines)
-                .num("slots_per_machine", self.meta.slots_per_machine)
-                .num("num_jobs", self.jobs.len())
-                .build(),
-        )?;
+        self.write_as(w, TraceFormat::Text)
+    }
+
+    /// Encode the trace onto any writer in the chosen format.
+    pub fn write_as<W: Write>(&self, mut w: W, format: TraceFormat) -> Result<(), TraceError> {
+        let mut codec = codec_for(format);
+        let w: &mut dyn Write = &mut w;
+        codec.begin_workload(w, &self.meta, self.jobs.len())?;
         for job in &self.jobs {
-            out.record(&encode_job(job))?;
+            codec.encode_job(w, job)?;
         }
-        out.finish()?;
+        codec.finish(w)?;
+        w.flush()?;
         Ok(())
     }
 
-    /// Encode the trace into a byte buffer.
+    /// Encode the trace into a byte buffer in the text (v1) format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_as(TraceFormat::Text)
+    }
+
+    /// Encode the trace into a byte buffer in the chosen format.
+    ///
+    /// Panics on the one non-I/O encode failure (a single record over the binary
+    /// frame cap — unreachable for any simulatable workload); use
+    /// [`write_as`](Self::write_as) to handle it as an error instead.
+    pub fn to_bytes_as(&self, format: TraceFormat) -> Vec<u8> {
         let mut buf = Vec::new();
-        self.write_to(&mut buf)
-            .expect("writing to a Vec cannot fail");
+        self.write_as(&mut buf, format)
+            .unwrap_or_else(|e| panic!("in-memory {format} encode failed: {e}"));
         buf
     }
 
-    /// Decode a trace from any buffered reader.
+    /// Decode a trace from any buffered reader; the format is sniffed from the
+    /// header, so text and binary traces read through the same call.
     pub fn read_from<R: BufRead>(r: R) -> Result<Self, TraceError> {
-        let mut reader = TraceReader::new(r, Some(StreamKind::Workload))?;
-        let meta_rec = reader.next_record()?.ok_or(TraceError::Parse {
-            line: 1,
-            message: "workload trace has no meta record".into(),
-        })?;
-        if meta_rec.tag != "meta" {
-            return Err(TraceError::Parse {
-                line: meta_rec.line,
-                message: format!(
-                    "expected 'meta' as the first record, found '{}'",
-                    meta_rec.tag
-                ),
-            });
-        }
-        let meta = WorkloadMeta {
-            generator_seed: meta_rec.u64("generator_seed")?,
-            sim_seed: meta_rec.u64("sim_seed")?,
-            policy: meta_rec.text("policy")?,
-            profile: meta_rec.text("profile")?,
-            machines: meta_rec.usize("machines")?,
-            slots_per_machine: meta_rec.usize("slots_per_machine")?,
-        };
-        let declared_jobs = meta_rec.usize("num_jobs")?;
-        let mut jobs = Vec::with_capacity(declared_jobs);
-        while let Some(rec) = reader.next_record()? {
-            if rec.tag != "job" {
-                return Err(TraceError::Parse {
-                    line: rec.line,
-                    message: format!("unknown record tag '{}' in workload trace", rec.tag),
-                });
-            }
-            jobs.push(decode_job(&rec)?);
-        }
-        if jobs.len() != declared_jobs {
-            return Err(TraceError::Parse {
-                line: 0,
-                message: format!(
-                    "meta declares {declared_jobs} jobs but the trace contains {}",
-                    jobs.len()
-                ),
-            });
-        }
-        Ok(WorkloadTrace { meta, jobs })
+        decode_sniffed(r, |codec, r| codec.decode_workload(r))
     }
 
-    /// Decode a trace from a byte slice.
+    /// Decode a trace from a byte slice (either format).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
         Self::read_from(bytes)
     }
 
-    /// Write the trace to a file.
+    /// Write the trace to a file in the text (v1) format.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
-        self.write_to(BufWriter::new(File::create(path)?))
+        self.save_as(path, TraceFormat::Text)
     }
 
-    /// Read a trace from a file.
+    /// Write the trace to a file in the chosen format.
+    pub fn save_as(&self, path: impl AsRef<Path>, format: TraceFormat) -> Result<(), TraceError> {
+        self.write_as(BufWriter::new(File::create(path)?), format)
+    }
+
+    /// Read a trace from a file (either format).
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         Self::read_from(BufReader::new(File::open(path)?))
     }
@@ -174,99 +148,10 @@ pub fn record_workload(
     )
 }
 
-/// Encode one job as a single record line. Stages are `name:count` pairs joined by
-/// `|`; tasks are `stage:work` pairs joined by `,` (fully general: stage membership
-/// is explicit per task, not inferred from ordering).
-fn encode_job(job: &JobSpec) -> String {
-    let stages: Vec<String> = job
-        .stages
-        .iter()
-        .map(|s| format!("{}:{}", crate::codec::escape(&s.name), s.task_count))
-        .collect();
-    let tasks: Vec<String> = job
-        .tasks
-        .iter()
-        .map(|t| format!("{}:{}", t.stage.value(), t.work))
-        .collect();
-    let bound = match job.bound {
-        Bound::Deadline(d) => format!("deadline:{d}"),
-        Bound::Error(e) => format!("error:{e}"),
-    };
-    LineBuilder::new("job")
-        .num("id", job.id.value())
-        .num("arrival", job.arrival)
-        .num("bound", bound)
-        .num("stages", stages.join("|"))
-        .num("tasks", tasks.join(","))
-        .build()
-}
-
-fn decode_job(rec: &Record) -> Result<JobSpec, TraceError> {
-    let line = rec.line;
-    let err = |message: String| TraceError::Parse { line, message };
-
-    let bound_raw = rec.raw("bound")?;
-    let bound = match bound_raw.split_once(':') {
-        Some(("deadline", v)) => Bound::Deadline(
-            v.parse()
-                .map_err(|_| err(format!("bad deadline value '{v}'")))?,
-        ),
-        Some(("error", v)) => Bound::Error(
-            v.parse()
-                .map_err(|_| err(format!("bad error value '{v}'")))?,
-        ),
-        _ => return Err(err(format!("bad bound '{bound_raw}'"))),
-    };
-
-    let mut stages = Vec::new();
-    let stages_raw = rec.raw("stages")?;
-    if stages_raw.is_empty() {
-        return Err(err("job has no stages".into()));
-    }
-    for part in stages_raw.split('|') {
-        let (name, count) = part
-            .split_once(':')
-            .ok_or_else(|| err(format!("bad stage '{part}'")))?;
-        stages.push(StageSpec {
-            name: crate::codec::unescape(name).map_err(&err)?,
-            task_count: count
-                .parse()
-                .map_err(|_| err(format!("bad stage count '{count}'")))?,
-        });
-    }
-
-    let mut tasks = Vec::new();
-    let tasks_raw = rec.raw("tasks")?;
-    if !tasks_raw.is_empty() {
-        for part in tasks_raw.split(',') {
-            let (stage, work) = part
-                .split_once(':')
-                .ok_or_else(|| err(format!("bad task '{part}'")))?;
-            let stage: u8 = stage
-                .parse()
-                .map_err(|_| err(format!("bad task stage '{stage}'")))?;
-            let work: f64 = work
-                .parse()
-                .map_err(|_| err(format!("bad task work '{work}'")))?;
-            tasks.push(TaskSpec::in_stage(work, stage));
-        }
-    }
-
-    let job = JobSpec {
-        id: JobId(rec.u64("id")?),
-        arrival: rec.f64("arrival")?,
-        bound,
-        stages,
-        tasks,
-    };
-    job.validate()
-        .map_err(|e| err(format!("decoded job is invalid: {e}")))?;
-    Ok(job)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grass_core::{Bound, JobSpec};
     use grass_workload::{BoundSpec, Framework, TraceProfile};
 
     fn sample_trace() -> WorkloadTrace {
@@ -277,17 +162,23 @@ mod tests {
     }
 
     #[test]
-    fn round_trip_preserves_jobs_bit_exactly() {
+    fn round_trip_preserves_jobs_bit_exactly_in_both_formats() {
         let trace = sample_trace();
-        let decoded = WorkloadTrace::from_bytes(&trace.to_bytes()).unwrap();
-        assert_eq!(decoded.meta, trace.meta);
-        assert_eq!(decoded.jobs.len(), trace.jobs.len());
-        for (a, b) in trace.jobs.iter().zip(decoded.jobs.iter()) {
-            assert_eq!(a, b);
-            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = trace.to_bytes_as(format);
+            let decoded = WorkloadTrace::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded.meta, trace.meta, "{format}");
+            assert_eq!(decoded.jobs.len(), trace.jobs.len(), "{format}");
+            for (a, b) in trace.jobs.iter().zip(decoded.jobs.iter()) {
+                assert_eq!(a, b);
+                assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+            }
+            // Encoding is canonical per format: re-encoding the decoded trace is
+            // byte-identical.
+            assert_eq!(decoded.to_bytes_as(format), bytes, "{format}");
         }
-        // Encoding is canonical: re-encoding the decoded trace is byte-identical.
-        assert_eq!(decoded.to_bytes(), trace.to_bytes());
+        // And the binary encoding is materially smaller.
+        assert!(trace.to_bytes_as(TraceFormat::Binary).len() < trace.to_bytes().len() / 2);
     }
 
     #[test]
@@ -298,8 +189,9 @@ mod tests {
             Bound::Deadline(100.5),
             vec![vec![1.0, 2.5], vec![0.125]],
         );
-        // Hand-built stage names may contain the codec's own separators and
-        // non-ASCII; escaping must keep them decodable.
+        // Hand-built stage names may contain the text codec's own separators and
+        // non-ASCII; escaping must keep them decodable, and the binary format must
+        // carry them verbatim.
         awkward.stages[0].name = "map:shuffle|α".to_string();
         let jobs = vec![
             awkward,
@@ -316,10 +208,12 @@ mod tests {
             },
             jobs.clone(),
         );
-        let decoded = WorkloadTrace::from_bytes(&trace.to_bytes()).unwrap();
-        assert_eq!(decoded.jobs, jobs);
-        assert_eq!(decoded.jobs[0].stages[0].name, "map:shuffle|α");
-        assert_eq!(decoded.meta.profile, "hand built, café:style");
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let decoded = WorkloadTrace::from_bytes(&trace.to_bytes_as(format)).unwrap();
+            assert_eq!(decoded.jobs, jobs, "{format}");
+            assert_eq!(decoded.jobs[0].stages[0].name, "map:shuffle|α");
+            assert_eq!(decoded.meta.profile, "hand built, café:style");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Record/replay walkthrough: persist a workload trace, stream an execution trace,
-//! then replay the workload from disk and verify the outcomes are bit-identical.
+//! Record/replay walkthrough: persist a workload trace (compact binary format),
+//! stream an execution trace, then replay the workload from disk and verify the
+//! outcomes are bit-identical.
 //!
 //! This is the paper's trace-driven-simulator workflow (§6.1) applied to this
 //! reproduction's own artefacts: instead of re-rolling a fresh synthetic workload
@@ -19,17 +20,24 @@ fn main() {
     let execution_path = dir.join("execution.trace");
 
     // 1. Sample a workload and persist it with its provenance + replay defaults.
+    //    The compact binary format (v2) is the high-volume interchange path;
+    //    readers sniff the format, so nothing downstream changes.
     let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
         .with_jobs(12)
         .with_bound(BoundSpec::paper_errors());
     let trace = record_workload(&config, 7, 11, "GRASS", 10, 4);
-    trace.save(&workload_path).expect("write workload trace");
+    trace
+        .save_as(&workload_path, TraceFormat::Binary)
+        .expect("write workload trace");
     println!(
-        "recorded {} jobs / {} tasks from the {} profile -> {}",
+        "recorded {} jobs / {} tasks from the {} profile -> {} ({} format, {} bytes; {} as text)",
         trace.jobs.len(),
         trace.jobs.iter().map(|j| j.total_tasks()).sum::<usize>(),
         trace.meta.profile,
-        workload_path.display()
+        workload_path.display(),
+        TraceFormat::Binary,
+        trace.to_bytes_as(TraceFormat::Binary).len(),
+        trace.to_bytes().len(),
     );
 
     // 2. Run it under GRASS, streaming every scheduling event to disk as we go.
@@ -41,7 +49,8 @@ fn main() {
         slots_per_machine: trace.meta.slots_per_machine,
     };
     let file = BufWriter::new(File::create(&execution_path).expect("create execution trace"));
-    let mut sink = ExecutionTraceSink::new(file, &exec_meta).expect("open execution sink");
+    let mut sink = ExecutionTraceSink::with_format(file, &exec_meta, TraceFormat::Binary)
+        .expect("open execution sink");
     let original = run_simulation_traced(
         &sim,
         trace.jobs.clone(),
@@ -54,7 +63,8 @@ fn main() {
     println!("\nexecution trace ({}):", execution_path.display());
     println!("{stats}\n");
 
-    // 3. Replay: decode the workload from disk and run it again, same seeds.
+    // 3. Replay: decode the workload from disk (format sniffed automatically) and
+    //    run it again, same seeds.
     let decoded = WorkloadTrace::load(&workload_path).expect("read workload trace");
     let replayed = replay(
         &decoded,

@@ -1,8 +1,10 @@
 //! Offline stand-in for `criterion`, implementing the subset this workspace's bench
 //! targets use: `Criterion::benchmark_group`, group tuning knobs (`sample_size`,
 //! `warm_up_time`, `measurement_time`), `bench_function`, `Bencher::iter` /
-//! `iter_batched`, `black_box`, and the `criterion_group!` / `criterion_main!`
-//! macros.
+//! `iter_batched`, `black_box`, CLI benchmark-name filtering
+//! (`Criterion::configure_from_args`, mirroring real criterion's positional filter:
+//! `cargo bench --bench tracebench -- binary` runs only ids containing "binary"),
+//! and the `criterion_group!` / `criterion_main!` macros.
 //!
 //! Instead of criterion's statistical machinery it runs a warm-up, then times
 //! `sample_size` samples and prints min / median / mean per-iteration wall time.
@@ -43,13 +45,72 @@ impl Default for Settings {
 #[derive(Default)]
 pub struct Criterion {
     settings: Settings,
+    /// Substring filters from the command line; empty means "run everything".
+    filters: Vec<String>,
 }
 
 impl Criterion {
+    /// Adopt the process's command-line arguments, mirroring real criterion's
+    /// `configure_from_args`: positional arguments are benchmark-name filters (a
+    /// benchmark runs when its full id contains any filter substring); `--`-style
+    /// flags that cargo forwards (`--bench`, `--save-baseline x`, …) are ignored,
+    /// *including* the value a value-taking flag consumes — `--save-baseline
+    /// main` must not turn "main" into a filter that silently skips everything.
+    pub fn configure_from_args(mut self) -> Self {
+        /// Real-criterion flags that consume the following argument as a value.
+        const VALUE_FLAGS: &[&str] = &[
+            "--save-baseline",
+            "--baseline",
+            "--baseline-lenient",
+            "--load-baseline",
+            "--sample-size",
+            "--measurement-time",
+            "--warm-up-time",
+            "--profile-time",
+            "--significance-level",
+            "--confidence-level",
+            "--nresamples",
+            "--noise-threshold",
+            "--color",
+            "--colour",
+            "--output-format",
+            "--format",
+        ];
+        let mut args = std::env::args().skip(1);
+        let mut filters = Vec::new();
+        while let Some(arg) = args.next() {
+            if arg.starts_with('-') {
+                // `--flag=value` carries its value inside the token; a bare
+                // value-taking flag consumes the next token instead.
+                if VALUE_FLAGS.contains(&arg.as_str()) {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            filters.push(arg);
+        }
+        self.filters = filters;
+        self
+    }
+
+    /// Whether a benchmark id passes the command-line filter.
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Public view of the command-line filter, so bench targets can skip
+    /// expensive corpus setup (or non-benchmark output like summary tables)
+    /// whose benchmarks the filter excludes. **Shim extension**: real criterion
+    /// keeps its filter private — adapt call sites when swapping it back in
+    /// (see `shims/README.md`).
+    pub fn filter_matches(&self, id: &str) -> bool {
+        self.matches(id)
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
             settings: Settings::default(),
         }
@@ -60,7 +121,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(id, &self.settings, &mut f);
+        if self.matches(id) {
+            run_benchmark(id, &self.settings, &mut f);
+        }
         self
     }
 }
@@ -68,7 +131,7 @@ impl Criterion {
 /// A named set of benchmarks sharing tuning knobs, mirroring
 /// `criterion::BenchmarkGroup`.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     settings: Settings,
 }
@@ -94,7 +157,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.as_ref());
-        run_benchmark(&full, &self.settings, &mut f);
+        if self.criterion.matches(&full) {
+            run_benchmark(&full, &self.settings, &mut f);
+        }
         self
     }
 
@@ -188,12 +253,13 @@ impl Bencher {
 }
 
 /// Mirrors `criterion::criterion_group!`: bundles benchmark functions into one
-/// callable group.
+/// callable group. Like the real macro, the `Criterion` it builds adopts the
+/// command-line benchmark-name filter.
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+
         }
     };

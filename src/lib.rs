@@ -93,9 +93,10 @@ pub mod prelude {
         TraceSink, VecSink,
     };
     pub use grass_trace::{
-        record_workload, replay, replay_config, ExecutionMeta, ExecutionTrace, ExecutionTraceSink,
-        Record, StreamKind, TraceError, TraceReader, TraceStats, TraceWriter, WorkloadMeta,
-        WorkloadTrace, FORMAT_VERSION,
+        codec_for, record_workload, replay, replay_config, sniff_bytes, sniff_format, BinaryCodec,
+        ExecutionMeta, ExecutionTrace, ExecutionTraceSink, Record, StreamKind, TextCodec,
+        TraceCodec, TraceError, TraceFormat, TraceReader, TraceStats, TraceWriter, WorkloadMeta,
+        WorkloadTrace, BINARY_FORMAT_VERSION, FORMAT_VERSION,
     };
     pub use grass_workload::{
         generate, generate_job, ideal_duration, table1_rows, BoundSpec, Framework,

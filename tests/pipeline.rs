@@ -1,7 +1,36 @@
 //! End-to-end integration tests spanning workload generation, the cluster simulator,
 //! the speculation policies and the metrics layer.
+//!
+//! Like the facade property suite's `PROPTEST_CASES` override, `GRASS_SMOKE=1`
+//! shrinks this suite to a smoke profile — job counts drop to roughly a third and
+//! multi-seed sweeps run one seed — so
+//! `GRASS_SMOKE=1 PROPTEST_CASES=2 cargo test -q` finishes in seconds. Defaults
+//! are unchanged when the variable is unset (or set to `0`).
 
 use grass::prelude::*;
+
+/// Whether the smoke profile is requested via `GRASS_SMOKE`.
+fn smoke() -> bool {
+    std::env::var("GRASS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Scale a job count down for the smoke profile (full size by default).
+fn scaled_jobs(full: usize) -> usize {
+    if smoke() {
+        (full / 3).max(4)
+    } else {
+        full
+    }
+}
+
+/// Take a prefix of the seed list for the smoke profile (all seeds by default).
+fn scaled_seeds(full: &[u64]) -> &[u64] {
+    if smoke() {
+        &full[..1]
+    } else {
+        full
+    }
+}
 
 fn quick_cluster() -> ClusterConfig {
     ClusterConfig {
@@ -30,7 +59,7 @@ fn quick_workload(bound: BoundSpec, jobs: usize) -> WorkloadConfig {
 
 #[test]
 fn every_policy_completes_an_error_bound_workload() {
-    let wl = quick_workload(BoundSpec::paper_errors(), 12);
+    let wl = quick_workload(BoundSpec::paper_errors(), scaled_jobs(12));
     let jobs = generate(&wl, 5);
     let factories: Vec<Box<dyn PolicyFactory>> = vec![
         Box::new(NoSpecFactory),
@@ -64,7 +93,7 @@ fn every_policy_completes_an_error_bound_workload() {
 
 #[test]
 fn deadline_jobs_respect_their_deadline_under_every_policy() {
-    let wl = quick_workload(BoundSpec::paper_deadlines(), 12);
+    let wl = quick_workload(BoundSpec::paper_deadlines(), scaled_jobs(12));
     let jobs = generate(&wl, 7);
     let factories: Vec<Box<dyn PolicyFactory>> = vec![
         Box::new(LateFactory::default()),
@@ -100,7 +129,7 @@ fn deadline_jobs_respect_their_deadline_under_every_policy() {
 
 #[test]
 fn exact_jobs_complete_every_task() {
-    let wl = quick_workload(BoundSpec::Exact, 8);
+    let wl = quick_workload(BoundSpec::Exact, scaled_jobs(8));
     let jobs = generate(&wl, 9);
     let result = run_simulation(&quick_sim(9), jobs.clone(), &GrassFactory::new(9));
     for outcome in &result.outcomes {
@@ -111,7 +140,7 @@ fn exact_jobs_complete_every_task() {
 
 #[test]
 fn full_pipeline_is_deterministic() {
-    let wl = quick_workload(BoundSpec::paper_errors(), 10);
+    let wl = quick_workload(BoundSpec::paper_errors(), scaled_jobs(10));
     let jobs = generate(&wl, 11);
     let a = run_simulation(&quick_sim(11), jobs.clone(), &GrassFactory::new(11));
     let b = run_simulation(&quick_sim(11), jobs, &GrassFactory::new(11));
@@ -130,10 +159,10 @@ fn speculation_aware_policies_beat_no_speculation_on_error_bound_jobs() {
     // Directional end-to-end check of the paper's headline: with heavy-tailed
     // straggling, approximation-aware speculation (GRASS) finishes error-bound jobs
     // faster on average than a FIFO scheduler that never speculates.
-    let wl = quick_workload(BoundSpec::paper_errors(), 20);
+    let wl = quick_workload(BoundSpec::paper_errors(), scaled_jobs(20));
     let mut nospec_total = 0.0;
     let mut grass_total = 0.0;
-    for seed in [21u64, 22, 23] {
+    for &seed in scaled_seeds(&[21u64, 22, 23]) {
         let jobs = generate(&wl, seed);
         let nospec = run_simulation(&quick_sim(seed), jobs.clone(), &NoSpecFactory);
         let grass = run_simulation(&quick_sim(seed), jobs, &GrassFactory::new(seed));
@@ -152,7 +181,7 @@ fn speculation_aware_policies_beat_no_speculation_on_error_bound_jobs() {
 
 #[test]
 fn metrics_layer_summarises_simulation_outcomes() {
-    let wl = quick_workload(BoundSpec::paper_deadlines(), 15);
+    let wl = quick_workload(BoundSpec::paper_deadlines(), scaled_jobs(15));
     let jobs = generate(&wl, 31);
     let result = run_simulation(&quick_sim(31), jobs, &LateFactory::default());
     let set = OutcomeSet::new(result.outcomes);

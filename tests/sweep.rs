@@ -14,6 +14,35 @@ use std::sync::Arc;
 
 use grass::prelude::*;
 
+/// `GRASS_SMOKE=1` shrinks the grid (2×2 instead of 3×4) and the policy matrix of
+/// the parity test, the same smoke override style as `PROPTEST_CASES`; every
+/// assertion below derives its expectations from the configured grid, so the
+/// defaults are unchanged when the variable is unset (or `0`).
+fn smoke() -> bool {
+    std::env::var("GRASS_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn grid_machines() -> Vec<usize> {
+    if smoke() {
+        vec![6, 14]
+    } else {
+        vec![6, 10, 14]
+    }
+}
+
+fn grid_policies() -> Vec<PolicyKind> {
+    if smoke() {
+        vec![PolicyKind::Late, PolicyKind::grass()]
+    } else {
+        vec![
+            PolicyKind::Late,
+            PolicyKind::GsOnly,
+            PolicyKind::RasOnly,
+            PolicyKind::grass(),
+        ]
+    }
+}
+
 fn workload(bound: BoundSpec, jobs: usize) -> WorkloadConfig {
     WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
         .with_jobs(jobs)
@@ -32,13 +61,8 @@ fn tiny_exp() -> ExpConfig {
 
 fn tiny_grid(exp: ExpConfig) -> SweepConfig {
     SweepConfig {
-        machines: vec![6, 10, 14],
-        policies: vec![
-            PolicyKind::Late,
-            PolicyKind::GsOnly,
-            PolicyKind::RasOnly,
-            PolicyKind::grass(),
-        ],
+        machines: grid_machines(),
+        policies: grid_policies(),
         baseline: PolicyKind::Late,
         threads: 1,
         base: exp,
@@ -79,8 +103,11 @@ fn sweep_covers_the_grid_and_compares_against_the_baseline() {
     let source = record_workload(&config, 7, 11, "late", 10, 4).to_source();
     let result = run_sweep(&source, &tiny_grid(tiny_exp()));
 
-    // 3 cluster sizes x 4 policies.
-    assert_eq!(result.cells.len(), 12);
+    // Full grid coverage: every cluster size x every policy.
+    assert_eq!(
+        result.cells.len(),
+        grid_machines().len() * grid_policies().len()
+    );
     assert_eq!(result.metric, Metric::Duration);
     assert_eq!(result.baseline, "LATE");
     for cell in &result.cells {
@@ -161,10 +188,20 @@ fn pre_refactor_run_once(
 #[test]
 fn generated_source_run_once_matches_the_pre_refactor_direct_path() {
     let exp = tiny_exp();
-    for bound in [BoundSpec::paper_errors(), BoundSpec::paper_deadlines()] {
+    let bounds = if smoke() {
+        vec![BoundSpec::paper_errors()]
+    } else {
+        vec![BoundSpec::paper_errors(), BoundSpec::paper_deadlines()]
+    };
+    let policies = if smoke() {
+        vec![PolicyKind::Late, PolicyKind::grass()]
+    } else {
+        vec![PolicyKind::Late, PolicyKind::GsOnly, PolicyKind::grass()]
+    };
+    for bound in bounds {
         let wl = workload(bound, 10);
         let source = GeneratedWorkload::new(wl);
-        for policy in [PolicyKind::Late, PolicyKind::GsOnly, PolicyKind::grass()] {
+        for policy in policies.clone() {
             let refactored = run_once(&exp, &source, &policy, 11);
             let direct = pre_refactor_run_once(&exp, &wl, &policy, 11);
             assert_eq!(
