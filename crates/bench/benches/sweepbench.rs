@@ -7,16 +7,8 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use grass_bench::recorded_source;
 use grass_experiments::{run_sweep, ExpConfig, PolicyKind, SweepConfig};
-use grass_trace::record_workload;
-use grass_workload::{BoundSpec, Framework, RecordedWorkload, TraceProfile, WorkloadConfig};
-
-fn recorded_source(jobs: usize) -> RecordedWorkload {
-    let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
-        .with_jobs(jobs)
-        .with_bound(BoundSpec::paper_errors());
-    record_workload(&config, 7, 11, "late", 10, 4).to_source()
-}
 
 fn bench_grid() -> SweepConfig {
     let mut base = ExpConfig::tiny();

@@ -1,8 +1,9 @@
 //! Benchmarks of the `grass-trace` subsystem: per-format codec encode/decode
 //! throughput for both record streams (text v1 vs compact binary v2 on the same
-//! workload), and replay-from-trace versus regenerate-from-seed simulation speed
-//! (the cost a trace-driven experiment pays — or saves — relative to re-rolling
-//! the workload every run).
+//! workload, eager collect vs `_streamed` pull-iterator decode), and
+//! replay-from-trace versus regenerate-from-seed simulation speed (the cost a
+//! trace-driven experiment pays — or saves — relative to re-rolling the
+//! workload every run).
 //!
 //! Filter one format via the shim's CLI filtering, e.g.
 //! `cargo bench -p grass-bench --bench tracebench -- binary`.
@@ -10,42 +11,16 @@
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use grass_bench::{recorded_execution, recorded_trace, workload_config};
 use grass_core::GsFactory;
-use grass_sim::{run_simulation, run_simulation_traced, SimConfig, VecSink};
+use grass_sim::{run_simulation, SimConfig};
 use grass_trace::{
-    record_workload, replay, replay_config, ExecutionMeta, ExecutionTrace, TraceFormat,
+    replay, replay_config, ExecutionEvents, ExecutionTrace, TraceFormat, WorkloadItems,
     WorkloadTrace,
 };
-use grass_workload::{generate, BoundSpec, Framework, TraceProfile, WorkloadConfig};
+use grass_workload::generate;
 
 const FORMATS: [TraceFormat; 2] = [TraceFormat::Text, TraceFormat::Binary];
-
-fn workload_config(jobs: usize) -> WorkloadConfig {
-    WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
-        .with_jobs(jobs)
-        .with_bound(BoundSpec::paper_errors())
-}
-
-fn recorded_trace(jobs: usize) -> WorkloadTrace {
-    record_workload(&workload_config(jobs), 7, 11, "GS", 20, 4)
-}
-
-/// The event log of a 20-job simulated run (the execution-stream corpus).
-fn recorded_execution() -> ExecutionTrace {
-    let small = recorded_trace(20);
-    let sim = replay_config(&small);
-    let mut sink = VecSink::new();
-    run_simulation_traced(&sim, small.jobs.clone(), &GsFactory, &mut sink);
-    ExecutionTrace::new(
-        ExecutionMeta {
-            sim_seed: sim.seed,
-            policy: "GS".into(),
-            machines: 20,
-            slots_per_machine: 4,
-        },
-        sink.into_events(),
-    )
-}
 
 /// Minimum wall time of `f` over `reps` runs (same convention as the shim's
 /// "min" column); used for the printed throughput summary table.
@@ -79,7 +54,10 @@ fn throughput_summary(c: &mut Criterion) {
         "# corpus: workload 500 jobs / {tasks} tasks; execution {} events",
         execution.events.len()
     );
-    println!("# stream    format  size-KiB  encode-ms  enc-MiB/s  decode-ms  dec-MiB/s");
+    println!(
+        "# stream    format  size-KiB  encode-ms  enc-MiB/s  decode-ms  dec-MiB/s  \
+         sdec-ms  sdec-MiB/s"
+    );
     let mut op_times: Vec<(f64, f64)> = Vec::new();
     for (stream, encode, bytes) in [
         (
@@ -109,14 +87,31 @@ fn throughput_summary(c: &mut Criterion) {
                 }
             })
             .as_secs_f64();
+            // Streamed decode: pull every record through the frame iterator
+            // without collecting (the constant-memory path).
+            let sdec = time_min(15, || match stream {
+                "workload" => {
+                    let items = WorkloadItems::open(&encoded[..]).unwrap();
+                    criterion::black_box(
+                        items.map(|job| job.unwrap().total_tasks()).sum::<usize>(),
+                    );
+                }
+                _ => {
+                    let events = ExecutionEvents::open(&encoded[..]).unwrap();
+                    criterion::black_box(events.map(|e| e.unwrap()).count());
+                }
+            })
+            .as_secs_f64();
             op_times.push((enc, dec));
             println!(
-                "# {stream:<9} {format:<7} {:>8.1}  {:>9.2}  {:>9.0}  {:>9.2}  {:>9.0}",
+                "# {stream:<9} {format:<7} {:>8.1}  {:>9.2}  {:>9.0}  {:>9.2}  {:>9.0}  {:>7.2}  {:>10.0}",
                 encoded.len() as f64 / 1024.0,
                 enc * 1e3,
                 mib / enc,
                 dec * 1e3,
                 mib / dec,
+                sdec * 1e3,
+                mib / sdec,
             );
         }
     }
@@ -132,12 +127,14 @@ fn throughput_summary(c: &mut Criterion) {
     }
 }
 
-/// Whether the CLI filter selects any id of the form `prefix_{text|binary}`.
+/// Whether the CLI filter selects any id of the form `prefix_{text|binary}` or
+/// its `_streamed` variant.
 fn any_format_selected(c: &Criterion, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|prefix| {
-        FORMATS
-            .iter()
-            .any(|format| c.filter_matches(&format!("{prefix}_{format}")))
+        FORMATS.iter().any(|format| {
+            c.filter_matches(&format!("{prefix}_{format}"))
+                || c.filter_matches(&format!("{prefix}_{format}_streamed"))
+        })
     })
 }
 
@@ -168,7 +165,9 @@ fn codec_throughput(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2));
 
-    // Workload stream: 500 heavy-tailed jobs (tens of thousands of tasks).
+    // Workload stream: 500 heavy-tailed jobs (tens of thousands of tasks). The
+    // `_streamed` ids pull jobs through the frame iterator without collecting,
+    // isolating the cost of the streaming layer from Vec assembly.
     if run_workload {
         let trace = recorded_trace(500);
         for format in FORMATS {
@@ -179,6 +178,12 @@ fn codec_throughput(c: &mut Criterion) {
             group.bench_function(format!("decode_workload_500_jobs_{format}"), |b| {
                 b.iter(|| {
                     criterion::black_box(WorkloadTrace::from_bytes(&bytes).unwrap().jobs.len())
+                })
+            });
+            group.bench_function(format!("decode_workload_500_jobs_{format}_streamed"), |b| {
+                b.iter(|| {
+                    let items = WorkloadItems::open(&bytes[..]).unwrap();
+                    criterion::black_box(items.map(|job| job.unwrap().total_tasks()).sum::<usize>())
                 })
             });
         }
@@ -195,6 +200,12 @@ fn codec_throughput(c: &mut Criterion) {
             group.bench_function(format!("decode_execution_20_jobs_{format}"), |b| {
                 b.iter(|| {
                     criterion::black_box(ExecutionTrace::from_bytes(&bytes).unwrap().events.len())
+                })
+            });
+            group.bench_function(format!("decode_execution_20_jobs_{format}_streamed"), |b| {
+                b.iter(|| {
+                    let events = ExecutionEvents::open(&bytes[..]).unwrap();
+                    criterion::black_box(events.map(|e| e.unwrap()).count())
                 })
             });
         }

@@ -1,4 +1,63 @@
-//! Benchmark-only crate: see the `benches/` directory. The library target exists only
-//! so the crate participates in the workspace; the benchmark harnesses in
-//! `benches/figures.rs`, `benches/tables.rs` and `benches/microbench.rs` regenerate
-//! the paper's figures and tables under Criterion timing.
+//! Shared corpus builders for the `grass-bench` targets (see `benches/`).
+//!
+//! The trace-generation setup used to be duplicated across `tracebench` and
+//! `sweepbench`; it lives here once so every bench measures the same corpus:
+//! a Facebook-Spark error-bound workload recorded with the canonical bench
+//! seeds (generator 7, simulator 11), plus the event log of a 20-job GS run
+//! for the execution stream.
+
+use grass_core::GsFactory;
+use grass_sim::{run_simulation_traced, VecSink};
+use grass_trace::{record_workload, replay_config, ExecutionMeta, ExecutionTrace, WorkloadTrace};
+use grass_workload::{BoundSpec, Framework, RecordedWorkload, TraceProfile, WorkloadConfig};
+
+/// The bench corpus profile: Facebook-Spark, error-bound jobs.
+pub fn workload_config(jobs: usize) -> WorkloadConfig {
+    WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+        .with_jobs(jobs)
+        .with_bound(BoundSpec::paper_errors())
+}
+
+/// A recorded workload trace of `jobs` jobs with the canonical bench seeds.
+pub fn recorded_trace(jobs: usize) -> WorkloadTrace {
+    record_workload(&workload_config(jobs), 7, 11, "GS", 20, 4)
+}
+
+/// The same workload as a replayable [`RecordedWorkload`] job source.
+pub fn recorded_source(jobs: usize) -> RecordedWorkload {
+    recorded_trace(jobs).to_source()
+}
+
+/// The event log of a 20-job simulated GS run (the execution-stream corpus).
+pub fn recorded_execution() -> ExecutionTrace {
+    let small = recorded_trace(20);
+    let sim = replay_config(&small);
+    let mut sink = VecSink::new();
+    run_simulation_traced(&sim, small.jobs.clone(), &GsFactory, &mut sink);
+    ExecutionTrace::new(
+        ExecutionMeta {
+            sim_seed: sim.seed,
+            policy: "GS".into(),
+            machines: 20,
+            slots_per_machine: 4,
+        },
+        sink.into_events(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_workload::JobSource;
+
+    #[test]
+    fn corpus_builders_are_deterministic_and_consistent() {
+        let trace = recorded_trace(6);
+        assert_eq!(trace.jobs.len(), 6);
+        assert_eq!(trace.jobs, recorded_trace(6).jobs);
+        assert_eq!(recorded_source(6).jobs(0), trace.jobs);
+        let execution = recorded_execution();
+        assert!(!execution.events.is_empty());
+        assert_eq!(execution.meta.policy, "GS");
+    }
+}

@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--quick] [--csv] [<experiment-id>...]
 //! repro trace record --out <dir> [--jobs N] [--policy P] [--format text|binary] [...]
+//! repro trace gen --out <file> [--jobs N] [--seed S] [--format text|binary] [...]
 //! repro trace replay <workload.trace> [--policy P]
 //! repro trace convert <in> <out> --format text|binary
 //! repro trace stats <trace-file>...
@@ -15,7 +16,7 @@
 //! With no experiment ids, every experiment is run in paper order. `--quick` uses the
 //! reduced configuration (fewer jobs, one seed, smaller cluster) intended for smoke
 //! tests; the default configuration averages three seeds on the 200-slot cluster.
-//! The `trace` subcommand records, replays, converts and inspects workload/execution
+//! The `trace` subcommand records, generates, replays, converts and inspects workload/execution
 //! traces in either wire format (see `grass_experiments::trace_cli`); `sweep` replays
 //! one recorded workload across a cluster-size × policy grid (see
 //! `grass_experiments::sweep`).
@@ -111,6 +112,10 @@ fn print_help() {
         "                          [--framework hadoop|spark] [--bound deadlines|errors|exact]"
     );
     println!("                          [--machines N] [--slots N] [--format text|binary]");
+    println!("       repro trace gen --out <file> [--jobs N] [--seed S] [--sim-seed S]");
+    println!("                       [--policy P] [--profile facebook|bing]");
+    println!("                       [--framework hadoop|spark] [--bound deadlines|errors|exact]");
+    println!("                       [--machines N] [--slots N] [--format text|binary]");
     println!("       repro trace replay <workload.trace|dir> [--policy P]");
     println!("       repro trace convert <in> <out> --format text|binary");
     println!("       repro trace stats <trace-file>...");

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use grass_metrics::{Cell, Metric, OutcomeSet, Table};
 use grass_sim::ClusterConfig;
-use grass_trace::WorkloadTrace;
+use grass_trace::open_workload_source;
 use grass_workload::JobSource;
 
 use crate::common::{compare_outcomes, metric_for_source, run_policy, Comparison, ExpConfig};
@@ -392,7 +392,9 @@ fn parse_list<T, E: std::fmt::Display>(
 
 /// Entry point for `repro sweep <workload.trace|dir> [flags]`.
 ///
-/// Decodes a recorded workload trace and sweeps it across the configured grid. The
+/// Opens the recorded workload trace **streamingly** (`open_workload_source`:
+/// one O(1)-memory validation pass, then on-demand prefix loads — warm-up
+/// decodes only its job prefix) and sweeps it across the configured grid. The
 /// rendered tables and progress go to stderr; stdout carries only the digest, so
 /// `diff <(run1) <(run2)` is the determinism check.
 pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
@@ -404,21 +406,21 @@ pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
         return Err("sweep expects exactly one workload trace path".to_string());
     };
     let path = resolve_workload_path(Path::new(path));
-    let trace =
-        WorkloadTrace::load(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (meta, source) =
+        open_workload_source(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
 
     let quick = flags.has("quick");
-    let slots = flags.get_usize("slots", trace.meta.slots_per_machine)?;
+    let slots = flags.get_usize("slots", meta.slots_per_machine)?;
     let threads = flags.get_usize("threads", 1)?;
     let seeds = match flags.get("seeds") {
         Some(raw) => parse_list(raw, "seed", |s| s.parse::<u64>())?,
-        None => vec![trace.meta.sim_seed],
+        None => vec![meta.sim_seed],
     };
     let base = ExpConfig {
-        jobs_per_run: trace.jobs.len(),
+        jobs_per_run: source.total_jobs(),
         seeds,
         cluster: ClusterConfig {
-            machines: trace.meta.machines,
+            machines: meta.machines,
             slots_per_machine: slots,
             ..ClusterConfig::ec2_scaled()
         },
@@ -440,10 +442,9 @@ pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
         config.baseline = parse_policy(raw)?;
     }
 
-    let source = trace.to_source();
     eprintln!(
         "sweeping {} jobs ({}) across {} cluster sizes x {} policies on {} thread(s)",
-        trace.jobs.len(),
+        source.total_jobs(),
         source.label(),
         config.machines.len(),
         config.policies.len(),

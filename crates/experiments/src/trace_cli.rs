@@ -1,11 +1,15 @@
-//! The `repro trace` subcommand surface: record, replay, convert and inspect
-//! traces.
+//! The `repro trace` subcommand surface: record, generate, replay, convert and
+//! inspect traces.
 //!
 //! ```text
 //! repro trace record --out <dir> [--jobs N] [--gen-seed S] [--sim-seed S]
 //!                    [--policy P] [--profile facebook|bing] [--framework hadoop|spark]
 //!                    [--bound deadlines|errors|exact] [--machines N] [--slots N]
 //!                    [--format text|binary]
+//! repro trace gen --out <file> [--jobs N] [--seed S] [--sim-seed S] [--policy P]
+//!                 [--profile facebook|bing] [--framework hadoop|spark]
+//!                 [--bound deadlines|errors|exact] [--machines N] [--slots N]
+//!                 [--format text|binary]
 //! repro trace replay <workload.trace> [--policy P]
 //! repro trace convert <in> <out> --format text|binary
 //! repro trace stats <trace-file>...
@@ -13,13 +17,19 @@
 //!
 //! `record` samples a synthetic workload, persists it as `workload.trace`, runs it
 //! through the simulator while streaming `execution.trace` (both in the chosen
-//! `--format`), and prints a deterministic outcome digest to stdout. `replay`
-//! decodes a workload trace — the format is sniffed, so text and binary replay
-//! identically — re-runs it with the recorded simulator seed / cluster / policy
-//! and prints the same digest, so `diff <(record) <(replay)` is the record→replay
-//! determinism check CI runs in both formats. `convert` re-encodes a trace of
-//! either stream kind into the requested format. Informational messages go to
-//! stderr to keep stdout digest-clean.
+//! `--format`), and prints a deterministic outcome digest to stdout. `gen`
+//! synthesizes the same workload trace **without running a simulation and without
+//! ever materialising the job list** — jobs stream from the generator straight
+//! into a `WorkloadTraceSink`, so it can produce GB-scale traces in O(one job)
+//! memory; with matching parameters its output is byte-identical to `record`'s
+//! `workload.trace`. `replay` decodes a workload trace — the format is sniffed,
+//! so text and binary replay identically — re-runs it with the recorded simulator
+//! seed / cluster / policy and prints the same digest, so `diff <(record)
+//! <(replay)` is the record→replay determinism check CI runs in both formats.
+//! `convert` re-encodes a trace of either stream kind into the requested format,
+//! record at a time through `convert_stream` (O(one record) memory). `stats`
+//! folds each file in one streaming pass. Informational messages go to stderr to
+//! keep stdout digest-clean.
 
 use std::path::{Path, PathBuf};
 
@@ -27,22 +37,25 @@ use grass_core::{GrassFactory, GsFactory, PolicyFactory, RasFactory};
 use grass_policies::{LateFactory, MantriFactory, NoSpecFactory, OracleFactory};
 use grass_sim::{run_simulation, run_simulation_traced, SimResult};
 use grass_trace::{
-    record_workload, replay_config, sniff_bytes, ExecutionMeta, ExecutionTrace, ExecutionTraceSink,
-    StreamKind, TraceFormat, TraceStats, WorkloadTrace,
+    convert_stream, record_workload, replay_config, ExecutionMeta, ExecutionTraceSink, TraceFormat,
+    TraceStats, WorkloadMeta, WorkloadTrace, WorkloadTraceSink,
 };
-use grass_workload::{BoundSpec, Framework, TraceProfile, WorkloadConfig};
+use grass_workload::{BoundSpec, Framework, JobGen, TraceProfile, WorkloadConfig};
 
 /// Entry point for `repro trace <verb> ...`. Returns an error message on failure.
 pub fn run_trace_command(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         Some("convert") => convert(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some(other) => Err(format!(
-            "unknown trace verb '{other}'; expected record, replay, convert or stats"
+            "unknown trace verb '{other}'; expected record, gen, replay, convert or stats"
         )),
-        None => Err("missing trace verb; expected record, replay, convert or stats".to_string()),
+        None => {
+            Err("missing trace verb; expected record, gen, replay, convert or stats".to_string())
+        }
     }
 }
 
@@ -180,6 +193,29 @@ impl Flags {
     }
 }
 
+/// Parse the shared `--profile` / `--framework` / `--bound` workload flags.
+fn workload_from_flags(flags: &Flags, jobs: usize) -> Result<WorkloadConfig, String> {
+    let profile = match flags.get("profile").unwrap_or("facebook") {
+        "facebook" => TraceProfile::facebook,
+        "bing" => TraceProfile::bing,
+        other => return Err(format!("unknown profile '{other}' (facebook|bing)")),
+    };
+    let framework = match flags.get("framework").unwrap_or("spark") {
+        "hadoop" => Framework::Hadoop,
+        "spark" => Framework::Spark,
+        other => return Err(format!("unknown framework '{other}' (hadoop|spark)")),
+    };
+    let bound = match flags.get("bound").unwrap_or("errors") {
+        "deadlines" => BoundSpec::paper_deadlines(),
+        "errors" => BoundSpec::paper_errors(),
+        "exact" => BoundSpec::Exact,
+        other => return Err(format!("unknown bound '{other}' (deadlines|errors|exact)")),
+    };
+    Ok(WorkloadConfig::new(profile(framework))
+        .with_jobs(jobs)
+        .with_bound(bound))
+}
+
 fn record(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_unknown(&[
@@ -210,26 +246,7 @@ fn record(args: &[String]) -> Result<(), String> {
     let policy = flags.get("policy").unwrap_or("grass").to_string();
     let format = parse_format(flags.get("format"))?;
 
-    let profile = match flags.get("profile").unwrap_or("facebook") {
-        "facebook" => TraceProfile::facebook,
-        "bing" => TraceProfile::bing,
-        other => return Err(format!("unknown profile '{other}' (facebook|bing)")),
-    };
-    let framework = match flags.get("framework").unwrap_or("spark") {
-        "hadoop" => Framework::Hadoop,
-        "spark" => Framework::Spark,
-        other => return Err(format!("unknown framework '{other}' (hadoop|spark)")),
-    };
-    let bound = match flags.get("bound").unwrap_or("errors") {
-        "deadlines" => BoundSpec::paper_deadlines(),
-        "errors" => BoundSpec::paper_errors(),
-        "exact" => BoundSpec::Exact,
-        other => return Err(format!("unknown bound '{other}' (deadlines|errors|exact)")),
-    };
-
-    let workload = WorkloadConfig::new(profile(framework))
-        .with_jobs(jobs)
-        .with_bound(bound);
+    let workload = workload_from_flags(&flags, jobs)?;
     let trace = record_workload(&workload, gen_seed, sim_seed, &policy, machines, slots);
     let sim = replay_config(&trace);
     let factory = make_factory(&policy, sim_seed)?;
@@ -269,6 +286,81 @@ fn record(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro trace gen`: synthesize a (possibly GB-scale) workload trace straight
+/// to a streaming sink — the generator's job iterator feeds a
+/// [`WorkloadTraceSink`] one record at a time, so memory stays O(one job) no
+/// matter how many jobs are requested. With the same parameters as `trace
+/// record` (`--seed` here is `record`'s `--gen-seed`) the output file is
+/// byte-identical to `record`'s `workload.trace`.
+fn gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "out",
+        "jobs",
+        "seed",
+        "sim-seed",
+        "machines",
+        "slots",
+        "policy",
+        "profile",
+        "framework",
+        "bound",
+        "format",
+    ])?;
+    if !flags.positional.is_empty() {
+        return Err(format!(
+            "unexpected positional arguments: {:?}",
+            flags.positional
+        ));
+    }
+    let out = PathBuf::from(flags.get("out").unwrap_or("workload.trace"));
+    let jobs = flags.get_usize("jobs", 24)?;
+    let seed = flags.get_u64("seed", 7)?;
+    let sim_seed = flags.get_u64("sim-seed", 11)?;
+    let machines = flags.get_usize("machines", 20)?;
+    let slots = flags.get_usize("slots", 4)?;
+    let policy = flags.get("policy").unwrap_or("grass").to_string();
+    let format = parse_format(flags.get("format"))?;
+    let workload = workload_from_flags(&flags, jobs)?;
+    // Validate the policy label up front, like record does, so a typo fails
+    // before any bytes hit the disk.
+    make_factory(&policy, sim_seed)?;
+
+    let meta = WorkloadMeta {
+        generator_seed: seed,
+        sim_seed,
+        policy,
+        profile: workload.profile.label(),
+        machines,
+        slots_per_machine: slots,
+    };
+    let started = std::time::Instant::now();
+    let file =
+        std::fs::File::create(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let mut sink =
+        WorkloadTraceSink::with_format(std::io::BufWriter::new(file), &meta, jobs, format)
+            .map_err(|e| e.to_string())?;
+    for job in JobGen::new(workload, seed) {
+        sink.push(&job)
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    }
+    sink.finish()
+        .map_err(|e| format!("cannot finish {}: {e}", out.display()))?;
+
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    let elapsed = started.elapsed();
+    eprintln!(
+        "generated {jobs} jobs ({} profile, {format} format) -> {} \
+         ({:.1} MiB in {:.2?}, {:.0} MiB/s)",
+        meta.profile,
+        out.display(),
+        bytes as f64 / (1024.0 * 1024.0),
+        elapsed,
+        bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64().max(1e-9),
+    );
+    Ok(())
+}
+
 fn replay_cmd(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     flags.reject_unknown(&["policy"])?;
@@ -304,19 +396,26 @@ fn convert(args: &[String]) -> Result<(), String> {
             .get("format")
             .ok_or("convert requires --format text|binary")?,
     ))?;
-    let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
-    let (from, kind) = sniff_bytes(&bytes).map_err(|e| format!("cannot read {input}: {e}"))?;
-    let result = match kind {
-        StreamKind::Workload => {
-            WorkloadTrace::from_bytes(&bytes).and_then(|trace| trace.save_as(output, format))
+    // Record-at-a-time re-encode: the input is never held in memory, so a trace
+    // bigger than RAM converts fine.
+    let reader = std::io::BufReader::new(
+        std::fs::File::open(input).map_err(|e| format!("cannot read {input}: {e}"))?,
+    );
+    let writer = std::io::BufWriter::new(
+        std::fs::File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?,
+    );
+    match convert_stream(reader, writer, format) {
+        Ok((from, kind)) => {
+            eprintln!("converted {input} ({from} {kind} trace) -> {output} ({format})");
+            Ok(())
         }
-        StreamKind::Execution => {
-            ExecutionTrace::from_bytes(&bytes).and_then(|trace| trace.save_as(output, format))
+        Err(e) => {
+            // A partially converted execution stream has no trailing count check,
+            // so it would decode cleanly as a shorter trace; never leave one behind.
+            let _ = std::fs::remove_file(output);
+            Err(format!("cannot convert {input}: {e}"))
         }
-    };
-    result.map_err(|e| format!("cannot convert {input}: {e}"))?;
-    eprintln!("converted {input} ({from} {kind} trace) -> {output} ({format})");
-    Ok(())
+    }
 }
 
 /// Accept either a workload trace file or the directory `record` wrote it into.
@@ -430,6 +529,111 @@ mod tests {
     }
 
     #[test]
+    fn gen_matches_record_byte_for_byte_and_streams_through_convert() {
+        let dir = std::env::temp_dir().join(format!("grass-trace-gen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let arg = |s: &str| s.to_string();
+        for format in ["text", "binary"] {
+            // record writes workload.trace into a directory; gen writes one file.
+            let rec_dir = dir.join(format!("rec-{format}"));
+            run_trace_command(&[
+                arg("record"),
+                arg("--out"),
+                rec_dir.to_str().unwrap().into(),
+                arg("--jobs"),
+                arg("9"),
+                arg("--policy"),
+                arg("gs"),
+                arg("--format"),
+                arg(format),
+            ])
+            .unwrap();
+            let gen_path = dir.join(format!("gen-{format}.trace"));
+            run_trace_command(&[
+                arg("gen"),
+                arg("--out"),
+                gen_path.to_str().unwrap().into(),
+                arg("--jobs"),
+                arg("9"),
+                arg("--seed"),
+                arg("7"), // record's --gen-seed default
+                arg("--policy"),
+                arg("gs"),
+                arg("--format"),
+                arg(format),
+            ])
+            .unwrap();
+            assert_eq!(
+                std::fs::read(rec_dir.join("workload.trace")).unwrap(),
+                std::fs::read(&gen_path).unwrap(),
+                "gen differs from record's workload.trace ({format})"
+            );
+
+            // The generated trace flows through the streamed convert and stats.
+            let other = if format == "text" { "binary" } else { "text" };
+            let conv = dir.join(format!("gen-{format}.{other}.trace"));
+            let back = dir.join(format!("gen-{format}.back.trace"));
+            run_trace_command(&[
+                arg("convert"),
+                gen_path.to_str().unwrap().into(),
+                conv.to_str().unwrap().into(),
+                arg("--format"),
+                arg(other),
+            ])
+            .unwrap();
+            run_trace_command(&[
+                arg("convert"),
+                conv.to_str().unwrap().into(),
+                back.to_str().unwrap().into(),
+                arg("--format"),
+                arg(format),
+            ])
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&gen_path).unwrap(),
+                std::fs::read(&back).unwrap(),
+                "streamed convert round trip is not canonical ({format})"
+            );
+            let stats = grass_trace::TraceStats::load(&gen_path).unwrap();
+            assert_eq!(stats.jobs, 9);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_conversions_leave_no_partial_output() {
+        let dir = std::env::temp_dir().join(format!("grass-trace-convfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // An execution stream truncated mid-record: streaming convert fails part
+        // way through, after some records were already written. The output file
+        // must be removed — a partial execution trace has no trailing count
+        // check and would pass a later decode as a shorter, valid-looking trace.
+        let input = dir.join("truncated.trace");
+        std::fs::write(
+            &input,
+            b"grass-trace 1 execution\n\
+              meta sim_seed=0 policy=GS machines=1 slots_per_machine=1\n\
+              arrive t=0 job=1\n\
+              arrive t=1 job\n",
+        )
+        .unwrap();
+        let output = dir.join("out.trace");
+        let err = run_trace_command(&[
+            "convert".into(),
+            input.to_str().unwrap().into(),
+            output.to_str().unwrap().into(),
+            "--format".into(),
+            "binary".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot convert"), "{err}");
+        assert!(!output.exists(), "partial output left behind");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn bad_invocations_are_rejected_with_messages() {
         let err = run_trace_command(&["warp".to_string()]).unwrap_err();
         assert!(err.contains("unknown trace verb"));
@@ -456,6 +660,19 @@ mod tests {
         let err = run_trace_command(&["record".to_string(), "--job".to_string(), "12".to_string()])
             .unwrap_err();
         assert!(err.contains("unknown flag --job"), "{err}");
+        // gen shares the strict-flag posture (record's --gen-seed is gen's --seed),
+        // and validates the policy before writing anything.
+        let err =
+            run_trace_command(&["gen".to_string(), "--gen-seed".to_string(), "7".to_string()])
+                .unwrap_err();
+        assert!(err.contains("unknown flag --gen-seed"), "{err}");
+        let err = run_trace_command(&[
+            "gen".to_string(),
+            "--policy".to_string(),
+            "quantum".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
         let err = run_trace_command(&[
             "replay".to_string(),
             "x.trace".to_string(),

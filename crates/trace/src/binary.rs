@@ -28,9 +28,10 @@ use grass_core::{ActionKind, Bound, JobId, JobSpec, StageSpec, TaskId, TaskSpec}
 use grass_sim::{SimTraceEvent, SlotId};
 
 use crate::codec::{StreamKind, TraceError, BINARY_FORMAT_VERSION, MAGIC};
-use crate::execution::{ExecutionMeta, ExecutionTrace};
+use crate::execution::ExecutionMeta;
 use crate::format::{TraceCodec, TraceFormat};
-use crate::workload::{WorkloadMeta, WorkloadTrace};
+use crate::stream::{ExecutionEvents, ExecutionFrames, WorkloadFrames, WorkloadItems};
+use crate::workload::WorkloadMeta;
 
 /// Byte that follows the shared magic in a binary header (text uses `' '`).
 const MAGIC_TERMINATOR: u8 = 0;
@@ -101,14 +102,14 @@ fn put_bool(buf: &mut Vec<u8>, v: bool) {
 // ---------------------------------------------------------------------------
 
 /// Reads frames off a stream, tracking the absolute byte offset for error
-/// reporting.
-struct FrameReader<'r> {
-    r: &'r mut dyn BufRead,
+/// reporting. Owns its reader so streaming iterators can carry it.
+struct FrameReader<R> {
+    r: R,
     offset: u64,
 }
 
-impl<'r> FrameReader<'r> {
-    fn new(r: &'r mut dyn BufRead) -> Self {
+impl<R: BufRead> FrameReader<R> {
+    fn new(r: R) -> Self {
         FrameReader { r, offset: 0 }
     }
 
@@ -499,7 +500,10 @@ impl TraceCodec for BinaryCodec {
         Ok(())
     }
 
-    fn decode_workload(&mut self, r: &mut dyn BufRead) -> Result<WorkloadTrace, TraceError> {
+    fn workload_items<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<WorkloadItems<'r>, TraceError> {
         let mut fr = FrameReader::new(r);
         let kind = fr.read_header()?;
         if kind != StreamKind::Workload {
@@ -508,14 +512,25 @@ impl TraceCodec for BinaryCodec {
                 found: kind,
             });
         }
-
-        let mut buf = std::mem::take(&mut self.frame);
-        let result = decode_workload_frames(&mut fr, &mut buf);
-        self.frame = buf;
-        result
+        let mut buf = Vec::new();
+        let (meta, declared_jobs) = decode_workload_meta_frame(&mut fr, &mut buf)?;
+        Ok(WorkloadItems::from_parts(
+            TraceFormat::Binary,
+            meta,
+            declared_jobs,
+            Box::new(BinaryWorkloadFrames {
+                fr,
+                buf,
+                declared_jobs,
+                seen: 0,
+            }),
+        ))
     }
 
-    fn decode_execution(&mut self, r: &mut dyn BufRead) -> Result<ExecutionTrace, TraceError> {
+    fn execution_events<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<ExecutionEvents<'r>, TraceError> {
         let mut fr = FrameReader::new(r);
         let kind = fr.read_header()?;
         if kind != StreamKind::Execution {
@@ -524,11 +539,13 @@ impl TraceCodec for BinaryCodec {
                 found: kind,
             });
         }
-
-        let mut buf = std::mem::take(&mut self.frame);
-        let result = decode_execution_frames(&mut fr, &mut buf);
-        self.frame = buf;
-        result
+        let mut buf = Vec::new();
+        let meta = decode_execution_meta_frame(&mut fr, &mut buf)?;
+        Ok(ExecutionEvents::from_parts(
+            TraceFormat::Binary,
+            meta,
+            Box::new(BinaryExecutionFrames { fr, buf }),
+        ))
     }
 
     fn peek_kind(&mut self, r: &mut dyn BufRead) -> Result<StreamKind, TraceError> {
@@ -536,10 +553,11 @@ impl TraceCodec for BinaryCodec {
     }
 }
 
-fn decode_workload_frames(
-    fr: &mut FrameReader<'_>,
+/// Read and decode the mandatory meta frame of a workload stream.
+fn decode_workload_meta_frame<R: BufRead>(
+    fr: &mut FrameReader<R>,
     buf: &mut Vec<u8>,
-) -> Result<WorkloadTrace, TraceError> {
+) -> Result<(WorkloadMeta, usize), TraceError> {
     let at = fr.offset;
     let Some(base) = fr.next_frame(buf)? else {
         return Err(frame_err(at, "workload trace has no meta frame"));
@@ -562,30 +580,56 @@ fn decode_workload_frames(
     };
     let declared_jobs = body.take_usize("num_jobs")?;
     body.expect_end("meta")?;
+    Ok((meta, declared_jobs))
+}
 
-    let mut jobs = Vec::with_capacity(declared_jobs.min(1 << 20));
-    while let Some(base) = fr.next_frame(buf)? {
-        let mut body = Body::new(buf, base);
-        let tag = body.take_u8("frame tag")?;
-        if tag != TAG_JOB {
-            return Err(frame_err(
-                base,
-                format!("unknown frame tag {tag:#04x} in workload trace"),
-            ));
+/// Frame-at-a-time job puller behind [`WorkloadItems`]: one length-prefixed
+/// frame is read into the reused buffer per pull, and the meta's declared job
+/// count is enforced at end of stream.
+struct BinaryWorkloadFrames<R> {
+    fr: FrameReader<R>,
+    buf: Vec<u8>,
+    declared_jobs: usize,
+    seen: usize,
+}
+
+impl<R: BufRead> WorkloadFrames for BinaryWorkloadFrames<R> {
+    fn next_job(&mut self) -> Option<Result<JobSpec, TraceError>> {
+        match self.fr.next_frame(&mut self.buf) {
+            Err(e) => Some(Err(e)),
+            Ok(Some(base)) => {
+                let mut body = Body::new(&self.buf, base);
+                let tag = match body.take_u8("frame tag") {
+                    Ok(tag) => tag,
+                    Err(e) => return Some(Err(e)),
+                };
+                if tag != TAG_JOB {
+                    return Some(Err(frame_err(
+                        base,
+                        format!("unknown frame tag {tag:#04x} in workload trace"),
+                    )));
+                }
+                self.seen += 1;
+                Some(decode_job(&mut body).and_then(|job| {
+                    body.expect_end("job")?;
+                    Ok(job)
+                }))
+            }
+            Ok(None) => {
+                if self.seen != self.declared_jobs {
+                    Some(Err(frame_err(
+                        self.fr.offset,
+                        format!(
+                            "meta declares {} jobs but the trace contains {}",
+                            self.declared_jobs, self.seen
+                        ),
+                    )))
+                } else {
+                    None
+                }
+            }
         }
-        jobs.push(decode_job(&mut body)?);
-        body.expect_end("job")?;
     }
-    if jobs.len() != declared_jobs {
-        return Err(frame_err(
-            fr.offset,
-            format!(
-                "meta declares {declared_jobs} jobs but the trace contains {}",
-                jobs.len()
-            ),
-        ));
-    }
-    Ok(WorkloadTrace { meta, jobs })
 }
 
 fn decode_job(body: &mut Body<'_>) -> Result<JobSpec, TraceError> {
@@ -625,10 +669,11 @@ fn decode_job(body: &mut Body<'_>) -> Result<JobSpec, TraceError> {
     Ok(job)
 }
 
-fn decode_execution_frames(
-    fr: &mut FrameReader<'_>,
+/// Read and decode the mandatory meta frame of an execution stream.
+fn decode_execution_meta_frame<R: BufRead>(
+    fr: &mut FrameReader<R>,
     buf: &mut Vec<u8>,
-) -> Result<ExecutionTrace, TraceError> {
+) -> Result<ExecutionMeta, TraceError> {
     let at = fr.offset;
     let Some(base) = fr.next_frame(buf)? else {
         return Err(frame_err(at, "execution trace has no meta frame"));
@@ -648,14 +693,29 @@ fn decode_execution_frames(
         slots_per_machine: body.take_usize("slots_per_machine")?,
     };
     body.expect_end("meta")?;
+    Ok(meta)
+}
 
-    let mut events = Vec::new();
-    while let Some(base) = fr.next_frame(buf)? {
-        let mut body = Body::new(buf, base);
-        events.push(decode_event(&mut body)?);
-        body.expect_end("event")?;
+/// Frame-at-a-time event puller behind [`ExecutionEvents`].
+struct BinaryExecutionFrames<R> {
+    fr: FrameReader<R>,
+    buf: Vec<u8>,
+}
+
+impl<R: BufRead> ExecutionFrames for BinaryExecutionFrames<R> {
+    fn next_event(&mut self) -> Option<Result<SimTraceEvent, TraceError>> {
+        match self.fr.next_frame(&mut self.buf) {
+            Err(e) => Some(Err(e)),
+            Ok(Some(base)) => {
+                let mut body = Body::new(&self.buf, base);
+                Some(decode_event(&mut body).and_then(|event| {
+                    body.expect_end("event")?;
+                    Ok(event)
+                }))
+            }
+            Ok(None) => None,
+        }
     }
-    Ok(ExecutionTrace { meta, events })
 }
 
 fn decode_event(body: &mut Body<'_>) -> Result<SimTraceEvent, TraceError> {

@@ -15,7 +15,8 @@ use std::path::Path;
 use grass_sim::SimTraceEvent;
 
 use crate::codec::TraceError;
-use crate::format::{codec_for, decode_sniffed, TraceFormat};
+use crate::format::{codec_for, TraceFormat};
+use crate::stream::ExecutionEvents;
 
 /// Metadata of an execution trace: the simulation configuration that produced it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +83,11 @@ impl ExecutionTrace {
 
     /// Decode a trace from any buffered reader; the format is sniffed from the
     /// header, so text and binary traces read through the same call.
+    ///
+    /// This *is* the streaming decoder, collected (see
+    /// [`ExecutionEvents::open`] for the one-event-at-a-time path).
     pub fn read_from<R: BufRead>(r: R) -> Result<Self, TraceError> {
-        decode_sniffed(r, |codec, r| codec.decode_execution(r))
+        ExecutionEvents::open(r)?.into_trace()
     }
 
     /// Decode a trace from a byte slice (either format).

@@ -18,7 +18,7 @@
 //! (`0x20` space = text header, `0x00` NUL = binary header), so [`sniff_format`]
 //! needs only the first twelve bytes.
 
-use std::io::{BufRead, Read, Write};
+use std::io::{BufRead, Write};
 
 use grass_core::JobSpec;
 use grass_sim::SimTraceEvent;
@@ -26,6 +26,7 @@ use grass_sim::SimTraceEvent;
 use crate::binary::BinaryCodec;
 use crate::codec::{StreamKind, TraceError, MAGIC};
 use crate::execution::{ExecutionMeta, ExecutionTrace};
+use crate::stream::{ExecutionEvents, WorkloadItems};
 use crate::text::TextCodec;
 use crate::workload::{WorkloadMeta, WorkloadTrace};
 
@@ -84,15 +85,24 @@ impl std::fmt::Display for TraceFormat {
 /// Encoding is record-at-a-time so streaming sinks work without buffering; a
 /// stream encode is `begin_*`, then one `encode_*` per record, then [`finish`]
 /// (`finish` writes any trailer — none for the built-in formats — but never
-/// flushes: the caller owns the writer). Decoding is whole-stream: each codec
-/// reads and validates its own header, so decoders compose with [`sniff_format`]
-/// for format-agnostic reads.
+/// flushes: the caller owns the writer). Decoding is **pull-based and
+/// record-at-a-time too**: [`workload_items`] / [`execution_events`] read and
+/// validate the header plus the meta record, then hand back an iterator that
+/// decodes one frame per pull in O(one frame) memory. The whole-stream
+/// [`decode_workload`] / [`decode_execution`] methods are provided on top
+/// (open the iterator, collect it), so eager and streaming decode cannot
+/// diverge — in values or in error offsets. Each codec validates its own
+/// header, so decoders compose with [`sniff_format`] for format-agnostic reads.
 ///
 /// Codecs may keep scratch state between calls (the binary codec reuses frame
 /// buffers), hence `&mut self`; a fresh codec from [`codec_for`] is always in the
 /// ready state.
 ///
 /// [`finish`]: TraceCodec::finish
+/// [`workload_items`]: TraceCodec::workload_items
+/// [`execution_events`]: TraceCodec::execution_events
+/// [`decode_workload`]: TraceCodec::decode_workload
+/// [`decode_execution`]: TraceCodec::decode_execution
 pub trait TraceCodec {
     /// Which format this codec implements.
     fn format(&self) -> TraceFormat;
@@ -123,11 +133,34 @@ pub trait TraceCodec {
     /// flush; the caller owns the writer.
     fn finish(&mut self, w: &mut dyn Write) -> Result<(), TraceError>;
 
-    /// Decode a complete workload trace, header included.
-    fn decode_workload(&mut self, r: &mut dyn BufRead) -> Result<WorkloadTrace, TraceError>;
+    /// Open a streaming workload decoder: validates the header, decodes the meta
+    /// record, and returns an iterator yielding one `Result<JobSpec, _>` per job
+    /// frame in O(one frame) memory.
+    fn workload_items<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<WorkloadItems<'r>, TraceError>;
 
-    /// Decode a complete execution trace, header included.
-    fn decode_execution(&mut self, r: &mut dyn BufRead) -> Result<ExecutionTrace, TraceError>;
+    /// Open a streaming execution decoder: validates the header, decodes the
+    /// meta record, and returns an iterator yielding one
+    /// `Result<SimTraceEvent, _>` per event frame in O(one frame) memory.
+    fn execution_events<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<ExecutionEvents<'r>, TraceError>;
+
+    /// Decode a complete workload trace, header included. Provided: collects
+    /// [`workload_items`](TraceCodec::workload_items), so eager decode is the
+    /// streaming decode by construction.
+    fn decode_workload(&mut self, r: &mut dyn BufRead) -> Result<WorkloadTrace, TraceError> {
+        self.workload_items(Box::new(r))?.into_trace()
+    }
+
+    /// Decode a complete execution trace, header included. Provided: collects
+    /// [`execution_events`](TraceCodec::execution_events).
+    fn decode_execution(&mut self, r: &mut dyn BufRead) -> Result<ExecutionTrace, TraceError> {
+        self.execution_events(Box::new(r))?.into_trace()
+    }
 
     /// Read and validate the header only, returning the stream kind it declares.
     fn peek_kind(&mut self, r: &mut dyn BufRead) -> Result<StreamKind, TraceError>;
@@ -162,29 +195,6 @@ pub fn sniff_bytes(bytes: &[u8]) -> Result<(TraceFormat, StreamKind), TraceError
     let format = sniff_format(bytes)?;
     let kind = codec_for(format).peek_kind(&mut &bytes[..])?;
     Ok((format, kind))
-}
-
-/// Run a decode closure against the sniffed format of `r`: peeks the first
-/// [`SNIFF_LEN`] bytes, picks the codec, and hands the closure a reader that
-/// replays the peeked bytes before the rest of the stream.
-pub(crate) fn decode_sniffed<R: BufRead, T>(
-    mut r: R,
-    decode: impl FnOnce(&mut dyn TraceCodec, &mut dyn BufRead) -> Result<T, TraceError>,
-) -> Result<T, TraceError> {
-    let mut prefix = [0u8; SNIFF_LEN];
-    let mut filled = 0;
-    while filled < SNIFF_LEN {
-        match r.read(&mut prefix[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    let format = sniff_format(&prefix[..filled])?;
-    let mut codec = codec_for(format);
-    let mut replaying = prefix[..filled].chain(r);
-    decode(codec.as_mut(), &mut replaying)
 }
 
 #[cfg(test)]

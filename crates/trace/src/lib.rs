@@ -19,6 +19,14 @@
 //! take a [`TraceFormat`] (defaulting to text for debuggability). Both formats
 //! round-trip every `f64` bit-exactly, the property the replay guarantee rests on.
 //!
+//! Decode is **streaming end to end** ([`stream`]): the codec plugins expose
+//! pull-based frame iterators ([`WorkloadItems`], [`ExecutionEvents`], and
+//! [`TraceItems`] for either-kind consumers) and the eager API is those iterators
+//! collected, so streaming and eager decode cannot diverge. One-pass consumers
+//! ([`TraceStats`], [`convert_stream`], [`open_workload_source`] prefix loads, the
+//! [`WorkloadTraceSink`] behind `repro trace gen`) run in O(one record) memory at
+//! any trace size.
+//!
 //! The streams:
 //!
 //! * **Workload traces** ([`WorkloadTrace`]) — the full `JobSpec`/`TaskSpec` set of a
@@ -59,6 +67,7 @@ pub mod format;
 pub mod replay;
 pub mod sink;
 pub mod stats;
+pub mod stream;
 pub mod text;
 pub mod workload;
 
@@ -69,7 +78,8 @@ pub use codec::{
 pub use execution::{ExecutionMeta, ExecutionTrace};
 pub use format::{codec_for, sniff_bytes, sniff_format, TraceCodec, TraceFormat};
 pub use replay::{replay, replay_config};
-pub use sink::ExecutionTraceSink;
+pub use sink::{convert_stream, ExecutionTraceSink, WorkloadTraceSink};
 pub use stats::TraceStats;
+pub use stream::{ExecutionEvents, TraceItems, WorkloadItems};
 pub use text::TextCodec;
-pub use workload::{record_workload, WorkloadMeta, WorkloadTrace};
+pub use workload::{open_workload_source, record_workload, WorkloadMeta, WorkloadTrace};

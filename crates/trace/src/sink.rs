@@ -1,8 +1,10 @@
-//! A streaming [`TraceSink`]: encodes simulator events straight onto a writer, in
-//! either trace format.
+//! Streaming encode sinks: [`ExecutionTraceSink`] (a [`TraceSink`] writing
+//! simulator events straight to a writer), [`WorkloadTraceSink`] (job records
+//! straight to a writer, used by `repro trace gen`), and the record-at-a-time
+//! re-encoder [`convert_stream`] behind `repro trace convert` — none of them
+//! ever hold more than one record in memory.
 //!
-//! Use this to capture an execution trace without buffering the whole event stream
-//! in memory:
+//! Capturing an execution trace without buffering the event stream:
 //!
 //! ```
 //! use grass_core::{Bound, GsFactory, JobSpec};
@@ -24,13 +26,16 @@
 //! assert!(!trace.events.is_empty());
 //! ```
 
-use std::io::Write;
+use std::io::{BufRead, Write};
 
+use grass_core::JobSpec;
 use grass_sim::{SimTraceEvent, TraceSink};
 
-use crate::codec::TraceError;
+use crate::codec::{StreamKind, TraceError};
 use crate::execution::ExecutionMeta;
 use crate::format::{codec_for, TraceCodec, TraceFormat};
+use crate::stream::TraceItems;
+use crate::workload::WorkloadMeta;
 
 /// Sink that writes each event record as it is emitted, through the chosen
 /// format's [`TraceCodec`] plugin.
@@ -89,6 +94,108 @@ impl<W: Write> TraceSink for ExecutionTraceSink<W> {
         }
         if let Err(e) = self.codec.encode_event(&mut self.w, event) {
             self.error = Some(e);
+        }
+    }
+}
+
+/// Streaming workload writer: encodes job records straight onto a writer in the
+/// chosen format, one [`push`](WorkloadTraceSink::push) at a time — the workload
+/// analogue of [`ExecutionTraceSink`], used by `repro trace gen` and the
+/// streaming converter so a GB-scale trace is never materialised.
+///
+/// The workload header declares the job count up front, so the sink takes it at
+/// construction and [`finish`](WorkloadTraceSink::finish) fails if a different
+/// number of jobs was pushed (the written trace would fail its own decode-time
+/// count check otherwise).
+pub struct WorkloadTraceSink<W: Write> {
+    w: W,
+    codec: Box<dyn TraceCodec>,
+    declared_jobs: usize,
+    written: usize,
+}
+
+impl<W: Write> WorkloadTraceSink<W> {
+    /// Open a sink on `w` in the chosen format, writing the workload header and
+    /// meta record declaring `num_jobs` jobs.
+    pub fn with_format(
+        mut w: W,
+        meta: &WorkloadMeta,
+        num_jobs: usize,
+        format: TraceFormat,
+    ) -> Result<Self, TraceError> {
+        let mut codec = codec_for(format);
+        codec.begin_workload(&mut w, meta, num_jobs)?;
+        Ok(WorkloadTraceSink {
+            w,
+            codec,
+            declared_jobs: num_jobs,
+            written: 0,
+        })
+    }
+
+    /// Format this sink encodes into.
+    pub fn format(&self) -> TraceFormat {
+        self.codec.format()
+    }
+
+    /// Encode one job record.
+    pub fn push(&mut self, job: &JobSpec) -> Result<(), TraceError> {
+        self.codec.encode_job(&mut self.w, job)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Write the trailer, flush, and return the underlying writer. Fails if the
+    /// number of pushed jobs differs from the declared count.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if self.written != self.declared_jobs {
+            return Err(TraceError::Frame {
+                offset: 0,
+                message: format!(
+                    "workload sink declared {} jobs but {} were pushed",
+                    self.declared_jobs, self.written
+                ),
+            });
+        }
+        self.codec.finish(&mut self.w)?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Re-encode a trace of either stream kind into `format`, record at a time:
+/// each decoded item goes straight back out through the target codec, so
+/// converting a trace needs O(one record) memory regardless of its size.
+///
+/// Returns the source's format and stream kind (for reporting). The output is
+/// byte-identical to an eager decode-then-`write_as` of the same trace — both
+/// paths drive the same codec calls in the same order.
+pub fn convert_stream<R: BufRead, W: Write>(
+    r: R,
+    mut w: W,
+    format: TraceFormat,
+) -> Result<(TraceFormat, StreamKind), TraceError> {
+    let mut codec = codec_for(format);
+    match TraceItems::open(r)? {
+        TraceItems::Workload(mut items) => {
+            let from = items.format();
+            codec.begin_workload(&mut w, items.meta(), items.declared_jobs())?;
+            for job in &mut items {
+                codec.encode_job(&mut w, &job?)?;
+            }
+            codec.finish(&mut w)?;
+            w.flush()?;
+            Ok((from, StreamKind::Workload))
+        }
+        TraceItems::Execution(mut events) => {
+            let from = events.format();
+            codec.begin_execution(&mut w, events.meta())?;
+            for event in &mut events {
+                codec.encode_event(&mut w, &event?)?;
+            }
+            codec.finish(&mut w)?;
+            w.flush()?;
+            Ok((from, StreamKind::Execution))
         }
     }
 }

@@ -1,12 +1,20 @@
-//! Summary statistics over a trace file of either stream kind.
+//! Summary statistics over a trace file of either stream kind, computed in one
+//! streaming pass: records fold into the accumulator as they are decoded, so
+//! memory stays O(one record) no matter how large the trace is (the path GB-scale
+//! `trace stats` takes; see [`TraceStats::read_from`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
+
+use grass_core::JobSpec;
+use grass_sim::SimTraceEvent;
 
 use crate::codec::{StreamKind, TraceError};
 use crate::execution::ExecutionTrace;
-use crate::format::{sniff_bytes, TraceFormat};
+use crate::format::TraceFormat;
+use crate::stream::TraceItems;
 use crate::workload::WorkloadTrace;
 
 /// Aggregate description of one trace file.
@@ -33,72 +41,133 @@ pub struct TraceStats {
 
 impl TraceStats {
     /// Compute statistics for a trace held in memory (either format, either
-    /// stream kind: format and kind are sniffed first, then the matching decoder
-    /// runs).
+    /// stream kind).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
-        let (format, kind) = sniff_bytes(bytes)?;
-        let mut stats = match kind {
-            StreamKind::Workload => Self::of_workload(&WorkloadTrace::from_bytes(bytes)?),
-            StreamKind::Execution => Self::of_execution(&ExecutionTrace::from_bytes(bytes)?),
-        };
-        stats.format = format;
-        Ok(stats)
+        Self::read_from(bytes)
     }
 
-    /// Compute statistics for a trace file.
+    /// Compute statistics for a trace file, streaming it through a
+    /// [`std::io::BufReader`] — the file is never slurped into memory.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::read_from(BufReader::new(std::fs::File::open(path)?))
     }
 
-    /// Statistics of a decoded workload trace.
-    pub fn of_workload(trace: &WorkloadTrace) -> Self {
-        let mut records_by_tag = BTreeMap::new();
-        records_by_tag.insert("meta".to_string(), 1);
-        records_by_tag.insert("job".to_string(), trace.jobs.len());
-        TraceStats {
-            format: TraceFormat::Text,
-            kind: StreamKind::Workload,
-            jobs: trace.jobs.len(),
-            tasks: trace.jobs.iter().map(|j| j.total_tasks()).sum(),
-            records_by_tag,
-            total_work: trace.jobs.iter().map(|j| j.total_work()).sum(),
-            horizon: trace.jobs.iter().map(|j| j.arrival).fold(0.0, f64::max),
-        }
-    }
-
-    /// Statistics of a decoded execution trace.
-    pub fn of_execution(trace: &ExecutionTrace) -> Self {
-        use grass_sim::SimTraceEvent;
-        let mut records_by_tag: BTreeMap<String, usize> = BTreeMap::new();
-        records_by_tag.insert("meta".to_string(), 1);
-        let mut jobs = 0;
-        let mut tasks = 0;
-        let mut total_work = 0.0;
-        let mut horizon: f64 = 0.0;
-        for event in &trace.events {
-            *records_by_tag
-                .entry(event.kind_label().to_string())
-                .or_insert(0) += 1;
-            horizon = horizon.max(event.time());
-            match *event {
-                SimTraceEvent::JobFinish { .. } => jobs += 1,
-                SimTraceEvent::CopyFinish { task_completed, .. } => {
-                    if task_completed {
-                        tasks += 1;
-                    }
+    /// Compute statistics over any buffered reader in a single O(one record)
+    /// pass: format and stream kind are sniffed, then each decoded record folds
+    /// into the accumulator and is dropped.
+    pub fn read_from<R: BufRead>(r: R) -> Result<Self, TraceError> {
+        match TraceItems::open(r)? {
+            TraceItems::Workload(mut items) => {
+                let format = items.format();
+                let mut acc = WorkloadAccumulator::default();
+                for job in &mut items {
+                    acc.add(&job?);
                 }
-                SimTraceEvent::CopyLaunch { duration, .. } => total_work += duration,
-                _ => {}
+                Ok(acc.finish(format))
+            }
+            TraceItems::Execution(mut events) => {
+                let format = events.format();
+                let mut acc = ExecutionAccumulator::default();
+                for event in &mut events {
+                    acc.add(&event?);
+                }
+                Ok(acc.finish(format))
             }
         }
+    }
+
+    /// Statistics of an already-decoded workload trace.
+    pub fn of_workload(trace: &WorkloadTrace) -> Self {
+        let mut acc = WorkloadAccumulator::default();
+        for job in &trace.jobs {
+            acc.add(job);
+        }
+        acc.finish(TraceFormat::Text)
+    }
+
+    /// Statistics of an already-decoded execution trace.
+    pub fn of_execution(trace: &ExecutionTrace) -> Self {
+        let mut acc = ExecutionAccumulator::default();
+        for event in &trace.events {
+            acc.add(event);
+        }
+        acc.finish(TraceFormat::Text)
+    }
+}
+
+/// O(1) fold of workload jobs into [`TraceStats`].
+#[derive(Default)]
+struct WorkloadAccumulator {
+    jobs: usize,
+    tasks: usize,
+    total_work: f64,
+    horizon: f64,
+}
+
+impl WorkloadAccumulator {
+    fn add(&mut self, job: &JobSpec) {
+        self.jobs += 1;
+        self.tasks += job.total_tasks();
+        self.total_work += job.total_work();
+        self.horizon = self.horizon.max(job.arrival);
+    }
+
+    fn finish(self, format: TraceFormat) -> TraceStats {
+        let mut records_by_tag = BTreeMap::new();
+        records_by_tag.insert("meta".to_string(), 1);
+        records_by_tag.insert("job".to_string(), self.jobs);
         TraceStats {
-            format: TraceFormat::Text,
-            kind: StreamKind::Execution,
-            jobs,
-            tasks,
+            format,
+            kind: StreamKind::Workload,
+            jobs: self.jobs,
+            tasks: self.tasks,
             records_by_tag,
-            total_work,
-            horizon,
+            total_work: self.total_work,
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// O(1) fold of execution events into [`TraceStats`] (per-tag counts are bounded
+/// by the fixed event vocabulary).
+#[derive(Default)]
+struct ExecutionAccumulator {
+    records_by_tag: BTreeMap<String, usize>,
+    jobs: usize,
+    tasks: usize,
+    total_work: f64,
+    horizon: f64,
+}
+
+impl ExecutionAccumulator {
+    fn add(&mut self, event: &SimTraceEvent) {
+        *self
+            .records_by_tag
+            .entry(event.kind_label().to_string())
+            .or_insert(0) += 1;
+        self.horizon = self.horizon.max(event.time());
+        match *event {
+            SimTraceEvent::JobFinish { .. } => self.jobs += 1,
+            SimTraceEvent::CopyFinish { task_completed, .. } => {
+                if task_completed {
+                    self.tasks += 1;
+                }
+            }
+            SimTraceEvent::CopyLaunch { duration, .. } => self.total_work += duration,
+            _ => {}
+        }
+    }
+
+    fn finish(mut self, format: TraceFormat) -> TraceStats {
+        self.records_by_tag.insert("meta".to_string(), 1);
+        TraceStats {
+            format,
+            kind: StreamKind::Execution,
+            jobs: self.jobs,
+            tasks: self.tasks,
+            records_by_tag: self.records_by_tag,
+            total_work: self.total_work,
+            horizon: self.horizon,
         }
     }
 }

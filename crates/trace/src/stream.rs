@@ -1,0 +1,429 @@
+//! Pull-based streaming decode: frame/record iterators over both trace streams.
+//!
+//! Every decode path in this crate is built on the two iterator types here — the
+//! eager API ([`crate::WorkloadTrace::read_from`] and friends) is just "open the
+//! iterator, collect it" — so streaming and eager decode are equivalent by
+//! construction: item-for-item identical values, and identical errors (same byte
+//! offset / line number) on corrupt or truncated input.
+//!
+//! * [`WorkloadItems`] yields the [`WorkloadMeta`] up front (decoded at open),
+//!   then one `Result<JobSpec, TraceError>` per job record, enforcing the meta's
+//!   declared job count when the stream ends.
+//! * [`ExecutionEvents`] yields the [`ExecutionMeta`] up front, then one
+//!   `Result<SimTraceEvent, TraceError>` per event record.
+//! * [`TraceItems`] opens whichever stream kind the header declares — the
+//!   streaming analogue of [`crate::sniff_bytes`] — so single-pass consumers like
+//!   `trace stats` and `trace convert` accept either kind of either format.
+//!
+//! The iterators hold O(one frame) of state: a [`std::io::BufRead`], the current
+//! frame/line buffer, and counters. Decoding a multi-GiB trace through them peaks
+//! at the size of its largest single record, which is what makes GB-scale
+//! `trace stats` / `trace convert` / prefix replay possible at all.
+//!
+//! Format sniffing is preserved: `open` peeks the first bytes, picks the codec
+//! plugin, and replays the peeked bytes in front of the rest of the stream, so
+//! text and binary traces stream through the same call. The codec plugins
+//! implement the object-safe pull interfaces [`WorkloadFrames`] /
+//! [`ExecutionFrames`]; the iterator wrappers add fusing (nothing is yielded
+//! after the first error) and carry the decoded meta.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use grass_core::JobSpec;
+use grass_sim::SimTraceEvent;
+
+use crate::codec::{StreamKind, TraceError};
+use crate::execution::{ExecutionMeta, ExecutionTrace};
+use crate::format::{codec_for, sniff_format, TraceFormat, SNIFF_LEN};
+use crate::workload::{WorkloadMeta, WorkloadTrace};
+
+/// Pre-allocation cap applied when collecting a stream whose meta declares its
+/// length: `num_jobs` is untrusted input, so a corrupt count must fail the
+/// end-of-stream mismatch check instead of aborting on a capacity overflow.
+pub(crate) const COLLECT_CAP: usize = 1 << 20;
+
+/// Object-safe pull source for workload job records, implemented per format.
+///
+/// `next_job` returns `None` at a clean end of stream; implementations perform
+/// their own end-of-stream validation (the declared-job-count check) so that the
+/// error — including its byte offset / line number — is identical to the eager
+/// decoder of the same format. One-shot semantics after an error are provided by
+/// the [`WorkloadItems`] wrapper, not required here.
+pub trait WorkloadFrames {
+    /// Decode the next job record, or `None` at a clean end of stream.
+    fn next_job(&mut self) -> Option<Result<JobSpec, TraceError>>;
+}
+
+/// Object-safe pull source for execution event records, implemented per format.
+pub trait ExecutionFrames {
+    /// Decode the next event record, or `None` at a clean end of stream.
+    fn next_event(&mut self) -> Option<Result<SimTraceEvent, TraceError>>;
+}
+
+/// Streaming workload decoder: the meta header is decoded at open, then jobs are
+/// pulled one at a time. Fused: after the first `Err` the iterator yields `None`
+/// forever.
+pub struct WorkloadItems<'r> {
+    format: TraceFormat,
+    meta: WorkloadMeta,
+    declared_jobs: usize,
+    frames: Box<dyn WorkloadFrames + 'r>,
+    fused: bool,
+}
+
+impl<'r> WorkloadItems<'r> {
+    /// Used by the codec plugins to assemble an opened stream.
+    pub(crate) fn from_parts(
+        format: TraceFormat,
+        meta: WorkloadMeta,
+        declared_jobs: usize,
+        frames: Box<dyn WorkloadFrames + 'r>,
+    ) -> Self {
+        WorkloadItems {
+            format,
+            meta,
+            declared_jobs,
+            frames,
+            fused: false,
+        }
+    }
+
+    /// Open a streaming workload decoder over any buffered reader; the format is
+    /// sniffed from the header, so text and binary traces stream through the same
+    /// call.
+    pub fn open<R: BufRead + 'r>(r: R) -> Result<Self, TraceError> {
+        let (format, reader) = sniff_open(r)?;
+        codec_for(format).workload_items(reader)
+    }
+
+    /// Open a streaming workload decoder over a trace file (either format).
+    pub fn open_path(path: impl AsRef<Path>) -> Result<WorkloadItems<'static>, TraceError> {
+        WorkloadItems::open(BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Wire format of the stream being decoded.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// The stream's meta record, decoded when the stream was opened.
+    pub fn meta(&self) -> &WorkloadMeta {
+        &self.meta
+    }
+
+    /// Number of jobs the meta record declares the stream to carry. The iterator
+    /// verifies the actual count against this when it reaches the end of the
+    /// stream (prefix reads that stop early skip the check by construction).
+    pub fn declared_jobs(&self) -> usize {
+        self.declared_jobs
+    }
+
+    /// Drain the iterator into an eager [`WorkloadTrace`] — the eager decode API
+    /// is exactly this call, so streaming and eager decode cannot diverge.
+    pub fn into_trace(mut self) -> Result<WorkloadTrace, TraceError> {
+        let mut jobs = Vec::with_capacity(self.declared_jobs.min(COLLECT_CAP));
+        for job in &mut self {
+            jobs.push(job?);
+        }
+        Ok(WorkloadTrace {
+            meta: self.meta,
+            jobs,
+        })
+    }
+}
+
+impl Iterator for WorkloadItems<'_> {
+    type Item = Result<JobSpec, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        let item = self.frames.next_job();
+        if matches!(item, Some(Err(_)) | None) {
+            self.fused = true;
+        }
+        item
+    }
+}
+
+/// Streaming execution decoder: the meta header is decoded at open, then events
+/// are pulled one at a time. Fused like [`WorkloadItems`].
+pub struct ExecutionEvents<'r> {
+    format: TraceFormat,
+    meta: ExecutionMeta,
+    frames: Box<dyn ExecutionFrames + 'r>,
+    fused: bool,
+}
+
+impl<'r> ExecutionEvents<'r> {
+    /// Used by the codec plugins to assemble an opened stream.
+    pub(crate) fn from_parts(
+        format: TraceFormat,
+        meta: ExecutionMeta,
+        frames: Box<dyn ExecutionFrames + 'r>,
+    ) -> Self {
+        ExecutionEvents {
+            format,
+            meta,
+            frames,
+            fused: false,
+        }
+    }
+
+    /// Open a streaming execution decoder over any buffered reader (either
+    /// format; sniffed).
+    pub fn open<R: BufRead + 'r>(r: R) -> Result<Self, TraceError> {
+        let (format, reader) = sniff_open(r)?;
+        codec_for(format).execution_events(reader)
+    }
+
+    /// Open a streaming execution decoder over a trace file (either format).
+    pub fn open_path(path: impl AsRef<Path>) -> Result<ExecutionEvents<'static>, TraceError> {
+        ExecutionEvents::open(BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Wire format of the stream being decoded.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// The stream's meta record, decoded when the stream was opened.
+    pub fn meta(&self) -> &ExecutionMeta {
+        &self.meta
+    }
+
+    /// Drain the iterator into an eager [`ExecutionTrace`].
+    pub fn into_trace(mut self) -> Result<ExecutionTrace, TraceError> {
+        let mut events = Vec::new();
+        for event in &mut self {
+            events.push(event?);
+        }
+        Ok(ExecutionTrace {
+            meta: self.meta,
+            events,
+        })
+    }
+}
+
+impl Iterator for ExecutionEvents<'_> {
+    type Item = Result<SimTraceEvent, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        let item = self.frames.next_event();
+        if matches!(item, Some(Err(_)) | None) {
+            self.fused = true;
+        }
+        item
+    }
+}
+
+/// A streaming decoder over whichever stream kind the header declares — the
+/// streaming analogue of [`crate::sniff_bytes`] for consumers that accept either
+/// kind (`trace stats`, `trace convert`).
+pub enum TraceItems<'r> {
+    /// The stream carries a workload trace.
+    Workload(WorkloadItems<'r>),
+    /// The stream carries an execution trace.
+    Execution(ExecutionEvents<'r>),
+}
+
+impl<'r> TraceItems<'r> {
+    /// Sniff format and stream kind, then open the matching streaming decoder.
+    pub fn open<R: BufRead + 'r>(r: R) -> Result<Self, TraceError> {
+        let (format, kind, reader) = sniff_kind(r)?;
+        let mut codec = codec_for(format);
+        match kind {
+            StreamKind::Workload => Ok(TraceItems::Workload(codec.workload_items(reader)?)),
+            StreamKind::Execution => Ok(TraceItems::Execution(codec.execution_events(reader)?)),
+        }
+    }
+
+    /// Open a streaming decoder over a trace file of either kind and format.
+    pub fn open_path(path: impl AsRef<Path>) -> Result<TraceItems<'static>, TraceError> {
+        TraceItems::open(BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Wire format of the stream being decoded.
+    pub fn format(&self) -> TraceFormat {
+        match self {
+            TraceItems::Workload(w) => w.format(),
+            TraceItems::Execution(e) => e.format(),
+        }
+    }
+
+    /// Stream kind the header declared.
+    pub fn kind(&self) -> StreamKind {
+        match self {
+            TraceItems::Workload(_) => StreamKind::Workload,
+            TraceItems::Execution(_) => StreamKind::Execution,
+        }
+    }
+}
+
+/// Read exactly `n` more bytes into `prefix` (best effort: stops at EOF).
+fn fill_prefix<R: Read>(r: &mut R, prefix: &mut Vec<u8>, n: usize) -> Result<(), TraceError> {
+    let target = prefix.len() + n;
+    let mut byte = [0u8; 1];
+    while prefix.len() < target {
+        match r.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => prefix.push(byte[0]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Box a reader that replays the peeked `prefix` bytes before the rest of `r`.
+fn replaying<'r, R: BufRead + 'r>(prefix: Vec<u8>, r: R) -> Box<dyn BufRead + 'r> {
+    Box::new(std::io::Cursor::new(prefix).chain(r))
+}
+
+/// Sniff the wire format of a reader, handing back a reader that replays the
+/// peeked bytes in front of the remaining stream.
+pub(crate) fn sniff_open<'r, R: BufRead + 'r>(
+    mut r: R,
+) -> Result<(TraceFormat, Box<dyn BufRead + 'r>), TraceError> {
+    let mut prefix = Vec::with_capacity(SNIFF_LEN);
+    fill_prefix(&mut r, &mut prefix, SNIFF_LEN)?;
+    let format = sniff_format(&prefix)?;
+    Ok((format, replaying(prefix, r)))
+}
+
+/// Longest header this sniffer will buffer while looking for a text header's
+/// terminating newline; a header that long is malformed anyway, and the codec
+/// the stream is handed to reports the canonical error.
+const MAX_TEXT_HEADER: usize = 4096;
+
+/// Sniff format *and stream kind* without losing bytes: buffer the complete
+/// header (fixed 14 bytes for binary, one line for text) and hand it to the
+/// format's own [`crate::TraceCodec::peek_kind`] — no second header parser.
+/// When the header is malformed, [`StreamKind::Workload`] is reported so the
+/// caller dispatches to a decoder whose own header validation produces the
+/// canonical error for that format.
+fn sniff_kind<'r, R: BufRead + 'r>(
+    mut r: R,
+) -> Result<(TraceFormat, StreamKind, Box<dyn BufRead + 'r>), TraceError> {
+    let mut prefix = Vec::with_capacity(SNIFF_LEN + 2);
+    fill_prefix(&mut r, &mut prefix, SNIFF_LEN)?;
+    let format = sniff_format(&prefix)?;
+    match format {
+        TraceFormat::Binary => {
+            // Fixed-layout header: magic + NUL + version + kind byte.
+            fill_prefix(&mut r, &mut prefix, 2)?;
+        }
+        TraceFormat::Text => {
+            // One header line, terminated by the first newline.
+            while !prefix.ends_with(b"\n") && prefix.len() < MAX_TEXT_HEADER {
+                let before = prefix.len();
+                fill_prefix(&mut r, &mut prefix, 1)?;
+                if prefix.len() == before {
+                    break; // EOF
+                }
+            }
+        }
+    }
+    let kind = codec_for(format)
+        .peek_kind(&mut &prefix[..])
+        .unwrap_or(StreamKind::Workload);
+    Ok((format, kind, replaying(prefix, r)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grass_core::{Bound, JobSpec};
+
+    fn sample_trace(jobs: usize) -> WorkloadTrace {
+        WorkloadTrace {
+            meta: WorkloadMeta {
+                generator_seed: 1,
+                sim_seed: 2,
+                policy: "GS".into(),
+                profile: "stream-test".into(),
+                machines: 2,
+                slots_per_machine: 2,
+            },
+            jobs: (0..jobs)
+                .map(|i| JobSpec::single_stage(i as u64, i as f64, Bound::EXACT, vec![1.0, 2.0]))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn items_yield_meta_then_jobs_in_both_formats() {
+        let trace = sample_trace(5);
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = trace.to_bytes_as(format);
+            let items = WorkloadItems::open(&bytes[..]).unwrap();
+            assert_eq!(items.format(), format);
+            assert_eq!(items.meta(), &trace.meta);
+            assert_eq!(items.declared_jobs(), 5);
+            let jobs: Result<Vec<_>, _> = items.collect();
+            assert_eq!(jobs.unwrap(), trace.jobs, "{format}");
+        }
+    }
+
+    #[test]
+    fn iterators_fuse_after_the_first_error() {
+        let trace = sample_trace(3);
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = trace.to_bytes_as(format);
+            let mut items = WorkloadItems::open(&bytes[..bytes.len() - 4]).unwrap();
+            let mut errors = 0;
+            for item in &mut items {
+                if item.is_err() {
+                    errors += 1;
+                }
+            }
+            assert_eq!(errors, 1, "{format}");
+            assert!(items.next().is_none(), "{format}");
+        }
+    }
+
+    #[test]
+    fn prefix_reads_stop_without_the_count_check() {
+        // Taking a prefix never reaches end-of-stream, so the declared-count
+        // check (which would fail on a truncated tail) is skipped by design.
+        let trace = sample_trace(6);
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let bytes = trace.to_bytes_as(format);
+            let items = WorkloadItems::open(&bytes[..]).unwrap();
+            let prefix: Result<Vec<_>, _> = items.take(2).collect();
+            assert_eq!(prefix.unwrap(), trace.jobs[..2].to_vec(), "{format}");
+        }
+    }
+
+    #[test]
+    fn any_kind_open_dispatches_on_the_header() {
+        let workload = sample_trace(1);
+        let execution = ExecutionTrace {
+            meta: ExecutionMeta {
+                sim_seed: 3,
+                policy: "GS".into(),
+                machines: 1,
+                slots_per_machine: 1,
+            },
+            events: vec![],
+        };
+        for format in [TraceFormat::Text, TraceFormat::Binary] {
+            let workload_bytes = workload.to_bytes_as(format);
+            let w = TraceItems::open(&workload_bytes[..]).unwrap();
+            assert_eq!(w.kind(), StreamKind::Workload);
+            assert_eq!(w.format(), format);
+            let execution_bytes = execution.to_bytes_as(format);
+            let e = TraceItems::open(&execution_bytes[..]).unwrap();
+            assert_eq!(e.kind(), StreamKind::Execution);
+        }
+        assert!(matches!(
+            TraceItems::open(&b"not a trace at all"[..]),
+            Err(TraceError::BadMagic)
+        ));
+    }
+}

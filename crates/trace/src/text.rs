@@ -16,9 +16,10 @@ use grass_sim::{SimTraceEvent, SlotId};
 use crate::codec::{
     LineBuilder, Record, StreamKind, TraceError, TraceReader, FORMAT_VERSION, MAGIC,
 };
-use crate::execution::{ExecutionMeta, ExecutionTrace};
+use crate::execution::ExecutionMeta;
 use crate::format::{TraceCodec, TraceFormat};
-use crate::workload::{WorkloadMeta, WorkloadTrace};
+use crate::stream::{ExecutionEvents, ExecutionFrames, WorkloadFrames, WorkloadItems};
+use crate::workload::WorkloadMeta;
 
 /// The line-codec plugin (format v1).
 #[derive(Debug, Default)]
@@ -76,21 +77,12 @@ impl TraceCodec for TextCodec {
         Ok(())
     }
 
-    fn decode_workload(&mut self, r: &mut dyn BufRead) -> Result<WorkloadTrace, TraceError> {
+    fn workload_items<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<WorkloadItems<'r>, TraceError> {
         let mut reader = TraceReader::new(r, Some(StreamKind::Workload))?;
-        let meta_rec = reader.next_record()?.ok_or(TraceError::Parse {
-            line: 1,
-            message: "workload trace has no meta record".into(),
-        })?;
-        if meta_rec.tag != "meta" {
-            return Err(TraceError::Parse {
-                line: meta_rec.line,
-                message: format!(
-                    "expected 'meta' as the first record, found '{}'",
-                    meta_rec.tag
-                ),
-            });
-        }
+        let meta_rec = read_meta_record(&mut reader, "workload")?;
         let meta = WorkloadMeta {
             generator_seed: meta_rec.u64("generator_seed")?,
             sim_seed: meta_rec.u64("sim_seed")?,
@@ -100,56 +92,107 @@ impl TraceCodec for TextCodec {
             slots_per_machine: meta_rec.usize("slots_per_machine")?,
         };
         let declared_jobs = meta_rec.usize("num_jobs")?;
-        // `num_jobs` is untrusted input: cap the pre-allocation (like the binary
-        // decoder does) so a corrupt count fails the mismatch check below instead
-        // of aborting on a capacity overflow.
-        let mut jobs = Vec::with_capacity(declared_jobs.min(1 << 20));
-        while let Some(rec) = reader.next_record()? {
-            if rec.tag != "job" {
-                return Err(TraceError::Parse {
-                    line: rec.line,
-                    message: format!("unknown record tag '{}' in workload trace", rec.tag),
-                });
-            }
-            jobs.push(decode_job(&rec)?);
-        }
-        if jobs.len() != declared_jobs {
-            return Err(TraceError::Parse {
-                line: 0,
-                message: format!(
-                    "meta declares {declared_jobs} jobs but the trace contains {}",
-                    jobs.len()
-                ),
-            });
-        }
-        Ok(WorkloadTrace { meta, jobs })
+        Ok(WorkloadItems::from_parts(
+            TraceFormat::Text,
+            meta,
+            declared_jobs,
+            Box::new(TextWorkloadFrames {
+                reader,
+                declared_jobs,
+                seen: 0,
+            }),
+        ))
     }
 
-    fn decode_execution(&mut self, r: &mut dyn BufRead) -> Result<ExecutionTrace, TraceError> {
+    fn execution_events<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<ExecutionEvents<'r>, TraceError> {
         let mut reader = TraceReader::new(r, Some(StreamKind::Execution))?;
-        let meta_rec = reader.next_record()?.ok_or(TraceError::Parse {
-            line: 1,
-            message: "execution trace has no meta record".into(),
-        })?;
-        if meta_rec.tag != "meta" {
-            return Err(TraceError::Parse {
-                line: meta_rec.line,
-                message: format!(
-                    "expected 'meta' as the first record, found '{}'",
-                    meta_rec.tag
-                ),
-            });
-        }
+        let meta_rec = read_meta_record(&mut reader, "execution")?;
         let meta = decode_execution_meta(&meta_rec)?;
-        let mut events = Vec::new();
-        while let Some(rec) = reader.next_record()? {
-            events.push(decode_event(&rec)?);
-        }
-        Ok(ExecutionTrace { meta, events })
+        Ok(ExecutionEvents::from_parts(
+            TraceFormat::Text,
+            meta,
+            Box::new(TextExecutionFrames { reader }),
+        ))
     }
 
     fn peek_kind(&mut self, r: &mut dyn BufRead) -> Result<StreamKind, TraceError> {
         Ok(TraceReader::new(r, None)?.kind())
+    }
+}
+
+/// Read the mandatory first record of a stream and check its `meta` tag.
+fn read_meta_record<R: BufRead>(
+    reader: &mut TraceReader<R>,
+    stream: &str,
+) -> Result<Record, TraceError> {
+    let meta_rec = reader.next_record()?.ok_or(TraceError::Parse {
+        line: 1,
+        message: format!("{stream} trace has no meta record"),
+    })?;
+    if meta_rec.tag != "meta" {
+        return Err(TraceError::Parse {
+            line: meta_rec.line,
+            message: format!(
+                "expected 'meta' as the first record, found '{}'",
+                meta_rec.tag
+            ),
+        });
+    }
+    Ok(meta_rec)
+}
+
+/// Line-at-a-time job puller behind [`WorkloadItems`]: decodes one `job` record
+/// per pull, and enforces the meta's declared job count at end of stream.
+struct TextWorkloadFrames<R: BufRead> {
+    reader: TraceReader<R>,
+    declared_jobs: usize,
+    seen: usize,
+}
+
+impl<R: BufRead> WorkloadFrames for TextWorkloadFrames<R> {
+    fn next_job(&mut self) -> Option<Result<JobSpec, TraceError>> {
+        match self.reader.next_record() {
+            Err(e) => Some(Err(e)),
+            Ok(Some(rec)) if rec.tag == "job" => {
+                self.seen += 1;
+                Some(decode_job(&rec))
+            }
+            Ok(Some(rec)) => Some(Err(TraceError::Parse {
+                line: rec.line,
+                message: format!("unknown record tag '{}' in workload trace", rec.tag),
+            })),
+            Ok(None) => {
+                if self.seen != self.declared_jobs {
+                    Some(Err(TraceError::Parse {
+                        line: 0,
+                        message: format!(
+                            "meta declares {} jobs but the trace contains {}",
+                            self.declared_jobs, self.seen
+                        ),
+                    }))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Line-at-a-time event puller behind [`ExecutionEvents`].
+struct TextExecutionFrames<R: BufRead> {
+    reader: TraceReader<R>,
+}
+
+impl<R: BufRead> ExecutionFrames for TextExecutionFrames<R> {
+    fn next_event(&mut self) -> Option<Result<SimTraceEvent, TraceError>> {
+        match self.reader.next_record() {
+            Err(e) => Some(Err(e)),
+            Ok(Some(rec)) => Some(decode_event(&rec)),
+            Ok(None) => None,
+        }
     }
 }
 

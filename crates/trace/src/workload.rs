@@ -17,10 +17,11 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use grass_core::JobSpec;
-use grass_workload::{generate, RecordedWorkload, WorkloadConfig};
+use grass_workload::{generate, RecordedWorkload, StreamedWorkload, WorkloadConfig};
 
 use crate::codec::TraceError;
-use crate::format::{codec_for, decode_sniffed, TraceFormat};
+use crate::format::{codec_for, TraceFormat};
+use crate::stream::WorkloadItems;
 
 /// Provenance and replay metadata of a workload trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,8 +93,13 @@ impl WorkloadTrace {
 
     /// Decode a trace from any buffered reader; the format is sniffed from the
     /// header, so text and binary traces read through the same call.
+    ///
+    /// This *is* the streaming decoder, collected: it opens a
+    /// [`WorkloadItems`] iterator and drains it, so eager and streaming decode
+    /// are equivalent by construction — use [`WorkloadItems::open`] directly to
+    /// process jobs one at a time in O(one record) memory instead.
     pub fn read_from<R: BufRead>(r: R) -> Result<Self, TraceError> {
-        decode_sniffed(r, |codec, r| codec.decode_workload(r))
+        WorkloadItems::open(r)?.into_trace()
     }
 
     /// Decode a trace from a byte slice (either format).
@@ -121,6 +127,45 @@ impl WorkloadTrace {
     pub fn to_source(&self) -> RecordedWorkload {
         RecordedWorkload::new(self.meta.profile.clone(), self.jobs.clone())
     }
+}
+
+/// Open a workload trace file as a **streaming** [`StreamedWorkload`] job
+/// source, without ever materialising the full job list up front.
+///
+/// Opening makes one O(1)-memory validation pass over the file: the meta record
+/// is decoded, every job is streamed through `JobSpec::validate` (so corrupt
+/// traces fail here, with the codec's byte-offset/line error, not mid-sweep),
+/// and the majority bound kind is tallied for metric selection. The returned
+/// source then re-opens the file on demand: `warmup_jobs(fraction, _)` decodes
+/// only the first ⌈fraction·n⌉ jobs from disk, and `jobs()` decodes the full
+/// stream per call — memory stays bounded by what the caller keeps.
+pub fn open_workload_source(
+    path: impl AsRef<Path>,
+) -> Result<(WorkloadMeta, StreamedWorkload), TraceError> {
+    let path = path.as_ref().to_path_buf();
+    let mut items = WorkloadItems::open_path(&path)?;
+    let meta = items.meta().clone();
+    let (mut total, mut deadline_jobs) = (0usize, 0usize);
+    for job in &mut items {
+        let job = job?;
+        total += 1;
+        if job.bound.is_deadline() {
+            deadline_jobs += 1;
+        }
+    }
+    let source = StreamedWorkload::new(
+        meta.profile.clone(),
+        total,
+        deadline_jobs * 2 > total,
+        move |count| {
+            let items = WorkloadItems::open_path(&path).map_err(|e| e.to_string())?;
+            items
+                .take(count)
+                .map(|job| job.map_err(|e| e.to_string()))
+                .collect()
+        },
+    );
+    Ok((meta, source))
 }
 
 /// Generate a fresh synthetic workload and wrap it as a trace ready to persist.

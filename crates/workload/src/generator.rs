@@ -124,14 +124,55 @@ impl WorkloadConfig {
 
 /// Generate a synthetic trace.
 pub fn generate(config: &WorkloadConfig, seed: u64) -> Vec<JobSpec> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut jobs = Vec::with_capacity(config.num_jobs);
-    let mut arrival: Time = 0.0;
-    for id in 0..config.num_jobs {
-        arrival += config.profile.interarrival.sample(&mut rng);
-        jobs.push(generate_job(config, id as u64, arrival, &mut rng));
+    JobGen::new(*config, seed).collect()
+}
+
+/// Streaming job generator: yields the workload of `generate(&config, seed)`
+/// one [`JobSpec`] at a time, in the identical rng sequence — `generate` *is*
+/// this iterator, collected. Lets GB-scale synthetic traces be written straight
+/// to a streaming sink without ever materialising the job list.
+#[derive(Debug, Clone)]
+pub struct JobGen {
+    config: WorkloadConfig,
+    rng: StdRng,
+    arrival: Time,
+    next_id: u64,
+}
+
+impl JobGen {
+    /// Start the generation sequence `generate(&config, seed)` would produce.
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        JobGen {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            arrival: 0.0,
+            next_id: 0,
+        }
     }
-    jobs
+
+    /// Jobs this iterator will yield in total (the config's job count).
+    pub fn total_jobs(&self) -> usize {
+        self.config.num_jobs
+    }
+}
+
+impl Iterator for JobGen {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        if self.next_id >= self.config.num_jobs as u64 {
+            return None;
+        }
+        self.arrival += self.config.profile.interarrival.sample(&mut self.rng);
+        let job = generate_job(&self.config, self.next_id, self.arrival, &mut self.rng);
+        self.next_id += 1;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.num_jobs - self.next_id as usize;
+        (left, Some(left))
+    }
 }
 
 /// Generate a single job of the workload at a given arrival time.
@@ -247,6 +288,18 @@ mod tests {
         assert_eq!(a, b);
         let c = generate(&config(), 43);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streaming_generation_matches_eager_generation() {
+        let gen = JobGen::new(config(), 42);
+        assert_eq!(gen.total_jobs(), 300);
+        assert_eq!(gen.size_hint(), (300, Some(300)));
+        let streamed: Vec<JobSpec> = gen.collect();
+        assert_eq!(streamed, generate(&config(), 42));
+        // A prefix pull leaves the rest unconsumed but identical in sequence.
+        let prefix: Vec<JobSpec> = JobGen::new(config(), 42).take(7).collect();
+        assert_eq!(prefix, streamed[..7].to_vec());
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub mod profiles;
 pub mod source;
 
 pub use distributions::{InterArrival, WorkDistribution};
-pub use generator::{generate, generate_job, ideal_duration, BoundSpec, WorkloadConfig};
+pub use generator::{generate, generate_job, ideal_duration, BoundSpec, JobGen, WorkloadConfig};
 pub use profiles::{table1_rows, Framework, SizeMix, TraceProfile, TraceSource, TraceSummary};
-pub use source::{GeneratedWorkload, JobSource, RecordedWorkload};
+pub use source::{GeneratedWorkload, JobSource, RecordedWorkload, StreamedWorkload};

@@ -2,10 +2,15 @@
 //!
 //! Historically every experiment sampled a fresh synthetic workload
 //! ([`generate`]); with the `grass-trace` subsystem a recorded
-//! workload can be replayed instead. [`JobSource`] abstracts over the two so
-//! harnesses can take either: a [`GeneratedWorkload`] re-rolls its jobs from a seed,
-//! a [`RecordedWorkload`] returns a fixed job list (typically decoded from a
-//! workload trace) and ignores the seed entirely — the replay path.
+//! workload can be replayed instead. [`JobSource`] abstracts over the three so
+//! harnesses can take any: a [`GeneratedWorkload`] re-rolls its jobs from a seed,
+//! a [`RecordedWorkload`] returns a fixed in-memory job list (typically decoded
+//! from a workload trace) and ignores the seed entirely — the replay path — and
+//! a [`StreamedWorkload`] loads job prefixes on demand from an external store
+//! (typically a trace file on disk, wired up by `grass-trace`), so a GB-scale
+//! recording never has to be held in memory beyond what a call actually needs.
+
+use std::sync::Arc;
 
 use grass_core::JobSpec;
 
@@ -133,6 +138,106 @@ impl JobSource for RecordedWorkload {
     }
 }
 
+/// Loader behind a [`StreamedWorkload`]: produce the first `count` jobs of the
+/// backing store. Called once per [`JobSource::jobs`] / warm-up request, so the
+/// implementation should stream (decode records up to `count` and stop) rather
+/// than materialise everything and truncate.
+pub type PrefixLoader = dyn Fn(usize) -> Result<Vec<JobSpec>, String> + Send + Sync;
+
+/// Job source that loads job prefixes on demand from an external store —
+/// typically a workload trace file opened by `grass-trace`'s
+/// `open_workload_source`, which validates the store once at construction.
+///
+/// `warmup_jobs(fraction, _)` asks the loader for only the first
+/// ⌈fraction·n⌉ jobs (same prefix semantics as [`RecordedWorkload`]), so
+/// warming a policy's sample store from a GB-scale recording decodes a prefix
+/// of the file instead of all of it.
+///
+/// Like every [`JobSource`], each [`JobSource::jobs`] call produces a fresh
+/// job list — here a fresh decode pass, where [`GeneratedWorkload`] resamples
+/// and [`RecordedWorkload`] deep-clones. That per-call decode is the
+/// deliberate price of never holding the full recording in memory (caching the
+/// decoded list would reintroduce exactly the O(trace) footprint this source
+/// exists to avoid); it is amortised against the simulation each call feeds,
+/// which dominates decode by an order of magnitude even at small scale.
+///
+/// The constructor's invariants (the store really holds `total_jobs` loadable
+/// jobs) are the wiring layer's responsibility; if the store fails *after*
+/// construction (file deleted or corrupted mid-run), the infallible
+/// [`JobSource::jobs`] surface panics with the loader's error message.
+#[derive(Clone)]
+pub struct StreamedWorkload {
+    label: String,
+    total_jobs: usize,
+    deadline_bound: bool,
+    loader: Arc<PrefixLoader>,
+}
+
+impl StreamedWorkload {
+    /// Wrap a prefix loader. `total_jobs` is the store's full job count (used to
+    /// size warm-up prefixes and full loads); `deadline_bound` selects the
+    /// comparison metric, as in [`RecordedWorkload::new`].
+    pub fn new(
+        label: impl Into<String>,
+        total_jobs: usize,
+        deadline_bound: bool,
+        loader: impl Fn(usize) -> Result<Vec<JobSpec>, String> + Send + Sync + 'static,
+    ) -> Self {
+        StreamedWorkload {
+            label: label.into(),
+            total_jobs,
+            deadline_bound,
+            loader: Arc::new(loader),
+        }
+    }
+
+    /// Number of jobs the backing store holds.
+    pub fn total_jobs(&self) -> usize {
+        self.total_jobs
+    }
+
+    /// Load the first `count` jobs, with the documented panic on loader failure.
+    fn load_prefix(&self, count: usize) -> Vec<JobSpec> {
+        (self.loader)(count).unwrap_or_else(|e| {
+            panic!(
+                "streamed workload '{}' failed to load its first {count} jobs: {e}",
+                self.label
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for StreamedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamedWorkload")
+            .field("label", &self.label)
+            .field("total_jobs", &self.total_jobs)
+            .field("deadline_bound", &self.deadline_bound)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobSource for StreamedWorkload {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn jobs(&self, _seed: u64) -> Vec<JobSpec> {
+        self.load_prefix(self.total_jobs)
+    }
+
+    fn warmup_jobs(&self, fraction: f64, _seed: u64) -> Vec<JobSpec> {
+        let count = ((self.total_jobs as f64 * fraction).ceil() as usize)
+            .max(4)
+            .min(self.total_jobs);
+        self.load_prefix(count)
+    }
+
+    fn deadline_bound(&self) -> bool {
+        self.deadline_bound
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +290,47 @@ mod tests {
         assert_eq!(warm, jobs[..4].to_vec());
         // The prefix can never exceed the recording itself.
         assert_eq!(source.warmup_jobs(5.0, 0), jobs);
+    }
+
+    #[test]
+    fn streamed_source_loads_only_the_prefix_it_needs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let jobs = generate(&config().with_jobs(10), 5);
+        let largest_request = Arc::new(AtomicUsize::new(0));
+        let watcher = Arc::clone(&largest_request);
+        let backing = jobs.clone();
+        let source = StreamedWorkload::new("streamed", jobs.len(), false, move |count| {
+            watcher.fetch_max(count, Ordering::SeqCst);
+            Ok(backing[..count.min(backing.len())].to_vec())
+        });
+
+        assert_eq!(source.total_jobs(), 10);
+        assert_eq!(source.label(), "streamed");
+        assert!(!source.deadline_bound());
+        // ceil(10 * 0.5) = 5 warm jobs: the loader is asked for exactly 5.
+        let warm = source.warmup_jobs(0.5, 0);
+        assert_eq!(warm, jobs[..5].to_vec());
+        assert_eq!(largest_request.load(Ordering::SeqCst), 5);
+        // Prefix semantics match RecordedWorkload: min 4, capped at the total.
+        assert_eq!(source.warmup_jobs(0.01, 0).len(), 4);
+        assert_eq!(source.warmup_jobs(9.0, 0).len(), 10);
+        // A full load asks for everything, and the seed is ignored.
+        assert_eq!(source.jobs(123), jobs);
+        assert_eq!(largest_request.load(Ordering::SeqCst), 10);
+        let debug = format!("{source:?}");
+        assert!(
+            debug.contains("streamed") && debug.contains("10"),
+            "{debug}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to load")]
+    fn streamed_source_panics_with_the_loader_error() {
+        let source = StreamedWorkload::new("broken", 3, false, |_| Err("disk vanished".into()));
+        source.jobs(0);
     }
 
     #[test]

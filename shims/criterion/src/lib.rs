@@ -6,10 +6,12 @@
 //! `cargo bench --bench tracebench -- binary` runs only ids containing "binary"),
 //! and the `criterion_group!` / `criterion_main!` macros.
 //!
-//! Instead of criterion's statistical machinery it runs a warm-up, then times
-//! `sample_size` samples and prints min / median / mean per-iteration wall time.
-//! That is enough to compare hot paths PR-over-PR; swap the real criterion back in
-//! for publication-grade statistics (see `shims/README.md`).
+//! Instead of criterion's full statistical machinery it runs a warm-up, then
+//! times `sample_size` samples and prints min / median / mean / sample standard
+//! deviation per-iteration wall time. That is enough to compare hot paths
+//! PR-over-PR and to see run-to-run noise; swap the real criterion back in for
+//! publication-grade statistics — outlier classification, bootstrap confidence
+//! intervals, regression detection (see `shims/README.md`).
 
 use std::time::{Duration, Instant};
 
@@ -191,11 +193,21 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut 
     let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    // Sample standard deviation (n-1 denominator), so run-to-run noise is
+    // visible next to the point estimates; a single sample reports 0.
+    let stddev = if samples.len() > 1 {
+        (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64)
+            .sqrt()
+    } else {
+        0.0
+    };
     println!(
-        "bench {id:<50} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {iters} iters)",
+        "bench {id:<50} min {:>12}  median {:>12}  mean {:>12}  sd {:>12}  \
+         ({} samples x {iters} iters)",
         fmt_time(min),
         fmt_time(median),
         fmt_time(mean),
+        fmt_time(stddev),
         samples.len(),
     );
 }

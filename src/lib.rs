@@ -93,15 +93,17 @@ pub mod prelude {
         TraceSink, VecSink,
     };
     pub use grass_trace::{
-        codec_for, record_workload, replay, replay_config, sniff_bytes, sniff_format, BinaryCodec,
-        ExecutionMeta, ExecutionTrace, ExecutionTraceSink, Record, StreamKind, TextCodec,
-        TraceCodec, TraceError, TraceFormat, TraceReader, TraceStats, TraceWriter, WorkloadMeta,
-        WorkloadTrace, BINARY_FORMAT_VERSION, FORMAT_VERSION,
+        codec_for, convert_stream, open_workload_source, record_workload, replay, replay_config,
+        sniff_bytes, sniff_format, BinaryCodec, ExecutionEvents, ExecutionMeta, ExecutionTrace,
+        ExecutionTraceSink, Record, StreamKind, TextCodec, TraceCodec, TraceError, TraceFormat,
+        TraceItems, TraceReader, TraceStats, TraceWriter, WorkloadItems, WorkloadMeta,
+        WorkloadTrace, WorkloadTraceSink, BINARY_FORMAT_VERSION, FORMAT_VERSION,
     };
     pub use grass_workload::{
         generate, generate_job, ideal_duration, table1_rows, BoundSpec, Framework,
-        GeneratedWorkload, InterArrival, JobSource, RecordedWorkload, SizeMix, TraceProfile,
-        TraceSource, TraceSummary, WorkDistribution, WorkloadConfig,
+        GeneratedWorkload, InterArrival, JobGen, JobSource, RecordedWorkload, SizeMix,
+        StreamedWorkload, TraceProfile, TraceSource, TraceSummary, WorkDistribution,
+        WorkloadConfig,
     };
 }
 
