@@ -15,6 +15,8 @@
 //! Which factors participate in the similarity weighting is controlled by a
 //! [`FactorSet`], which is how the Best-1 / Best-2 ablations of §6.3.2 are expressed.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -196,12 +198,85 @@ pub struct QueryContext {
     pub accuracy: f64,
 }
 
+/// O(1) snapshot of the store's per-(kind, mode) sample counts, tagged with the
+/// store generation it was taken at. Taken under a single lock acquisition, so the
+/// counts are mutually consistent and the generation identifies exactly which store
+/// state they describe — a [`crate::grass::SwitchScanCache`] holds one of these and
+/// reuses it for every switching evaluation until the generation moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreCounts {
+    /// [`SampleStore::generation`] at snapshot time.
+    pub generation: u64,
+    /// `(GS, RAS)` sample counts for deadline-bound samples.
+    pub deadline: (usize, usize),
+    /// `(GS, RAS)` sample counts for error-bound samples.
+    pub error: (usize, usize),
+}
+
+impl StoreCounts {
+    /// `(GS, RAS)` counts for one bound kind.
+    pub fn for_kind(&self, kind: BoundKind) -> (usize, usize) {
+        match kind {
+            BoundKind::Deadline => self.deadline,
+            BoundKind::Error => self.error,
+        }
+    }
+}
+
+/// Samples plus the incrementally maintained `counts[kind][mode]` table, kept under
+/// one lock so they can never disagree.
+#[derive(Debug, Default)]
+struct Inner {
+    samples: Vec<Sample>,
+    counts: [[usize; 2]; 2],
+}
+
+fn kind_idx(kind: BoundKind) -> usize {
+    match kind {
+        BoundKind::Deadline => 0,
+        BoundKind::Error => 1,
+    }
+}
+
+fn mode_idx(mode: SpeculationMode) -> usize {
+    match mode {
+        SpeculationMode::Gs => 0,
+        SpeculationMode::Ras => 1,
+    }
+}
+
+impl Inner {
+    fn bump(&mut self, sample: &Sample, delta: isize) {
+        let slot = &mut self.counts[kind_idx(sample.kind)][mode_idx(sample.mode)];
+        *slot = slot.checked_add_signed(delta).expect("count underflow");
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_counts(&self) {
+        let mut scanned = [[0usize; 2]; 2];
+        for s in &self.samples {
+            scanned[kind_idx(s.kind)][mode_idx(s.mode)] += 1;
+        }
+        debug_assert_eq!(scanned, self.counts, "incremental counts drifted");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_counts(&self) {}
+}
+
 /// Thread-safe store of GS / RAS performance samples shared by every GRASS job in a
 /// simulation run.
+///
+/// Per-(kind, mode) sample counts are maintained incrementally alongside the sample
+/// vector, and a monotonically increasing *generation* is bumped on every mutation.
+/// Together they let the switching evaluation's sparse-store pre-flight run without
+/// scanning — and, via `StoreCounts` memoisation, usually without even taking the
+/// lock.
 #[derive(Debug, Default)]
 pub struct SampleStore {
-    samples: RwLock<Vec<Sample>>,
+    inner: RwLock<Inner>,
     max_samples: usize,
+    generation: AtomicU64,
 }
 
 /// Default cap on retained samples; old samples are evicted FIFO beyond this, which
@@ -213,22 +288,24 @@ impl SampleStore {
     /// Empty store with the default retention cap.
     pub fn new() -> Self {
         SampleStore {
-            samples: RwLock::new(Vec::new()),
+            inner: RwLock::new(Inner::default()),
             max_samples: DEFAULT_MAX_SAMPLES,
+            generation: AtomicU64::new(0),
         }
     }
 
     /// Empty store with an explicit retention cap (primarily for tests).
     pub fn with_capacity(max_samples: usize) -> Self {
         SampleStore {
-            samples: RwLock::new(Vec::new()),
+            inner: RwLock::new(Inner::default()),
             max_samples: max_samples.max(1),
+            generation: AtomicU64::new(0),
         }
     }
 
     /// Number of stored samples.
     pub fn len(&self) -> usize {
-        self.samples.read().len()
+        self.inner.read().samples.len()
     }
 
     /// Whether the store holds no samples.
@@ -236,14 +313,31 @@ impl SampleStore {
         self.len() == 0
     }
 
+    /// Mutation counter: bumped once per [`record`](Self::record) /
+    /// [`clear`](Self::clear). Two equal generations mean the store content (and
+    /// hence any `StoreCounts` snapshot) is unchanged between the two reads.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
     /// Record a raw sample.
     pub fn record(&self, sample: Sample) {
-        let mut guard = self.samples.write();
-        if guard.len() >= self.max_samples {
-            let excess = guard.len() + 1 - self.max_samples;
-            guard.drain(0..excess);
+        let mut guard = self.inner.write();
+        if guard.samples.len() >= self.max_samples {
+            let excess = guard.samples.len() + 1 - self.max_samples;
+            for i in 0..excess {
+                let (k, m) = (
+                    kind_idx(guard.samples[i].kind),
+                    mode_idx(guard.samples[i].mode),
+                );
+                guard.counts[k][m] -= 1;
+            }
+            guard.samples.drain(0..excess);
         }
-        guard.push(sample);
+        guard.bump(&sample, 1);
+        guard.samples.push(sample);
+        guard.check_counts();
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Record a completed job that ran pure `mode` throughout.
@@ -253,30 +347,39 @@ impl SampleStore {
         }
     }
 
-    /// Count samples available for a given mode and bound kind.
+    /// Count samples available for a given mode and bound kind, O(1).
     pub fn count_for(&self, mode: SpeculationMode, kind: BoundKind) -> usize {
-        self.samples
-            .read()
-            .iter()
-            .filter(|s| s.mode == mode && s.kind == kind)
-            .count()
+        self.inner.read().counts[kind_idx(kind)][mode_idx(mode)]
     }
 
     /// Count samples available for both modes of one bound kind under a single lock
-    /// acquisition: `(GS count, RAS count)`. Used by the switching evaluation to
-    /// bail out before running a candidate-point sweep that cannot produce a
+    /// acquisition: `(GS count, RAS count)`, O(1). Used by the switching evaluation
+    /// to bail out before running a candidate-point sweep that cannot produce a
     /// prediction.
     pub fn counts_for_kind(&self, kind: BoundKind) -> (usize, usize) {
-        let guard = self.samples.read();
-        let mut gs = 0;
-        let mut ras = 0;
-        for s in guard.iter().filter(|s| s.kind == kind) {
-            match s.mode {
-                SpeculationMode::Gs => gs += 1,
-                SpeculationMode::Ras => ras += 1,
-            }
+        let guard = self.inner.read();
+        (
+            guard.counts[kind_idx(kind)][mode_idx(SpeculationMode::Gs)],
+            guard.counts[kind_idx(kind)][mode_idx(SpeculationMode::Ras)],
+        )
+    }
+
+    /// Generation-tagged snapshot of every per-(kind, mode) count, one lock
+    /// acquisition. The generation is read while the lock is held, so it matches
+    /// the counts exactly.
+    pub fn counts_snapshot(&self) -> StoreCounts {
+        let guard = self.inner.read();
+        StoreCounts {
+            generation: self.generation.load(Ordering::Acquire),
+            deadline: (
+                guard.counts[kind_idx(BoundKind::Deadline)][mode_idx(SpeculationMode::Gs)],
+                guard.counts[kind_idx(BoundKind::Deadline)][mode_idx(SpeculationMode::Ras)],
+            ),
+            error: (
+                guard.counts[kind_idx(BoundKind::Error)][mode_idx(SpeculationMode::Gs)],
+                guard.counts[kind_idx(BoundKind::Error)][mode_idx(SpeculationMode::Ras)],
+            ),
         }
-        (gs, ras)
     }
 
     /// Predict the task-completion rate (tasks/second) of running pure `mode` under
@@ -289,11 +392,12 @@ impl SampleStore {
         factors: FactorSet,
         min_samples: usize,
     ) -> Option<f64> {
-        let guard = self.samples.read();
+        let guard = self.inner.read();
         let mut weight_sum = 0.0;
         let mut weighted_rate = 0.0;
         let mut count = 0usize;
         for s in guard
+            .samples
             .iter()
             .filter(|s| s.mode == mode && s.kind == ctx.kind)
         {
@@ -364,7 +468,10 @@ impl SampleStore {
 
     /// Drop every stored sample.
     pub fn clear(&self) {
-        self.samples.write().clear();
+        let mut guard = self.inner.write();
+        guard.samples.clear();
+        guard.counts = [[0; 2]; 2];
+        self.generation.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -455,6 +562,55 @@ mod tests {
         assert_eq!(store.count_for(SpeculationMode::Ras, BoundKind::Error), 0);
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn incremental_counts_stay_exact_across_eviction_and_clear() {
+        let store = SampleStore::with_capacity(4);
+        let mix = [
+            (SpeculationMode::Gs, BoundKind::Deadline),
+            (SpeculationMode::Ras, BoundKind::Deadline),
+            (SpeculationMode::Gs, BoundKind::Error),
+            (SpeculationMode::Ras, BoundKind::Error),
+        ];
+        // 10 records into a 4-slot store: every record past the 4th evicts the
+        // oldest, exercising the decrement path with mixed kinds and modes.
+        for i in 0..10 {
+            let (mode, kind) = mix[i % mix.len()];
+            store.record(sample(mode, kind, 10.0, 20.0));
+            // Ground truth by definition: count_for must always equal a full scan —
+            // here recomputed from the deterministic record/evict pattern.
+            for (m, k) in mix {
+                let expected = (0..=i)
+                    .skip(i.saturating_sub(3))
+                    .filter(|j| mix[j % mix.len()] == (m, k))
+                    .count();
+                assert_eq!(store.count_for(m, k), expected, "after record {i}");
+            }
+        }
+        let snapshot = store.counts_snapshot();
+        assert_eq!(snapshot.for_kind(BoundKind::Deadline), (1, 1));
+        assert_eq!(snapshot.for_kind(BoundKind::Error), (1, 1));
+        assert_eq!(store.counts_for_kind(BoundKind::Deadline), (1, 1));
+        store.clear();
+        assert_eq!(store.counts_for_kind(BoundKind::Deadline), (0, 0));
+        assert_eq!(store.counts_for_kind(BoundKind::Error), (0, 0));
+    }
+
+    #[test]
+    fn generation_moves_on_every_mutation_and_tags_snapshots() {
+        let store = SampleStore::new();
+        let g0 = store.generation();
+        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
+        let g1 = store.generation();
+        assert!(g1 > g0);
+        let snap = store.counts_snapshot();
+        assert_eq!(snap.generation, g1);
+        assert_eq!(snap.deadline, (1, 0));
+        // No mutation => generation (and any memo keyed on it) stays valid.
+        assert_eq!(store.generation(), g1);
+        store.clear();
+        assert!(store.generation() > g1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::grass::samples::{BoundKind, FactorSet, QueryContext, SampleStore};
+use crate::grass::samples::{BoundKind, FactorSet, QueryContext, SampleStore, StoreCounts};
 use crate::job::{Bound, JobView};
 use crate::speculation::SpeculationMode;
 
@@ -89,11 +89,22 @@ pub enum SwitchDecision {
 /// across calls. The job id in the key makes a cache accidentally shared across
 /// jobs correct (it just stops memoising effectively); the intended use is still
 /// one cache per job, which is what `GrassPolicy` does.
+///
+/// The cache also memoises the learned evaluation's sparse-store pre-flight: a
+/// `StoreCounts` snapshot keyed on the [`SampleStore`] generation. GRASS stores
+/// mutate only when a pure-GS/pure-RAS job *finishes*, but `choose()` consults the
+/// pre-flight on every scheduling decision, so the generation check turns the
+/// per-decision count query (a lock acquisition, and before the counts became
+/// incremental a full store scan) into a single atomic load on the hot path. The
+/// memo is shared safely across jobs because the generation identifies the store
+/// state, not the querying job.
 #[derive(Debug, Clone, Default)]
 pub struct SwitchScanCache {
     scratch: Vec<f64>,
     /// `(job, completed_tasks, unfinished view length) -> median tnew` memo.
     memo: Option<((crate::task::JobId, usize, usize), f64)>,
+    /// Generation-tagged per-(kind, mode) count snapshot of the sample store.
+    preflight: Option<StoreCounts>,
 }
 
 impl SwitchScanCache {
@@ -102,9 +113,24 @@ impl SwitchScanCache {
         SwitchScanCache::default()
     }
 
-    /// Drop the memoised scan (the next call recomputes from the view).
+    /// Drop the memoised scan and pre-flight snapshot (the next call recomputes
+    /// from the view and store).
     pub fn invalidate(&mut self) {
         self.memo = None;
+        self.preflight = None;
+    }
+
+    /// `(GS, RAS)` sample counts for `kind`, re-snapshotting only when the store
+    /// generation moved since the last evaluation.
+    fn preflight_counts(&mut self, store: &SampleStore, kind: BoundKind) -> (usize, usize) {
+        if let Some(cached) = self.preflight {
+            if cached.generation == store.generation() {
+                return cached.for_kind(kind);
+            }
+        }
+        let snapshot = store.counts_snapshot();
+        self.preflight = Some(snapshot);
+        snapshot.for_kind(kind)
     }
 
     /// Median `tnew` across the view's eligible tasks, memoised on the job's
@@ -205,8 +231,8 @@ pub fn learned_decision_cached(
     cache: &mut SwitchScanCache,
 ) -> SwitchDecision {
     match view.bound {
-        Bound::Deadline(_) => learned_deadline(view, store, params),
-        Bound::Error(_) => learned_error(view, store, params),
+        Bound::Deadline(_) => learned_deadline(view, store, params, cache),
+        Bound::Error(_) => learned_error(view, store, params, cache),
     }
     .unwrap_or_else(|| strawman_decision_cached(view, &StrawmanConfig::default(), cache))
 }
@@ -218,12 +244,13 @@ fn learned_deadline(
     view: &JobView,
     store: &SampleStore,
     params: &LearnedParams,
+    cache: &mut SwitchScanCache,
 ) -> Option<SwitchDecision> {
     let remaining = view.remaining_deadline()?;
     if remaining <= 0.0 {
         return Some(SwitchDecision::SwitchNow);
     }
-    if let Some(shortcut) = sparse_store_shortcut(store, BoundKind::Deadline, params) {
+    if let Some(shortcut) = sparse_store_shortcut(store, BoundKind::Deadline, params, cache) {
         return shortcut;
     }
     let ctx = query_context(view, BoundKind::Deadline, remaining);
@@ -276,12 +303,13 @@ fn learned_error(
     view: &JobView,
     store: &SampleStore,
     params: &LearnedParams,
+    cache: &mut SwitchScanCache,
 ) -> Option<SwitchDecision> {
     let needed = view.input_tasks_still_needed()? as f64;
     if needed <= 0.0 {
         return Some(SwitchDecision::SwitchNow);
     }
-    if let Some(shortcut) = sparse_store_shortcut(store, BoundKind::Error, params) {
+    if let Some(shortcut) = sparse_store_shortcut(store, BoundKind::Error, params, cache) {
         return shortcut;
     }
     let ctx = query_context(view, BoundKind::Error, needed);
@@ -332,8 +360,10 @@ fn learned_error(
 /// before the ξ-perturbation has produced learning data — the candidate-point
 /// sweep cannot yield a prediction at any split point (a positive-length segment
 /// of either mode returns `None`, and every split has at least one such segment),
-/// so one counting pass (one lock acquisition) replaces up to
-/// `2 × (candidate_points + 1)` store scans that would each come back empty.
+/// so a memoised count lookup replaces up to `2 × (candidate_points + 1)` store
+/// scans that would each come back empty. The counts come from the cache's
+/// generation-keyed `StoreCounts` snapshot: one atomic load per decision while
+/// the store is unmutated, one O(1) locked snapshot when it has changed.
 ///
 /// Deliberately conservative: with samples for only one mode, zero-length
 /// segments (`Some(0.0)`) can still combine with the sampled mode into a
@@ -347,8 +377,9 @@ fn sparse_store_shortcut(
     store: &SampleStore,
     kind: BoundKind,
     params: &LearnedParams,
+    cache: &mut SwitchScanCache,
 ) -> Option<Option<SwitchDecision>> {
-    let (gs, ras) = store.counts_for_kind(kind);
+    let (gs, ras) = cache.preflight_counts(store, kind);
     let min = params.min_samples;
     if gs < min && ras < min {
         Some(None)
@@ -574,6 +605,102 @@ mod tests {
             sorted.sort_by(f64::total_cmp);
             assert_eq!(selected, sorted[sorted.len() / 2], "n = {n}");
         }
+    }
+
+    #[test]
+    fn preflight_memo_preserves_decisions_across_store_mutations() {
+        // Decision-equivalence regression for the generation-keyed pre-flight memo:
+        // walk the store through every state the shortcut distinguishes (empty,
+        // one mode below `min_samples`, one mode at the threshold, both at it,
+        // cleared) and require a long-lived cache to agree with a fresh evaluation
+        // at every step — i.e. the memo must never serve counts from a previous
+        // store state that could change the sweep-vs-shortcut choice.
+        let params = LearnedParams::default();
+        let tasks: Vec<TaskView> = (0..20).map(|i| unscheduled(i, 4.0)).collect();
+        let dl_view = view(&tasks, Bound::Deadline(40.0), 0.0, 2, 0, 20);
+        let err_view = view(&tasks, Bound::Error(0.1), 0.0, 4, 10, 100);
+        let store = SampleStore::new();
+        let mut cache = SwitchScanCache::new();
+
+        let check = |store: &SampleStore, cache: &mut SwitchScanCache| {
+            for v in [&dl_view, &err_view] {
+                let with_memo = learned_decision_cached(v, store, &params, cache);
+                let fresh = learned_decision(v, store, &params);
+                assert_eq!(with_memo, fresh, "memoised decision diverged");
+            }
+            assert_eq!(
+                cache.preflight.expect("pre-flight snapshot taken"),
+                store.counts_snapshot(),
+                "memoised snapshot is stale"
+            );
+        };
+
+        check(&store, &mut cache);
+        for kind in [BoundKind::Deadline, BoundKind::Error] {
+            for i in 0..params.min_samples {
+                store.record(Sample {
+                    mode: SpeculationMode::Ras,
+                    kind,
+                    size_bucket: SizeBucket::of(20),
+                    bound_value: 10.0,
+                    performance: 10.0 + i as f64,
+                    utilization: 0.5,
+                    accuracy: 0.75,
+                });
+                check(&store, &mut cache);
+            }
+        }
+        // RAS now satisfies min_samples alone: the sweep must run (and find no
+        // full prediction), not the shortcut.
+        for kind in [BoundKind::Deadline, BoundKind::Error] {
+            for _ in 0..params.min_samples {
+                store.record(Sample {
+                    mode: SpeculationMode::Gs,
+                    kind,
+                    size_bucket: SizeBucket::of(20),
+                    bound_value: 10.0,
+                    performance: 30.0,
+                    utilization: 0.5,
+                    accuracy: 0.75,
+                });
+                check(&store, &mut cache);
+            }
+        }
+        store.clear();
+        check(&store, &mut cache);
+    }
+
+    #[test]
+    fn preflight_memo_is_reused_while_the_store_is_unmutated() {
+        let store = store_with_rates(3.0, 1.0, BoundKind::Deadline);
+        let tasks: Vec<TaskView> = (0..20).map(|i| unscheduled(i, 4.0)).collect();
+        let v = view(&tasks, Bound::Deadline(40.0), 0.0, 2, 0, 20);
+        let mut cache = SwitchScanCache::new();
+        learned_decision_cached(&v, &store, &LearnedParams::default(), &mut cache);
+        let snapshot = cache.preflight.expect("snapshot taken");
+        assert_eq!(snapshot.generation, store.generation());
+        learned_decision_cached(&v, &store, &LearnedParams::default(), &mut cache);
+        assert_eq!(
+            cache.preflight,
+            Some(snapshot),
+            "unchanged store re-snapshotted"
+        );
+        // A mutation moves the generation; the next evaluation refreshes.
+        store.record(Sample {
+            mode: SpeculationMode::Gs,
+            kind: BoundKind::Error,
+            size_bucket: SizeBucket::of(20),
+            bound_value: 10.0,
+            performance: 10.0,
+            utilization: 0.5,
+            accuracy: 0.75,
+        });
+        assert_ne!(snapshot.generation, store.generation());
+        learned_decision_cached(&v, &store, &LearnedParams::default(), &mut cache);
+        assert_eq!(cache.preflight, Some(store.counts_snapshot()));
+        // Manual invalidation drops the snapshot alongside the median memo.
+        cache.invalidate();
+        assert!(cache.preflight.is_none());
     }
 
     #[test]

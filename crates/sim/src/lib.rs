@@ -29,6 +29,7 @@
 pub mod cluster;
 pub mod event;
 pub mod machine;
+pub mod reference;
 pub mod runtime;
 pub mod simulator;
 pub mod stats;
@@ -39,7 +40,7 @@ pub use cluster::ClusterConfig;
 pub use event::{CopyId, Event, EventQueue};
 pub use machine::{HeterogeneityModel, Machine, SlotId};
 pub use runtime::{CompletionEffect, CopyRuntime, JobRuntime, TaskRuntime};
-pub use simulator::{run_simulation, run_simulation_traced, SimConfig, SimResult};
+pub use simulator::{run_simulation, run_simulation_traced, SimConfig, SimResult, SimStats};
 pub use stats::TimeWeighted;
 pub use straggler::StragglerModel;
 pub use trace::{NullSink, SimTraceEvent, TraceSink, VecSink};

@@ -107,6 +107,76 @@ impl Machine {
     }
 }
 
+/// The cluster's free-slot pool, indexed per machine.
+///
+/// Allocation order is a strict LIFO stack — the same order a plain
+/// `Vec<SlotId>` with `pop()`/`extend()` gives — because the slot a copy lands
+/// on feeds the execution trace and (through the machine's slowdown) the copy's
+/// duration, so the allocation sequence is part of the simulator's reproducible
+/// behaviour. The per-machine free counts ride alongside the stack, giving the
+/// event core O(1) "how loaded is this machine" answers without a scan.
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    stack: Vec<SlotId>,
+    free_per_machine: Vec<usize>,
+    total: usize,
+}
+
+impl SlotPool {
+    /// Pool with every slot of every machine free, in machine-then-slot order
+    /// (so the first `pop` returns the last slot of the last machine).
+    pub fn new(machines: &[Machine]) -> Self {
+        let stack: Vec<SlotId> = machines.iter().flat_map(|m| m.slot_ids()).collect();
+        let free_per_machine = machines.iter().map(|m| m.slots).collect();
+        let total = stack.len();
+        SlotPool {
+            stack,
+            free_per_machine,
+            total,
+        }
+    }
+
+    /// Take the most recently freed slot, if any.
+    pub fn pop(&mut self) -> Option<SlotId> {
+        let slot = self.stack.pop()?;
+        self.free_per_machine[slot.machine] -= 1;
+        Some(slot)
+    }
+
+    /// Return a slot to the pool (it becomes the next `pop` result).
+    pub fn push(&mut self, slot: SlotId) {
+        self.free_per_machine[slot.machine] += 1;
+        self.stack.push(slot);
+    }
+
+    /// Return a batch of slots in iteration order.
+    pub fn extend(&mut self, slots: impl IntoIterator<Item = SlotId>) {
+        for slot in slots {
+            self.push(slot);
+        }
+    }
+
+    /// Number of currently free slots.
+    pub fn free_len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether no slot is free.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Total slots in the cluster (free or busy).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Free slots on one machine, O(1).
+    pub fn free_on_machine(&self, machine: usize) -> usize {
+        self.free_per_machine[machine]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +240,41 @@ mod tests {
                 slot: 3
             }
         );
+    }
+
+    #[test]
+    fn slot_pool_preserves_vec_lifo_order_and_tracks_per_machine_counts() {
+        let machines: Vec<Machine> = (0..3)
+            .map(|id| Machine {
+                id,
+                slots: 2,
+                slowdown: 1.0,
+            })
+            .collect();
+        // The order contract: identical pop sequence to the plain Vec-as-stack
+        // the pre-event-core simulator used.
+        let mut reference: Vec<SlotId> = machines.iter().flat_map(|m| m.slot_ids()).collect();
+        let mut pool = SlotPool::new(&machines);
+        assert_eq!(pool.total(), 6);
+        assert_eq!(pool.free_len(), 6);
+        assert_eq!(pool.free_on_machine(1), 2);
+
+        let a = pool.pop().unwrap();
+        assert_eq!(Some(a), reference.pop());
+        let b = pool.pop().unwrap();
+        assert_eq!(Some(b), reference.pop());
+        assert_eq!(pool.free_len(), 4);
+        assert_eq!(pool.free_on_machine(2), 0);
+
+        pool.extend([b, a]);
+        reference.extend([b, a]);
+        for _ in 0..6 {
+            assert_eq!(pool.pop(), reference.pop());
+        }
+        assert!(pool.is_empty());
+        assert_eq!(pool.pop(), None);
+        for m in 0..3 {
+            assert_eq!(pool.free_on_machine(m), 0);
+        }
     }
 }

@@ -102,6 +102,19 @@ pub struct CompletionEffect {
     pub task_completed: bool,
 }
 
+impl CompletionEffect {
+    /// Clear all fields, keeping the vector capacities. The event core reuses
+    /// one effect as a scratch buffer across all copy-finish events instead of
+    /// allocating two `Vec`s per event (a measured slot-free-path hot spot).
+    pub fn reset(&mut self) {
+        self.freed_slots.clear();
+        self.killed_copies.clear();
+        self.killed = 0;
+        self.stale = false;
+        self.task_completed = false;
+    }
+}
+
 /// Runtime state of one job.
 pub struct JobRuntime {
     /// The job's static specification.
@@ -135,6 +148,15 @@ pub struct JobRuntime {
     pub acc_stat: TimeWeighted,
     /// Whether the job has finished (deadline fired or error bound met).
     pub done: bool,
+    /// Number of tasks not yet finished (kept in lockstep with
+    /// `tasks[i].finished` so [`has_unfinished_work`](Self::has_unfinished_work)
+    /// is O(1) instead of an O(tasks) scan).
+    pub unfinished: usize,
+    /// Event-core bookkeeping: index of the next global utilisation-timeline
+    /// entry this job has not yet folded into its time-weighted statistics (see
+    /// the simulator's lazy stats catch-up). Unused by the frozen reference
+    /// engine.
+    pub stats_cursor: usize,
 }
 
 impl JobRuntime {
@@ -160,6 +182,7 @@ impl JobRuntime {
             .collect();
         let stages = spec.stages.len();
         let prior_accuracy = estimator.nominal_accuracy();
+        let unfinished = tasks.len();
         JobRuntime {
             spec,
             policy,
@@ -176,6 +199,8 @@ impl JobRuntime {
             util_stat: TimeWeighted::new(now, 0.0),
             acc_stat: TimeWeighted::new(now, prior_accuracy),
             done: false,
+            unfinished,
+            stats_cursor: 0,
         }
     }
 
@@ -218,9 +243,13 @@ impl JobRuntime {
     }
 
     /// Whether any unfinished task remains (used to decide whether the job still has
-    /// demand for slots).
+    /// demand for slots). O(1) via the `unfinished` counter.
     pub fn has_unfinished_work(&self) -> bool {
-        self.tasks.iter().any(|t| !t.finished)
+        debug_assert_eq!(
+            self.unfinished,
+            self.tasks.iter().filter(|t| !t.finished).count()
+        );
+        self.unfinished > 0
     }
 
     /// Current estimate of a new copy's duration per unit work: the mean of completed
@@ -356,20 +385,31 @@ impl JobRuntime {
     /// Apply a copy-finish event. Marks the task finished, kills sibling copies, and
     /// reports which slots were freed.
     pub fn complete_copy(&mut self, task: TaskId, copy_id: CopyId, now: Time) -> CompletionEffect {
+        let mut effect = CompletionEffect::default();
+        self.complete_copy_into(task, copy_id, now, &mut effect);
+        effect
+    }
+
+    /// [`complete_copy`](Self::complete_copy) into a caller-owned effect buffer,
+    /// resetting it first. The event core threads one scratch effect through
+    /// every copy-finish event, retiring the two per-event `Vec` allocations.
+    pub fn complete_copy_into(
+        &mut self,
+        task: TaskId,
+        copy_id: CopyId,
+        now: Time,
+        effect: &mut CompletionEffect,
+    ) {
+        effect.reset();
         let t = &mut self.tasks[task.index()];
         let Some(pos) = t.copies.iter().position(|c| c.id == copy_id) else {
-            return CompletionEffect {
-                stale: true,
-                ..Default::default()
-            };
+            effect.stale = true;
+            return;
         };
         if t.finished {
-            return CompletionEffect {
-                stale: true,
-                ..Default::default()
-            };
+            effect.stale = true;
+            return;
         }
-        let mut effect = CompletionEffect::default();
         let finishing = t.copies.swap_remove(pos);
         self.slot_seconds += finishing.elapsed(now);
         effect.freed_slots.push(finishing.slot);
@@ -387,6 +427,7 @@ impl JobRuntime {
         t.finished = true;
         t.finish_time = Some(now);
         effect.task_completed = true;
+        self.unfinished -= 1;
 
         let stage = t.spec.stage.value() as usize;
         let work = t.spec.work;
@@ -401,7 +442,6 @@ impl JobRuntime {
             self.accuracy.record(actual * rem_bias, actual);
             self.accuracy.record(work * tnew_bias, actual);
         }
-        effect
     }
 
     /// Kill every running copy of every task (used when a job hits its deadline or is

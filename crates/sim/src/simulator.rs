@@ -13,7 +13,8 @@
 //!   (§5.2 of the paper),
 //! * progress-style `trem` / `tnew` estimation with configurable accuracy.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound as RangeBound;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,8 +26,8 @@ use grass_core::{
 
 use crate::cluster::ClusterConfig;
 use crate::event::{Event, EventQueue};
-use crate::machine::{Machine, SlotId};
-use crate::runtime::JobRuntime;
+use crate::machine::{Machine, SlotPool};
+use crate::runtime::{CompletionEffect, JobRuntime};
 use crate::stats::TimeWeighted;
 use crate::trace::{NullSink, SimTraceEvent, TraceSink};
 
@@ -68,6 +69,28 @@ impl Default for SimConfig {
     }
 }
 
+/// Work counters exported by the event core, used by the scale tests to verify
+/// the O(affected-state) property empirically rather than by inspection.
+///
+/// The counters describe *simulator* work, not simulated outcomes: two engines
+/// producing bit-identical [`SimResult`]s may (and should) report very different
+/// counts here. They are excluded from result digests for that reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Events popped from the event queue (arrivals, copy finishes, deadlines).
+    pub events_processed: u64,
+    /// Per-job dispatcher and bookkeeping touches: candidate probes during
+    /// dispatch, copy-finish handling, finalisations. A full-scan engine visits
+    /// every live job per event, growing this as O(events × live jobs); the
+    /// event core's indexes keep it near O(events + copies). The deferred
+    /// statistics replay is deliberately *not* counted here: its total update
+    /// count is fixed by the bit-exact float contract and identical across
+    /// engines — the refactor changes *when* updates run, not how many.
+    pub job_touches: u64,
+    /// Policy `choose()` consultations (successful or declined).
+    pub policy_consultations: u64,
+}
+
 /// Aggregate result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -79,6 +102,8 @@ pub struct SimResult {
     pub total_copies: usize,
     /// Time-averaged cluster utilisation over the run.
     pub avg_utilization: f64,
+    /// Engine work counters (see [`SimStats`]); not part of any outcome digest.
+    pub stats: SimStats,
 }
 
 impl SimResult {
@@ -115,6 +140,33 @@ pub fn run_simulation_traced(
     Simulator::new(config.clone(), jobs, factory, sink).run()
 }
 
+/// The indexed discrete-event engine.
+///
+/// Three indexes keep per-event work proportional to the *affected* state
+/// rather than to every live job (the pre-refactor engine, preserved verbatim
+/// in [`crate::reference`], rescanned all of them per event):
+///
+/// * `free_slots` — a [`SlotPool`]: the same LIFO allocation order as before
+///   (slot identity feeds the trace and copy durations) plus per-machine free
+///   counts, so `utilization()` and machine-load queries are O(1).
+/// * `candidates` — an ordered `(allocated_slots, job id)` index over jobs that
+///   are live and still have unfinished work. One dispatch probe is an O(log n)
+///   range step instead of an O(n log n) collect-and-sort of every live job.
+/// * `timeline` + per-job `stats_cursor` — the lazy statistics ledger. The old
+///   engine settled every event by calling `update_stats` on *every* live job.
+///   Those per-job time-weighted integrals feed GRASS's learned switching
+///   (`Sample::from_outcome` consumes `avg_cluster_utilization` /
+///   `avg_estimation_accuracy`), so their floating-point update sequence must
+///   be replayed *exactly* — FP addition is not associative and any
+///   re-bracketing changes scheduling decisions downstream. Instead of walking
+///   all jobs per event, each settle appends one `(time, utilization)` entry to
+///   a global timeline, and a job folds the pending entries in only when it is
+///   next touched (launch, completion, finalisation). Between touches a job's
+///   `allocated_slots` and measured accuracy cannot change (both are only
+///   mutated by job-local operations, which all catch up first), so the
+///   deferred replay applies bit-identical `update_stats(t, u)` calls in the
+///   original order — same floats, batched into cache-friendly runs, with no
+///   hash lookups or full-population walks per event.
 struct Simulator<'a> {
     config: SimConfig,
     factory: &'a dyn PolicyFactory,
@@ -123,12 +175,29 @@ struct Simulator<'a> {
     /// per slot-free event; rebuilding the `Vec` from scratch each time showed up in
     /// `microbench/simulator`).
     view_scratch: Vec<grass_core::TaskView>,
+    /// Scratch completion effect reused across copy-finish events (retires the
+    /// two per-event `Vec` allocations of the slot-free path).
+    effect_scratch: CompletionEffect,
     machines: Vec<Machine>,
-    free_slots: Vec<SlotId>,
+    free_slots: SlotPool,
     total_slots: usize,
     pending: HashMap<JobId, JobSpec>,
     running: HashMap<JobId, JobRuntime>,
     active_order: Vec<JobId>,
+    /// Dispatch index: `(allocated_slots, job id)` for every job that is not
+    /// done and still has unfinished work. Kept in lockstep with every
+    /// launch / completion / finalisation.
+    candidates: BTreeSet<(usize, u64)>,
+    /// Jobs arrived and not yet finalised — the fair-share denominator, O(1).
+    active_count: usize,
+    /// Global settle ledger: one `(time, utilization)` entry per dispatch
+    /// settle, consumed lazily per job via `stats_cursor` (see type docs).
+    timeline: Vec<(Time, f64)>,
+    /// Absolute index of `timeline[0]` (the prefix every live job has already
+    /// consumed is compacted away).
+    timeline_base: usize,
+    /// Next absolute timeline length at which to attempt compaction.
+    next_compact_check: usize,
     events: EventQueue,
     rng: StdRng,
     next_copy_id: u64,
@@ -137,6 +206,7 @@ struct Simulator<'a> {
     outcomes: Vec<JobOutcome>,
     total_copies: usize,
     mean_slowdown: f64,
+    stats: SimStats,
 }
 
 impl<'a> Simulator<'a> {
@@ -147,8 +217,8 @@ impl<'a> Simulator<'a> {
         sink: &'a mut dyn TraceSink,
     ) -> Self {
         let machines = config.cluster.build_machines(config.seed);
-        let free_slots: Vec<SlotId> = machines.iter().flat_map(|m| m.slot_ids()).collect();
-        let total_slots = free_slots.len();
+        let free_slots = SlotPool::new(&machines);
+        let total_slots = free_slots.total();
         let mut events = EventQueue::new();
         let mut pending = HashMap::with_capacity(jobs.len());
         for job in jobs {
@@ -162,12 +232,18 @@ impl<'a> Simulator<'a> {
             factory,
             sink,
             view_scratch: Vec::new(),
+            effect_scratch: CompletionEffect::default(),
             machines,
             free_slots,
             total_slots,
             pending,
             running: HashMap::new(),
             active_order: Vec::new(),
+            candidates: BTreeSet::new(),
+            active_count: 0,
+            timeline: Vec::new(),
+            timeline_base: 0,
+            next_compact_check: 4096,
             events,
             rng: StdRng::seed_from_u64(0),
             next_copy_id: 0,
@@ -176,7 +252,45 @@ impl<'a> Simulator<'a> {
             outcomes: Vec::new(),
             total_copies: 0,
             mean_slowdown,
+            stats: SimStats::default(),
         }
+    }
+
+    /// Fold every not-yet-consumed timeline entry into `job`'s time-weighted
+    /// statistics. Bit-identical to the eager per-event settle: the entries are
+    /// the exact `(time, utilization)` arguments the old engine passed, in the
+    /// same order, and the job's local state cannot have changed since they
+    /// were appended (every local mutation catches up first).
+    fn catch_up_job(timeline: &[(Time, f64)], timeline_base: usize, job: &mut JobRuntime) {
+        debug_assert!(job.stats_cursor >= timeline_base, "cursor compacted away");
+        for &(time, util) in &timeline[job.stats_cursor - timeline_base..] {
+            job.update_stats(time, util);
+        }
+        job.stats_cursor = timeline_base + timeline.len();
+    }
+
+    /// Drop the timeline prefix every live job has already consumed. Checked
+    /// only when the ledger doubles, so the O(jobs) minimum scan is amortised
+    /// to nothing while memory stays proportional to the *unconsumed* suffix.
+    fn maybe_compact_timeline(&mut self) {
+        let end = self.timeline_base + self.timeline.len();
+        if end < self.next_compact_check {
+            return;
+        }
+        let min_cursor = self
+            .active_order
+            .iter()
+            .filter_map(|id| self.running.get(id))
+            .filter(|j| !j.done)
+            .map(|j| j.stats_cursor)
+            .min()
+            .unwrap_or(end);
+        let drop = min_cursor - self.timeline_base;
+        if drop > 0 {
+            self.timeline.drain(..drop);
+            self.timeline_base = min_cursor;
+        }
+        self.next_compact_check = self.timeline_base + self.timeline.len().max(2048) * 2;
     }
 
     fn run(mut self) -> SimResult {
@@ -188,6 +302,7 @@ impl<'a> Simulator<'a> {
                     break;
                 }
             }
+            self.stats.events_processed += 1;
             self.now = time;
             match event {
                 Event::JobArrival(id) => self.handle_arrival(id),
@@ -210,6 +325,7 @@ impl<'a> Simulator<'a> {
             makespan: self.now,
             total_copies: self.total_copies,
             avg_utilization: self.util_stat.average(self.now),
+            stats: self.stats,
         }
     }
 
@@ -217,18 +333,11 @@ impl<'a> Simulator<'a> {
         if self.total_slots == 0 {
             return 0.0;
         }
-        (self.total_slots - self.free_slots.len()) as f64 / self.total_slots as f64
-    }
-
-    fn active_job_count(&self) -> usize {
-        self.active_order
-            .iter()
-            .filter(|id| self.running.get(id).is_some_and(|j| !j.done))
-            .count()
+        (self.total_slots - self.free_slots.free_len()) as f64 / self.total_slots as f64
     }
 
     fn fair_share(&self) -> usize {
-        let active = self.active_job_count().max(1);
+        let active = self.active_count.max(1);
         (self.total_slots / active).max(1)
     }
 
@@ -285,8 +394,15 @@ impl<'a> Simulator<'a> {
             self.view_scratch = views;
         }
 
+        // The job consumes settle entries only from its arrival onwards (the
+        // eager engine never updated jobs that had not arrived yet).
+        runtime.stats_cursor = self.timeline_base + self.timeline.len();
+        if runtime.has_unfinished_work() {
+            self.candidates.insert((runtime.allocated_slots, id.0));
+        }
         self.running.insert(id, runtime);
         self.active_order.push(id);
+        self.active_count += 1;
         self.dispatch();
     }
 
@@ -322,8 +438,15 @@ impl<'a> Simulator<'a> {
         if job.done {
             return;
         }
-        let effect = job.complete_copy(task, copy, self.now);
+        self.stats.job_touches += 1;
+        // Fold pending settle entries in before mutating the job's local state
+        // (the entries must see the pre-completion allocation and accuracy).
+        Self::catch_up_job(&self.timeline, self.timeline_base, job);
+        let alloc_before = job.allocated_slots;
+        let mut effect = std::mem::take(&mut self.effect_scratch);
+        job.complete_copy_into(task, copy, self.now, &mut effect);
         if effect.stale {
+            self.effect_scratch = effect;
             return;
         }
         self.sink.record(&SimTraceEvent::CopyFinish {
@@ -343,6 +466,12 @@ impl<'a> Simulator<'a> {
             });
         }
         self.free_slots.extend(effect.freed_slots.iter().copied());
+        // Re-key the dispatch index: the allocation shrank, and the job may
+        // have run out of unfinished work.
+        self.candidates.remove(&(alloc_before, job_id.0));
+        if job.unfinished > 0 {
+            self.candidates.insert((job.allocated_slots, job_id.0));
+        }
         self.util_stat.update(self.now, util);
         job.update_stats(self.now, util);
 
@@ -361,6 +490,7 @@ impl<'a> Simulator<'a> {
 
         // Error-bound jobs finish the moment their bound is satisfied.
         let satisfied = job.spec.bound.is_error() && job.bound_satisfied();
+        self.effect_scratch = effect;
         if satisfied {
             self.finalize_job(job_id);
         }
@@ -383,6 +513,9 @@ impl<'a> Simulator<'a> {
         if job.done {
             return;
         }
+        self.stats.job_touches += 1;
+        Self::catch_up_job(&self.timeline, self.timeline_base, job);
+        self.candidates.remove(&(job.allocated_slots, id.0));
         let freed = job.kill_all_copies(self.now);
         for &(task, copy, slot) in &freed {
             self.sink.record(&SimTraceEvent::CopyKill {
@@ -397,6 +530,7 @@ impl<'a> Simulator<'a> {
             .extend(freed.iter().map(|&(_, _, slot)| slot));
         job.update_stats(self.now, util);
         job.done = true;
+        self.active_count -= 1;
         let outcome = job.outcome(self.now);
         self.sink.record(&SimTraceEvent::JobFinish {
             time: self.now,
@@ -438,6 +572,13 @@ impl<'a> Simulator<'a> {
     /// Hand out free slots: repeatedly offer the next free slot to the active job with
     /// the fewest allocated slots (max–min fair sharing without preemption) until no
     /// job wants a slot or no slots remain.
+    ///
+    /// Probe order walks the `candidates` index, which is ordered by
+    /// `(allocated_slots, job id)` — exactly the collect-and-sort ordering of
+    /// the pre-refactor engine. Declined offers mutate nothing, so stepping the
+    /// index with a range cursor visits the same sequence the sorted snapshot
+    /// would have; a successful launch re-keys the job and restarts the pass
+    /// (as the old loop did, to recompute utilisation and fair share).
     fn dispatch(&mut self) {
         loop {
             if self.free_slots.is_empty() {
@@ -445,23 +586,23 @@ impl<'a> Simulator<'a> {
             }
             let util = self.utilization();
             let fair = self.fair_share();
-            // Fair ordering: fewest allocated slots first, job id as tie-breaker.
-            let mut order: Vec<(usize, JobId)> = self
-                .active_order
-                .iter()
-                .filter_map(|id| {
-                    let job = self.running.get(id)?;
-                    if job.done || !job.has_unfinished_work() {
-                        return None;
-                    }
-                    Some((job.allocated_slots, *id))
-                })
-                .collect();
-            order.sort_by_key(|(alloc, id)| (*alloc, id.0));
-
             let mut launched = false;
-            for (_, id) in order {
-                if self.try_launch_for(id, fair, util) {
+            let mut cursor: Option<(usize, u64)> = None;
+            loop {
+                let next = match cursor {
+                    None => self.candidates.iter().next().copied(),
+                    Some(key) => self
+                        .candidates
+                        .range((RangeBound::Excluded(key), RangeBound::Unbounded))
+                        .next()
+                        .copied(),
+                };
+                let Some(key) = next else {
+                    break;
+                };
+                cursor = Some(key);
+                self.stats.job_touches += 1;
+                if self.try_launch_for(JobId(key.1), fair, util) {
                     launched = true;
                     break;
                 }
@@ -470,16 +611,12 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
-        // Refresh per-job statistics after the allocation settled.
+        // Settle: one global ledger entry instead of touching every live job.
+        // Jobs fold the entry in lazily on their next touch (see type docs).
         let util = self.utilization();
         self.util_stat.update(self.now, util);
-        for id in &self.active_order {
-            if let Some(job) = self.running.get_mut(id) {
-                if !job.done {
-                    job.update_stats(self.now, util);
-                }
-            }
-        }
+        self.timeline.push((self.now, util));
+        self.maybe_compact_timeline();
     }
 
     /// Offer one free slot to `job_id`. Returns true if a copy was launched.
@@ -502,11 +639,15 @@ impl<'a> Simulator<'a> {
         let Some(job) = self.running.get_mut(&job_id) else {
             return false;
         };
+        // A launch mutates `allocated_slots`; pending settle entries must be
+        // folded in against the pre-launch value first.
+        Self::catch_up_job(&self.timeline, self.timeline_base, job);
         job.build_task_views_into(self.now, &estimator, mean_slowdown, views);
         if views.is_empty() {
             return false;
         }
         let view = Self::job_view(job, views, self.now, fair_share, utilization);
+        self.stats.policy_consultations += 1;
         let Some(action) = job.policy.choose(&view) else {
             return false;
         };
@@ -540,6 +681,7 @@ impl<'a> Simulator<'a> {
         let copy_id = self.next_copy_id;
         self.next_copy_id += 1;
         let speculative = !job.tasks[idx].copies.is_empty();
+        let alloc_before = job.allocated_slots;
         job.launch_copy(
             action.task,
             copy_id,
@@ -549,6 +691,8 @@ impl<'a> Simulator<'a> {
             &estimator,
             &mut self.rng,
         );
+        self.candidates.remove(&(alloc_before, job_id.0));
+        self.candidates.insert((job.allocated_slots, job_id.0));
         self.sink.record(&SimTraceEvent::CopyLaunch {
             time: self.now,
             job: job_id,

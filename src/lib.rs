@@ -89,8 +89,8 @@ pub mod prelude {
     pub use grass_sim::{
         run_simulation, run_simulation_traced, ClusterConfig, CompletionEffect, CopyId,
         CopyRuntime, Event, EventQueue, HeterogeneityModel, JobRuntime, Machine, NullSink,
-        SimConfig, SimResult, SimTraceEvent, SlotId, StragglerModel, TaskRuntime, TimeWeighted,
-        TraceSink, VecSink,
+        SimConfig, SimResult, SimStats, SimTraceEvent, SlotId, StragglerModel, TaskRuntime,
+        TimeWeighted, TraceSink, VecSink,
     };
     pub use grass_trace::{
         codec_for, convert_stream, open_workload_source, record_workload, replay, replay_config,
