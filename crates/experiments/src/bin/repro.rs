@@ -11,6 +11,10 @@
 //! repro trace stats <trace-file>...
 //! repro sweep <workload.trace|dir> [--machines 20,50,100] [--policies late,gs,ras,grass]
 //!             [--baseline late] [--threads N] [--seeds a,b,c] [--slots N] [--quick]
+//!             [--resume <cache-dir>]
+//! repro fleet serve <workload.trace|dir> [grid flags] [--port P] [--cache <dir>]
+//! repro fleet work --connect <host:port> [--id NAME] [--stall-ms N]
+//! repro fleet run <workload.trace|dir> [grid flags] [--workers N] [--cache <dir>]
 //! ```
 //!
 //! With no experiment ids, every experiment is run in paper order. `--quick` uses the
@@ -24,7 +28,8 @@
 use std::process::ExitCode;
 
 use grass_experiments::{
-    experiment_ids, run_experiment, run_sweep_command, run_trace_command, ExpConfig,
+    experiment_ids, run_experiment, run_fleet_command, run_sweep_command, run_trace_command,
+    ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -44,6 +49,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("repro sweep: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        return match run_fleet_command(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("repro fleet: {message}");
                 ExitCode::FAILURE
             }
         };
@@ -122,6 +136,12 @@ fn print_help() {
     println!("       repro sweep <workload.trace|dir> [--machines 20,50,100]");
     println!("                   [--policies late,gs,ras,grass] [--baseline late]");
     println!("                   [--threads N] [--seeds a,b,c] [--slots N] [--quick]");
+    println!("                   [--resume <cache-dir>]");
+    println!("       repro fleet serve <workload.trace|dir> [grid flags] [--port P]");
+    println!("                         [--cache <dir>] [--test-profile] [timing flags]");
+    println!("       repro fleet work --connect <host:port> [--id NAME] [--stall-ms N]");
+    println!("       repro fleet run <workload.trace|dir> [grid flags] [--workers N]");
+    println!("                       [--cache <dir>] [--test-profile] [timing flags]");
     println!();
     println!("Experiment ids:");
     for id in experiment_ids() {

@@ -15,6 +15,7 @@ pub mod ablations;
 pub mod analytic;
 pub mod common;
 pub mod dag;
+pub mod fleet;
 pub mod gains;
 pub mod sweep;
 pub mod tables;
@@ -24,7 +25,14 @@ pub use common::{
     compare, compare_outcomes, metric_for, metric_for_source, run_once, run_policy,
     sample_task_durations, workload_jobs, Comparison, ExpConfig, PolicyKind,
 };
-pub use sweep::{parse_policy, run_sweep, run_sweep_command, SweepCell, SweepConfig, SweepResult};
+pub use fleet::{
+    run_fleet_command, run_sweep_with_cache, trace_identity, FleetCellSpec, FleetPlan, ResumeStats,
+    SweepCellRunner,
+};
+pub use sweep::{
+    assemble_sweep_result, merge_seed_sets, parse_policy, run_sweep, run_sweep_cell,
+    run_sweep_command, SweepCell, SweepConfig, SweepResult,
+};
 pub use trace_cli::{make_factory, outcome_digest, run_trace_command};
 
 use grass_metrics::Report;

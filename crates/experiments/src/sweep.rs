@@ -25,7 +25,7 @@ use grass_sim::ClusterConfig;
 use grass_trace::open_workload_source;
 use grass_workload::JobSource;
 
-use crate::common::{compare_outcomes, metric_for_source, run_policy, Comparison, ExpConfig};
+use crate::common::{compare_outcomes, metric_for_source, run_once, Comparison, ExpConfig};
 use crate::trace_cli::{resolve_workload_path, Flags};
 use crate::PolicyKind;
 
@@ -94,7 +94,7 @@ impl SweepConfig {
     /// The distinct cluster sizes in first-appearance order (mirrors
     /// [`SweepConfig::distinct_policies`]: a duplicate `--machines` entry must not
     /// re-simulate a whole column or emit duplicate digest cells).
-    fn distinct_machines(&self) -> Vec<usize> {
+    pub(crate) fn distinct_machines(&self) -> Vec<usize> {
         let mut machines: Vec<usize> = Vec::new();
         for &m in &self.machines {
             if !machines.contains(&m) {
@@ -106,7 +106,12 @@ impl SweepConfig {
 
     /// Every (machines, policy) unit the runner must simulate: the cross product of
     /// the distinct cluster sizes with the distinct policies.
-    fn units(&self) -> Vec<(usize, PolicyKind)> {
+    ///
+    /// This ordering is the shared contract between the in-process runner, the
+    /// cache-aware resume path and the fleet broker: any executor that produces
+    /// one [`OutcomeSet`] per unit in this order can hand them to
+    /// [`assemble_sweep_result`] and obtain a byte-identical digest.
+    pub fn units(&self) -> Vec<(usize, PolicyKind)> {
         let machines = self.distinct_machines();
         let policies = self.distinct_policies();
         let mut units = Vec::with_capacity(machines.len() * policies.len());
@@ -262,6 +267,37 @@ impl SweepResult {
     }
 }
 
+/// Run one sweep cell: one policy at one cluster size under one seed — the
+/// smallest unit of sweep work, shared verbatim by the in-process runner, the
+/// cache-aware resume path and fleet workers (which is what makes a fleet
+/// digest byte-identical to a single-process sweep).
+pub fn run_sweep_cell(
+    source: &dyn JobSource,
+    base: &ExpConfig,
+    machines: usize,
+    policy: &PolicyKind,
+    seed: u64,
+) -> OutcomeSet {
+    let exp = ExpConfig {
+        cluster: ClusterConfig {
+            machines,
+            ..base.cluster
+        },
+        ..base.clone()
+    };
+    run_once(&exp, source, policy, seed)
+}
+
+/// Pool per-seed outcome sets in seed order — exactly what
+/// [`crate::run_policy`] produces when it runs the seeds itself.
+pub fn merge_seed_sets(sets: impl IntoIterator<Item = OutcomeSet>) -> OutcomeSet {
+    let mut all = Vec::new();
+    for set in sets {
+        all.extend(set.all().to_vec());
+    }
+    OutcomeSet::new(all)
+}
+
 /// Run the full grid over one job source. Cells execute on up to
 /// [`SweepConfig::threads`] scoped worker threads; the assembled result is identical
 /// to a serial run.
@@ -269,8 +305,20 @@ pub fn run_sweep(source: &(dyn JobSource + Sync), config: &SweepConfig) -> Sweep
     let units = config.units();
     let started = Instant::now();
     let sets = run_units(source, config, &units);
-    let elapsed = started.elapsed();
+    assemble_sweep_result(source, config, sets, started.elapsed())
+}
 
+/// Assemble a [`SweepResult`] from one pooled [`OutcomeSet`] per
+/// [`SweepConfig::units`] entry (in that order), however the sets were
+/// produced — in-process threads, the digest cache, or a worker fleet.
+pub fn assemble_sweep_result(
+    source: &dyn JobSource,
+    config: &SweepConfig,
+    sets: Vec<OutcomeSet>,
+    elapsed: Duration,
+) -> SweepResult {
+    let units = config.units();
+    assert_eq!(sets.len(), units.len(), "one outcome set per grid unit");
     let metric = metric_for_source(source);
     let lookup = |m: usize, p: &PolicyKind| -> &OutcomeSet {
         let idx = units
@@ -319,14 +367,13 @@ fn run_units(
     units: &[(usize, PolicyKind)],
 ) -> Vec<OutcomeSet> {
     let run_unit = |(machines, policy): &(usize, PolicyKind)| -> OutcomeSet {
-        let exp = ExpConfig {
-            cluster: ClusterConfig {
-                machines: *machines,
-                ..config.base.cluster
-            },
-            ..config.base.clone()
-        };
-        run_policy(&exp, source, policy)
+        merge_seed_sets(
+            config
+                .base
+                .seeds
+                .iter()
+                .map(|&seed| run_sweep_cell(source, &config.base, *machines, policy, seed)),
+        )
     };
 
     let workers = config.threads.max(1).min(units.len().max(1));
@@ -400,7 +447,7 @@ fn parse_list<T, E: std::fmt::Display>(
 pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse_with_switches(args, &["quick"])?;
     flags.reject_unknown(&[
-        "machines", "slots", "policies", "baseline", "threads", "seeds", "quick",
+        "machines", "slots", "policies", "baseline", "threads", "seeds", "quick", "resume",
     ])?;
     let [path] = flags.positional.as_slice() else {
         return Err("sweep expects exactly one workload trace path".to_string());
@@ -408,7 +455,63 @@ pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
     let path = resolve_workload_path(Path::new(path));
     let (meta, source) =
         open_workload_source(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let config = sweep_config_from_flags(&flags, &meta, &source)?;
 
+    eprintln!(
+        "sweeping {} jobs ({}) across {} cluster sizes x {} policies on {} thread(s)",
+        source.total_jobs(),
+        source.label(),
+        config.machines.len(),
+        config.policies.len(),
+        config.threads.max(1),
+    );
+    let result = match flags.get("resume") {
+        Some(cache_dir) => {
+            // Satellite of the fleet subsystem: reuse its per-cell digest cache
+            // so an interrupted or repeated sweep only re-runs missing cells.
+            let cache = grass_fleet::DigestCache::open(cache_dir)
+                .map_err(|e| format!("cannot open cache {cache_dir}: {e}"))?;
+            let trace_id = crate::fleet::trace_identity(&path)?;
+            let (result, resumed) =
+                crate::fleet::run_sweep_with_cache(&source, &config, &cache, &trace_id)?;
+            eprintln!(
+                "resume cells={} cached={} ran={}",
+                resumed.cells, resumed.cached, resumed.ran
+            );
+            result
+        }
+        None => run_sweep(&source, &config),
+    };
+    eprintln!(
+        "{}",
+        result
+            .improvement_table()
+            .render_text()
+            .trim_end_matches('\n')
+    );
+    eprintln!(
+        "{}",
+        result.mean_table().render_text().trim_end_matches('\n')
+    );
+    eprintln!(
+        "swept {} cells in {:.2?} on {} thread(s)",
+        result.cells.len(),
+        result.elapsed,
+        result.threads,
+    );
+    print!("{}", result.digest());
+    Ok(())
+}
+
+/// Build the [`SweepConfig`] for a recorded trace from common CLI flags
+/// (`--machines`, `--slots`, `--policies`, `--baseline`, `--threads`,
+/// `--seeds`, `--quick`) — shared by `repro sweep` and the `repro fleet`
+/// verbs, which must agree exactly for their digests to be comparable.
+pub(crate) fn sweep_config_from_flags(
+    flags: &Flags,
+    meta: &grass_trace::WorkloadMeta,
+    source: &grass_workload::StreamedWorkload,
+) -> Result<SweepConfig, String> {
     let quick = flags.has("quick");
     let slots = flags.get_usize("slots", meta.slots_per_machine)?;
     let threads = flags.get_usize("threads", 1)?;
@@ -441,35 +544,7 @@ pub fn run_sweep_command(args: &[String]) -> Result<(), String> {
     if let Some(raw) = flags.get("baseline") {
         config.baseline = parse_policy(raw)?;
     }
-
-    eprintln!(
-        "sweeping {} jobs ({}) across {} cluster sizes x {} policies on {} thread(s)",
-        source.total_jobs(),
-        source.label(),
-        config.machines.len(),
-        config.policies.len(),
-        config.threads.max(1),
-    );
-    let result = run_sweep(&source, &config);
-    eprintln!(
-        "{}",
-        result
-            .improvement_table()
-            .render_text()
-            .trim_end_matches('\n')
-    );
-    eprintln!(
-        "{}",
-        result.mean_table().render_text().trim_end_matches('\n')
-    );
-    eprintln!(
-        "swept {} cells in {:.2?} on {} thread(s)",
-        result.cells.len(),
-        result.elapsed,
-        result.threads,
-    );
-    print!("{}", result.digest());
-    Ok(())
+    Ok(config)
 }
 
 #[cfg(test)]

@@ -1,0 +1,78 @@
+//! Timing and retry knobs for the fleet, all explicit so tests can shrink the
+//! clock into the tens-of-milliseconds range and stay deterministic.
+
+/// All fleet timing/retry parameters.
+///
+/// The broker is the single source of truth: workers learn the heartbeat
+/// cadence from the `grant` response, so overriding the profile on the broker
+/// reconfigures the whole fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Interval at which a worker heartbeats a leased cell, in milliseconds.
+    pub heartbeat_ms: u64,
+    /// A lease with no heartbeat for this long is expired and the cell
+    /// re-dispatched.
+    pub lease_timeout_ms: u64,
+    /// Base of the exponential re-dispatch backoff: attempt `n` waits
+    /// `backoff_base_ms * 2^(n-1)` (plus jitter) before becoming claimable.
+    pub backoff_base_ms: u64,
+    /// Upper bound (inclusive) of the uniform jitter added to each backoff.
+    pub backoff_jitter_ms: u64,
+    /// Additional dispatches allowed after the first: a cell is dispatched at
+    /// most `1 + max_retries` times before it is marked exhausted.
+    pub max_retries: u32,
+    /// Seed for the jitter RNG — fixed seed, fixed backoff schedule.
+    pub backoff_seed: u64,
+    /// Broker accept/expiry poll interval and the default worker wait hint.
+    pub poll_ms: u64,
+}
+
+impl FleetConfig {
+    /// Production-ish defaults: second-scale heartbeats, 5s lease timeout.
+    pub fn production() -> Self {
+        FleetConfig {
+            heartbeat_ms: 1_000,
+            lease_timeout_ms: 5_000,
+            backoff_base_ms: 250,
+            backoff_jitter_ms: 250,
+            max_retries: 3,
+            backoff_seed: 0x6C17,
+            poll_ms: 25,
+        }
+    }
+
+    /// Test profile: everything shrunk so lease expiry and redispatch complete
+    /// in well under a second while keeping heartbeat << lease timeout.
+    pub fn test_profile() -> Self {
+        FleetConfig {
+            heartbeat_ms: 20,
+            lease_timeout_ms: 150,
+            backoff_base_ms: 5,
+            backoff_jitter_ms: 5,
+            max_retries: 3,
+            backoff_seed: 0x6C17,
+            poll_ms: 5,
+        }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::production()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_profile_keeps_heartbeat_inside_lease_timeout() {
+        for cfg in [FleetConfig::production(), FleetConfig::test_profile()] {
+            // At least three heartbeats fit in one lease window, so a healthy
+            // worker can miss two before losing the lease.
+            assert!(cfg.heartbeat_ms * 3 <= cfg.lease_timeout_ms);
+            assert!(cfg.poll_ms <= cfg.heartbeat_ms);
+        }
+    }
+}

@@ -20,6 +20,8 @@
 //! * [`model`] (`grass-model`) — the Appendix-A analytic model and Hill estimator,
 //! * [`metrics`] (`grass-metrics`) — outcome aggregation and report tables,
 //! * [`trace`] (`grass-trace`) — workload/execution trace capture, codec and replay,
+//! * [`fleet`] (`grass-fleet`) — broker/worker sweep service with cell leases,
+//!   heartbeats and a persistent digest cache,
 //! * [`experiments`] (`grass-experiments`) — harnesses regenerating every table and
 //!   figure of the paper.
 //!
@@ -44,6 +46,7 @@
 
 pub use grass_core as core;
 pub use grass_experiments as experiments;
+pub use grass_fleet as fleet;
 pub use grass_metrics as metrics;
 pub use grass_model as model;
 pub use grass_policies as policies;
@@ -68,10 +71,18 @@ pub mod prelude {
         SwitchScanCache, TaskId, TaskSpec, TaskView, Time,
     };
     pub use grass_experiments::{
-        compare, compare_outcomes, experiment_ids, make_factory, metric_for, metric_for_source,
-        outcome_digest, parse_policy, run_experiment, run_once, run_policy, run_sweep,
-        run_sweep_command, run_trace_command, sample_task_durations, workload_jobs, Comparison,
-        ExpConfig, PolicyKind, SweepCell, SweepConfig, SweepResult,
+        assemble_sweep_result, compare, compare_outcomes, experiment_ids, make_factory,
+        merge_seed_sets, metric_for, metric_for_source, outcome_digest, parse_policy,
+        run_experiment, run_fleet_command, run_once, run_policy, run_sweep, run_sweep_cell,
+        run_sweep_command, run_sweep_with_cache, run_trace_command, sample_task_durations,
+        trace_identity, workload_jobs, Comparison, ExpConfig, FleetCellSpec, FleetPlan, PolicyKind,
+        ResumeStats, SweepCell, SweepCellRunner, SweepConfig, SweepResult,
+    };
+    pub use grass_fleet::{
+        fnv1a64, run_fleet, run_worker, serve_broker, BrokerHandle, CellRunner, CellStatus, Claim,
+        Completion, DigestCache, FleetConfig, FleetError, FleetOutcome, FleetRunReport,
+        FleetSnapshot, FleetStats, GridState, Lease, LeaseTable, Request, Response, WorkerReport,
+        PROTOCOL_VERSION,
     };
     pub use grass_metrics::{
         improvement_by_size_bin, improvement_percent, mean_metric, overall_improvement, Cell,

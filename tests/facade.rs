@@ -19,9 +19,9 @@ const EXCLUDED: &[(&str, &str)] = &[
     ("Error", "grass_core::Error shadows common Error names"),
 ];
 
-/// Root-level `pub fn`/`pub const` definitions (not re-exports) that belong in the
-/// prelude but are invisible to the `pub use` parser below.
-const DEFINED_AT_ROOT: &[&str] = &["experiment_ids", "run_experiment"];
+/// Root-level `pub fn`/`pub const`/`pub enum` definitions (not re-exports) that
+/// belong in the prelude but are invisible to the `pub use` parser below.
+const DEFINED_AT_ROOT: &[&str] = &["experiment_ids", "run_experiment", "FleetError"];
 
 /// Extract the leaf identifiers of every top-level `pub use` statement in `source`.
 /// Handles multi-line brace lists, `path::Item`, `Item as Alias` and glob-free
