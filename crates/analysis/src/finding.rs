@@ -1,0 +1,86 @@
+//! Finding and severity types shared by the lint framework and its reports.
+
+use std::fmt;
+
+/// How a lint's findings are treated. Every catalog lint has a default
+/// severity; `analysis.toml` may override it per lint (including `off`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The lint is disabled and produces no findings.
+    Off,
+    /// Reported, but does not fail the run (exit code stays 0 unless denied).
+    Warn,
+    /// Reported and fails the run: `repro lint` exits non-zero.
+    Error,
+}
+
+impl Severity {
+    /// Parse the `analysis.toml` spelling.
+    pub fn parse(text: &str) -> Option<Severity> {
+        match text {
+            "off" => Some(Severity::Off),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+
+    /// The `analysis.toml` / JSON spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Off => "off",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint hit at one source position.
+///
+/// Suppressed findings are kept (with the justification that suppressed them)
+/// so machine consumers can audit suppressions; only *unsuppressed* findings
+/// affect the exit code.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable lint id (see [`crate::lints::CATALOG`]).
+    pub lint: &'static str,
+    /// Resolved severity (defaults overridden by `analysis.toml`). Never
+    /// [`Severity::Off`] — disabled lints do not run.
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (chars).
+    pub column: u32,
+    /// Human-readable description of the hit.
+    pub message: String,
+    /// `Some(reason)` when an allow directive or a config-scoped allow
+    /// suppressed this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// Whether this finding should fail a lint run.
+    pub fn is_blocking(&self) -> bool {
+        self.suppressed.is_none() && self.severity == Severity::Error
+    }
+}
+
+/// Deterministic report order: path, then position, then lint id.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.column, a.lint).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.column,
+            b.lint,
+        ))
+    });
+}

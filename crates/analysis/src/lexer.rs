@@ -1,0 +1,604 @@
+//! A minimal, hand-rolled Rust lexer.
+//!
+//! The lint engine needs just enough lexical structure to reason about real code
+//! without being fooled by comments or string literals: an occurrence of
+//! `thread_rng` inside a doc comment or a `"..."` literal is not a finding. The
+//! lexer therefore produces two streams — [`Token`]s (identifiers, literals,
+//! punctuation) and [`Comment`]s (line and block, with nesting) — and is careful
+//! about exactly the places where a naive scanner goes wrong:
+//!
+//! * nested block comments (`/* a /* b */ c */`),
+//! * string literals with escapes, including multi-line strings,
+//! * raw strings `r"…"` / `r#"…"#` (any hash depth) and raw identifiers `r#type`,
+//! * byte strings `b"…"`, raw byte strings `br#"…"#` and byte chars `b'x'`,
+//! * char literals vs lifetimes (`'a'` is a char, `'a` is a lifetime).
+//!
+//! It does **not** attempt full fidelity (numeric literals are approximate, there
+//! is no interning) — lints operate on token *shapes*, not values.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// Character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// String literal of any flavour (plain, raw, byte, raw byte).
+    Str,
+    /// Numeric literal (integers and floats, suffixes included).
+    Num,
+    /// Single punctuation character (`.`, `(`, `[`, `#`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text. For identifiers this is the name (raw identifiers are
+    /// stripped of `r#`); for literals it is the literal as written.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+/// One comment (line or block), kept separate from the token stream so that
+/// suppression directives can be parsed from comments only.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body, without the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for multi-line block comments).
+    pub end_line: u32,
+    /// 1-based column the comment starts on.
+    pub col: u32,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `source` into tokens and comments. Never fails: malformed input (e.g. an
+/// unterminated string) is lexed best-effort to end of file.
+pub fn lex(source: &str) -> LexedFile {
+    let mut lexer = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: LexedFile::default(),
+    };
+    lexer.run();
+    lexer.out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.peek_at(0)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek_at(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek_at(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.string_literal(String::new(), line, col);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+    }
+
+    /// `// …` to end of line. The body (after `//`) is recorded as a comment.
+    fn line_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+            col,
+        });
+    }
+
+    /// `/* … */` with nesting. Unterminated comments extend to end of file.
+    fn block_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            if self.peek() == Some('/') && self.peek_at(1) == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+                text.push_str("/*");
+            } else if self.peek() == Some('*') && self.peek_at(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth > 0 {
+                    text.push_str("*/");
+                }
+            } else {
+                match self.bump() {
+                    Some(c) => text.push(c),
+                    None => break,
+                }
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+            col,
+        });
+    }
+
+    /// A `"…"` literal with escapes; `prefix` carries any consumed `b`.
+    fn string_literal(&mut self, prefix: String, line: u32, col: u32) {
+        let mut text = prefix;
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// A raw string after the `r`/`br` prefix and `hashes` consumed `#`s:
+    /// scan to `"` followed by the same number of `#`s. No escapes.
+    fn raw_string(&mut self, mut text: String, hashes: usize, line: u32, col: u32) {
+        text.push('"');
+        self.bump();
+        'scan: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                        text.push('#');
+                        seen += 1;
+                    } else {
+                        continue 'scan;
+                    }
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// `'` starts either a char literal or a lifetime. Rule: `'X…'` (closing
+    /// quote directly after the ident run, or an escape/punctuation payload) is
+    /// a char literal; `'ident` without a closing quote is a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump();
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                let mut text = String::from("'");
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(escaped) = self.bump() {
+                            text.push(escaped);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, text, line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Look ahead past the ident run to decide char vs lifetime.
+                let mut len = 0usize;
+                while self.peek_at(len).map(is_ident_continue).unwrap_or(false) {
+                    len += 1;
+                }
+                if self.peek_at(len) == Some('\'') {
+                    // 'a' — char literal.
+                    let mut text = String::from("'");
+                    for _ in 0..=len {
+                        if let Some(consumed) = self.bump() {
+                            text.push(consumed);
+                        }
+                    }
+                    self.push(TokenKind::Char, text, line, col);
+                } else {
+                    // 'a — lifetime (includes 'static).
+                    let mut text = String::from("'");
+                    for _ in 0..len {
+                        if let Some(consumed) = self.bump() {
+                            text.push(consumed);
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, text, line, col);
+                }
+            }
+            Some(_) => {
+                // Non-ident payload such as ' ' or '+': always a char literal.
+                let mut text = String::from("'");
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, text, line, col);
+            }
+            None => self.push(TokenKind::Punct, "'".into(), line, col),
+        }
+    }
+
+    /// Numeric literal: digits, `_`, base prefixes, suffixes, `.`-followed-by-
+    /// digit fractions and signed exponents. Approximate by design.
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut last = '\0';
+        while let Some(c) = self.peek() {
+            let take = if c.is_alphanumeric() || c == '_' {
+                true
+            } else if c == '.' {
+                // Fraction only when a digit follows: `1.0` yes, `1..n`/`1.max` no.
+                self.peek_at(1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+            } else if c == '+' || c == '-' {
+                // Exponent sign only directly after `e`/`E` with a digit next.
+                (last == 'e' || last == 'E')
+                    && self.peek_at(1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+            } else {
+                false
+            };
+            if !take {
+                break;
+            }
+            last = c;
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Num, text, line, col);
+    }
+
+    /// Identifier, or one of the ident-prefixed literals: `r"…"`, `r#"…"#`,
+    /// `b"…"`, `br#"…"#`, `b'x'`, and raw identifiers `r#name`.
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            name.push(c);
+            self.bump();
+        }
+        let raw_capable = name == "r" || name == "br";
+        if raw_capable && matches!(self.peek(), Some('"') | Some('#')) {
+            // Count hashes by lookahead before committing: `r#ident` has hashes
+            // but no quote and must stay an identifier path.
+            let mut hashes = 0usize;
+            while self.peek_at(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek_at(hashes) == Some('"') {
+                let mut text = name;
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                self.raw_string(text, hashes, line, col);
+                return;
+            }
+            if name == "r" && hashes == 1 {
+                // Raw identifier r#name: emit the bare name.
+                self.bump();
+                let mut raw = String::new();
+                while let Some(c) = self.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    raw.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Ident, raw, line, col);
+                return;
+            }
+        }
+        if name == "b" {
+            if self.peek() == Some('"') {
+                self.string_literal(name, line, col);
+                return;
+            }
+            if self.peek() == Some('\'') {
+                // Byte char b'x' — always a char literal, never a lifetime.
+                self.bump();
+                let mut text = String::from("b'");
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(escaped) = self.bump() {
+                            text.push(escaped);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, text, line, col);
+                return;
+            }
+        }
+        self.push(TokenKind::Ident, name, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn token_kind_sequence_is_stable() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"let x: &'a f64 = 1.5e3; "s""#),
+            [Ident, Ident, Punct, Punct, Lifetime, Ident, Punct, Num, Punct, Str]
+        );
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lexed = lex("let x = 1; // trailing HashMap\n/* block thread_rng */ let y = 2;");
+        let names = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(names, ["let", "x", "let", "y"]);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, " trailing HashMap");
+        assert_eq!(lexed.comments[1].text, " block thread_rng ");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        let names: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, " outer /* inner */ still comment ");
+    }
+
+    #[test]
+    fn block_comment_line_spans() {
+        let lexed = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn strings_swallow_pattern_text() {
+        // Lint patterns inside string literals must never surface as idents.
+        let src = r#"let s = "thread_rng HashMap // grass: allow(x, \"y\")";"#;
+        assert_eq!(idents(src), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r###"let a = r"plain \ backslash"; let b = r#"quote " inside"#; let c = r##"deep "# inside"##;"###;
+        let lexed = lex(src);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[0].starts_with("r\"plain"));
+        assert!(strs[1].contains("quote \" inside"));
+        assert!(strs[2].contains("deep \"# inside"));
+        assert_eq!(
+            idents(src),
+            ["let", "a", "let", "b", "let", "c"],
+            "raw string contents must not leak tokens"
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r#"let a = b"bytes HashMap"; let c = b'x'; let d = b'\n';"#;
+        let lexed = lex(src);
+        assert_eq!(idents(src), ["let", "a", "let", "c", "let", "d"]);
+        let lits: Vec<(TokenKind, &str)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::Char))
+            .map(|t| (t.kind, t.text.as_str()))
+            .collect();
+        assert_eq!(
+            lits,
+            [
+                (TokenKind::Str, "b\"bytes HashMap\""),
+                (TokenKind::Char, "b'x'"),
+                (TokenKind::Char, "b'\\n'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; let sp = ' '; }");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        let chars: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(chars, ["'a'", "'\\n'", "' '"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_escaped_quote_char() {
+        let lexed = lex("const S: &'static str = \"s\"; let q = '\\'';");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            ["'static"]
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            ["'\\''"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let lexed = lex("let a = 1..n; let b = 1.0e-3; let c = 0xFF_u32; let d = 7.max(2);");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1", "1.0e-3", "0xFF_u32", "7", "2"]);
+        assert!(idents("let d = 7.max(2);").contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let lexed = lex("let s = \"one\ntwo\"; after");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("token");
+        assert_eq!(after.line, 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! `nan-unsafe-cmp` — the PR 3 bug class.
+//!
+//! `a.partial_cmp(&b).unwrap()` panics the moment a NaN reaches the comparator,
+//! and the "safe-looking" variants are worse: `.unwrap_or(Ordering::Equal)`
+//! silently declares NaN equal to everything, which breaks sort transitivity
+//! and poisons every downstream ordering decision. `f64::total_cmp` is a total
+//! order and the right tool on every digest-affecting path.
+//!
+//! Token pattern: `. partial_cmp ( … ) . unwrap|expect|unwrap_or|unwrap_or_else`.
+//! Applies to every role and class — a NaN-unsafe comparator in a test weakens
+//! the test just as surely.
+
+use crate::engine::FileCtx;
+use crate::finding::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{finding, NAN_UNSAFE_CMP};
+
+const SINKS: &[&str] = &["unwrap", "expect", "unwrap_or", "unwrap_or_else"];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, severity: Severity, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for (index, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || token.text != "partial_cmp" {
+            continue;
+        }
+        // Method call position: preceded by `.`, followed by `(`.
+        let is_method = index > 0
+            && tokens
+                .get(index - 1)
+                .map(|t| t.kind == TokenKind::Punct && t.text == ".")
+                .unwrap_or(false);
+        if !is_method {
+            continue;
+        }
+        let has_args = tokens
+            .get(index + 1)
+            .map(|t| t.kind == TokenKind::Punct && t.text == "(")
+            .unwrap_or(false);
+        if !has_args {
+            continue;
+        }
+        let Some(close) = matching_paren(ctx, index + 1) else {
+            continue;
+        };
+        let dot = close + 1;
+        let sink = close + 2;
+        let dotted = tokens
+            .get(dot)
+            .map(|t| t.kind == TokenKind::Punct && t.text == ".")
+            .unwrap_or(false);
+        let Some(sink_token) = tokens.get(sink) else {
+            continue;
+        };
+        if dotted
+            && sink_token.kind == TokenKind::Ident
+            && SINKS.contains(&sink_token.text.as_str())
+        {
+            out.push(finding(
+                ctx,
+                NAN_UNSAFE_CMP,
+                severity,
+                token,
+                format!(
+                    "`partial_cmp(..).{}()` is NaN-unsafe: it panics or silently mis-orders \
+                     when a NaN reaches the comparator; use `f64::total_cmp` (a total order) \
+                     or handle the `None` case explicitly",
+                    sink_token.text
+                ),
+            ));
+        }
+    }
+}
+
+fn matching_paren(ctx: &FileCtx<'_>, open_index: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut index = open_index;
+    while let Some(token) = ctx.tokens.get(index) {
+        if token.kind == TokenKind::Punct {
+            if token.text == "(" {
+                depth += 1;
+            } else if token.text == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(index);
+                }
+            }
+        }
+        index += 1;
+    }
+    None
+}

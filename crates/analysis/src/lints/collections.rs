@@ -1,0 +1,50 @@
+//! `unordered-iter-on-digest-path` — hash collections where order can leak.
+//!
+//! `HashMap`/`HashSet` iteration order is arbitrary (and, with a randomized
+//! hasher, differs between runs). In a module whose outputs feed result
+//! digests, *any* hash collection is a standing hazard: today's keyed lookup is
+//! one refactor away from tomorrow's `.values()` loop. The lint therefore
+//! flags every mention of the types in digest-class files; genuinely
+//! order-insensitive uses carry an allow explaining why ordering never
+//! escapes, which is exactly the audit trail a reviewer needs.
+
+use std::collections::BTreeSet;
+
+use crate::engine::FileCtx;
+use crate::finding::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{finding, UNORDERED_ITER};
+use crate::workspace::Role;
+
+pub(crate) fn check(ctx: &FileCtx<'_>, severity: Severity, out: &mut Vec<Finding>) {
+    if !ctx.classes.digest || !matches!(ctx.role, Role::Lib | Role::Bin) {
+        return;
+    }
+    let mut seen_lines: BTreeSet<u32> = BTreeSet::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        if token.text != "HashMap" && token.text != "HashSet" {
+            continue;
+        }
+        if ctx.in_test(index) {
+            continue;
+        }
+        if !seen_lines.insert(token.line) {
+            continue;
+        }
+        out.push(finding(
+            ctx,
+            UNORDERED_ITER,
+            severity,
+            token,
+            format!(
+                "`{}` in a digest-path module: hash iteration order is nondeterministic and \
+                 must never reach a digest; use `BTreeMap`/`BTreeSet`, sort before iterating, \
+                 or justify why ordering cannot escape",
+                token.text
+            ),
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! `nested-lock` — a second guard acquired while one is live.
+//!
+//! Two guards held at once in one function is how lock-ordering deadlocks are
+//! born (the fleet broker's standing hazard: the grid state mutex plus
+//! anything else). The pass is a lexical approximation of guard liveness,
+//! tracked per function body:
+//!
+//! * `let g = …​.lock();` binds a guard that lives to the end of its enclosing
+//!   block (or an explicit `drop(g)`);
+//! * a bare `…​.lock().x()` temporary lives to the end of its statement;
+//! * any `.lock()` / `.read()` / `.write()` **with empty argument lists**
+//!   (RwLock/Mutex shapes — `io::Read::read(&mut buf)` never matches) while a
+//!   guard is live is a finding.
+//!
+//! The approximation is deliberately conservative; false positives carry an
+//! allow explaining the ordering argument, which is precisely what a reviewer
+//! wants written down next to a double-lock.
+
+use crate::engine::FileCtx;
+use crate::finding::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::lints::{finding, NESTED_LOCK};
+use crate::workspace::Role;
+
+const ACQUIRERS: &[&str] = &["lock", "read", "write"];
+
+struct Guard {
+    /// Brace depth the guard was created at.
+    depth: i64,
+    /// Bound name for `drop(name)` tracking; `None` for tuples/patterns.
+    name: Option<String>,
+    /// Statement-scoped temporary (dies at the next `;` at its depth).
+    temp: bool,
+}
+
+pub(crate) fn check(ctx: &FileCtx<'_>, severity: Severity, out: &mut Vec<Finding>) {
+    if !matches!(ctx.role, Role::Lib | Role::Bin) {
+        return;
+    }
+    let tokens = ctx.tokens;
+    let mut index = 0usize;
+    while index < tokens.len() {
+        let is_fn = tokens
+            .get(index)
+            .map(|t| t.kind == TokenKind::Ident && t.text == "fn")
+            .unwrap_or(false);
+        if is_fn && !ctx.in_test(index) {
+            if let Some((body_start, body_end)) = function_body(tokens, index) {
+                scan_body(ctx, severity, body_start, body_end, out);
+                index = body_end + 1;
+                continue;
+            }
+        }
+        index += 1;
+    }
+}
+
+/// From a `fn` keyword, locate the `{`..`}` token range of its body, if any
+/// (trait method declarations end with `;` and have none).
+fn function_body(tokens: &[Token], fn_index: usize) -> Option<(usize, usize)> {
+    let mut index = fn_index + 1;
+    // Find the parameter list and skip it, so `where` clauses and default
+    // generic expressions can't confuse the body search.
+    while index < tokens.len() && !is_punct(tokens, index, "(") {
+        if is_punct(tokens, index, ";") || is_punct(tokens, index, "{") {
+            return None;
+        }
+        index += 1;
+    }
+    let params_close = matching(tokens, index, "(", ")")?;
+    let mut cursor = params_close + 1;
+    while cursor < tokens.len() {
+        if is_punct(tokens, cursor, ";") {
+            return None;
+        }
+        if is_punct(tokens, cursor, "{") {
+            let close = matching(tokens, cursor, "{", "}")?;
+            return Some((cursor, close));
+        }
+        cursor += 1;
+    }
+    None
+}
+
+fn scan_body(
+    ctx: &FileCtx<'_>,
+    severity: Severity,
+    body_start: usize,
+    body_end: usize,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = ctx.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    let mut index = body_start;
+    while index <= body_end {
+        let Some(token) = tokens.get(index) else {
+            break;
+        };
+        if token.kind == TokenKind::Punct {
+            match token.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => guards.retain(|g| !(g.temp && g.depth >= depth)),
+                _ => {}
+            }
+            index += 1;
+            continue;
+        }
+        // drop(name) releases the named guard early.
+        if token.kind == TokenKind::Ident
+            && token.text == "drop"
+            && is_punct(tokens, index + 1, "(")
+        {
+            if let Some(name) = tokens.get(index + 2) {
+                if name.kind == TokenKind::Ident && is_punct(tokens, index + 3, ")") {
+                    guards.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+                }
+            }
+        }
+        // An acquisition: `. lock ( )` with an empty argument list.
+        let acquires = token.kind == TokenKind::Ident
+            && ACQUIRERS.contains(&token.text.as_str())
+            && index > 0
+            && is_punct(tokens, index - 1, ".")
+            && is_punct(tokens, index + 1, "(")
+            && is_punct(tokens, index + 2, ")");
+        if acquires {
+            if !guards.is_empty() {
+                out.push(finding(
+                    ctx,
+                    NESTED_LOCK,
+                    severity,
+                    token,
+                    format!(
+                        "`.{}()` while another guard is live in this function: two guards \
+                         held at once is a lock-ordering deadlock hazard; narrow the first \
+                         guard's scope (or `drop` it), or justify the ordering",
+                        token.text
+                    ),
+                ));
+            }
+            let (name, temp) = binding_of(tokens, body_start, index);
+            guards.push(Guard { depth, name, temp });
+            index += 3;
+            continue;
+        }
+        index += 1;
+    }
+}
+
+/// How the guard produced at `acquire_index` is held: scan back to the start
+/// of the statement; a `let` makes it a block-scoped binding (named when the
+/// pattern is a plain identifier), anything else a statement temporary.
+fn binding_of(tokens: &[Token], body_start: usize, acquire_index: usize) -> (Option<String>, bool) {
+    let mut start = acquire_index;
+    while start > body_start {
+        let Some(token) = tokens.get(start - 1) else {
+            break;
+        };
+        if token.kind == TokenKind::Punct && matches!(token.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        start -= 1;
+    }
+    let mut cursor = start;
+    while cursor < acquire_index {
+        let Some(token) = tokens.get(cursor) else {
+            break;
+        };
+        if token.kind == TokenKind::Ident && token.text == "let" {
+            let mut name_index = cursor + 1;
+            if tokens
+                .get(name_index)
+                .map(|t| t.kind == TokenKind::Ident && t.text == "mut")
+                .unwrap_or(false)
+            {
+                name_index += 1;
+            }
+            let name = tokens
+                .get(name_index)
+                .filter(|t| t.kind == TokenKind::Ident && t.text != "_")
+                .map(|t| t.text.clone());
+            // `let _ = …​.lock()` drops the guard immediately: a temporary.
+            let discarded = tokens
+                .get(cursor + 1)
+                .map(|t| t.text == "_")
+                .unwrap_or(false);
+            return (name, discarded);
+        }
+        cursor += 1;
+    }
+    (None, true)
+}
+
+fn is_punct(tokens: &[Token], index: usize, text: &str) -> bool {
+    tokens
+        .get(index)
+        .map(|t| t.kind == TokenKind::Punct && t.text == text)
+        .unwrap_or(false)
+}
+
+fn matching(tokens: &[Token], open_index: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut index = open_index;
+    while let Some(token) = tokens.get(index) {
+        if token.kind == TokenKind::Punct {
+            if token.text == open {
+                depth += 1;
+            } else if token.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(index);
+                }
+            }
+        }
+        index += 1;
+    }
+    None
+}

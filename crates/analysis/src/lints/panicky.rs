@@ -1,0 +1,78 @@
+//! `panicky-lib` — abort paths in non-test library code.
+//!
+//! In library-class modules a panic is an API bug: it takes down whichever
+//! host process embedded the crate (a sweep worker, the fleet broker, a future
+//! service). The lint flags the four lexical shapes that can abort:
+//!
+//! * `.unwrap()` and `.expect(..)` method calls,
+//! * `panic!(..)` invocations,
+//! * indexing expressions `expr[..]` (slice and map indexing both panic on a
+//!   miss; `.get(..)` is the non-aborting spelling).
+//!
+//! Code under `#[cfg(test)]` / `#[test]` is exempt, as are test/bench/example
+//! targets (by role). Invariant-backed sites stay — with an allow naming the
+//! invariant, which is the documentation the next reader needs anyway.
+
+use crate::engine::FileCtx;
+use crate::finding::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{finding, is_keyword, PANICKY_LIB};
+use crate::workspace::Role;
+
+pub(crate) fn check(ctx: &FileCtx<'_>, severity: Severity, out: &mut Vec<Finding>) {
+    if !ctx.classes.library || ctx.role != Role::Lib {
+        return;
+    }
+    let tokens = ctx.tokens;
+    for (index, token) in tokens.iter().enumerate() {
+        if ctx.in_test(index) {
+            continue;
+        }
+        let previous = index.checked_sub(1).and_then(|i| tokens.get(i));
+        let next = tokens.get(index + 1);
+        let what: Option<String> = match (token.kind, token.text.as_str()) {
+            (TokenKind::Ident, "unwrap") | (TokenKind::Ident, "expect") => {
+                let is_method_call = previous
+                    .map(|p| p.kind == TokenKind::Punct && p.text == ".")
+                    .unwrap_or(false)
+                    && next
+                        .map(|n| n.kind == TokenKind::Punct && n.text == "(")
+                        .unwrap_or(false);
+                is_method_call.then(|| format!(".{}()", token.text))
+            }
+            (TokenKind::Ident, "panic") => next
+                .map(|n| n.kind == TokenKind::Punct && n.text == "!")
+                .unwrap_or(false)
+                .then(|| "panic!".to_string()),
+            (TokenKind::Punct, "[") => previous
+                .map(is_expression_tail)
+                .unwrap_or(false)
+                .then(|| "indexing".to_string()),
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(finding(
+                ctx,
+                PANICKY_LIB,
+                severity,
+                token,
+                format!(
+                    "{what} in library code can abort the embedding process; return a \
+                     `Result`, use `.get(..)`, or justify the invariant that makes this \
+                     infallible"
+                ),
+            ));
+        }
+    }
+}
+
+/// Can the previous token end an expression? If so, a following `[` is an
+/// index operation (as opposed to an array literal, slice type, attribute or
+/// slice pattern).
+fn is_expression_tail(token: &crate::lexer::Token) -> bool {
+    match token.kind {
+        TokenKind::Ident => !is_keyword(&token.text),
+        TokenKind::Punct => matches!(token.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    }
+}

@@ -1,0 +1,46 @@
+//! `unseeded-rng` — OS entropy in a reproducibility-first workspace.
+//!
+//! `thread_rng()`, `SeedableRng::from_entropy()` and `ThreadRng` draw operating
+//! system entropy, which is the one thing a byte-identity claim can never
+//! tolerate. Every RNG in this workspace is a `StdRng` seeded from a config
+//! field, so the lint applies everywhere — including tests, where an unseeded
+//! RNG means an unreproducible failure.
+
+use crate::engine::FileCtx;
+use crate::finding::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{finding, UNSEEDED_RNG};
+
+const ENTROPY_SOURCES: &[&str] = &["thread_rng", "from_entropy", "ThreadRng"];
+
+pub(crate) fn check(ctx: &FileCtx<'_>, severity: Severity, out: &mut Vec<Finding>) {
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        if !ENTROPY_SOURCES.contains(&token.text.as_str()) {
+            continue;
+        }
+        // A definition (`fn from_entropy`, e.g. in the rand shim) is not a use.
+        let is_definition = index > 0
+            && ctx
+                .tokens
+                .get(index - 1)
+                .map(|t| t.kind == TokenKind::Ident && t.text == "fn")
+                .unwrap_or(false);
+        if is_definition {
+            continue;
+        }
+        out.push(finding(
+            ctx,
+            UNSEEDED_RNG,
+            severity,
+            token,
+            format!(
+                "`{}` draws OS entropy and destroys reproducibility; seed a `StdRng` \
+                 (`SeedableRng::seed_from_u64`) from a config or derived seed instead",
+                token.text
+            ),
+        ));
+    }
+}

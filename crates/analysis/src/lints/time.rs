@@ -1,0 +1,62 @@
+//! `wall-clock-in-core` — host time observed outside declared timing modules.
+//!
+//! `Instant::now()` and `SystemTime` make control flow depend on the machine
+//! the code happens to run on. In this workspace every result-affecting path
+//! is supposed to be a pure function of (trace, seed, config); clock reads
+//! belong only in modules whose *job* is timing (the fleet's lease machinery,
+//! the bench harness), declared via the `timing` class in `analysis.toml`.
+//! Elapsed-time progress reporting in other modules is fine — but it must be
+//! annotated, so a reviewer can check the value never reaches a result.
+
+use crate::engine::FileCtx;
+use crate::finding::{Finding, Severity};
+use crate::lexer::TokenKind;
+use crate::lints::{finding, WALL_CLOCK};
+use crate::workspace::Role;
+
+pub(crate) fn check(ctx: &FileCtx<'_>, severity: Severity, out: &mut Vec<Finding>) {
+    if ctx.classes.timing || !matches!(ctx.role, Role::Lib | Role::Bin) {
+        return;
+    }
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || ctx.in_test(index) {
+            continue;
+        }
+        let hit = match token.text.as_str() {
+            // Any mention of the wall-clock type is a hazard.
+            "SystemTime" => true,
+            // `Instant` is flagged at the acquisition point: `Instant :: now`.
+            "Instant" => {
+                is_punct(ctx, index + 1, ':')
+                    && is_punct(ctx, index + 2, ':')
+                    && ctx
+                        .tokens
+                        .get(index + 3)
+                        .map(|t| t.kind == TokenKind::Ident && t.text == "now")
+                        .unwrap_or(false)
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(finding(
+                ctx,
+                WALL_CLOCK,
+                severity,
+                token,
+                format!(
+                    "`{}` read in a non-timing module: results must be a pure function of \
+                     (trace, seed, config); inject time, mark the module `timing` in \
+                     analysis.toml, or justify that the value never reaches a result",
+                    token.text
+                ),
+            ));
+        }
+    }
+}
+
+fn is_punct(ctx: &FileCtx<'_>, index: usize, c: char) -> bool {
+    ctx.tokens
+        .get(index)
+        .map(|t| t.kind == TokenKind::Punct && t.text.starts_with(c))
+        .unwrap_or(false)
+}

@@ -1,0 +1,154 @@
+//! Rendering lint results for humans (`text`) and machines (`json`).
+//!
+//! The JSON schema is versioned (`"schema": "grass-analysis/1"`) and pinned by
+//! `tests/json_format.rs` so pre-commit hooks and bench tooling can consume it
+//! without tracking this crate's internals.
+
+use crate::finding::{Finding, Severity};
+
+/// Aggregate counts for one lint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Files scanned (after `skip` filtering).
+    pub files: usize,
+    /// Unsuppressed error-severity findings.
+    pub errors: usize,
+    /// Unsuppressed warn-severity findings.
+    pub warnings: usize,
+    /// Suppressed findings (line directives or path-scoped allows).
+    pub suppressed: usize,
+}
+
+/// Count findings by disposition.
+pub fn summarize(findings: &[Finding], files: usize) -> Summary {
+    let mut summary = Summary {
+        files,
+        errors: 0,
+        warnings: 0,
+        suppressed: 0,
+    };
+    for finding in findings {
+        if finding.suppressed.is_some() {
+            summary.suppressed += 1;
+        } else {
+            match finding.severity {
+                Severity::Error => summary.errors += 1,
+                Severity::Warn => summary.warnings += 1,
+                Severity::Off => {}
+            }
+        }
+    }
+    summary
+}
+
+/// Human-readable report: one line per unsuppressed finding plus a summary.
+pub fn render_text(findings: &[Finding], summary: &Summary) -> String {
+    let mut out = String::new();
+    for finding in findings {
+        if finding.suppressed.is_some() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{}[{}] {}:{}:{}: {}\n",
+            finding.severity,
+            finding.lint,
+            finding.path,
+            finding.line,
+            finding.column,
+            finding.message
+        ));
+    }
+    out.push_str(&format!(
+        "grass-analysis: {} error{}, {} warning{}, {} suppressed across {} file{}\n",
+        summary.errors,
+        plural(summary.errors),
+        summary.warnings,
+        plural(summary.warnings),
+        summary.suppressed,
+        summary.files,
+        plural(summary.files),
+    ));
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Machine-readable report. Schema `grass-analysis/1`:
+///
+/// ```json
+/// {
+///   "schema": "grass-analysis/1",
+///   "summary": {"files": 0, "errors": 0, "warnings": 0, "suppressed": 0},
+///   "findings": [
+///     {"lint": "...", "severity": "error", "path": "...", "line": 1,
+///      "column": 1, "message": "...", "suppressed": false, "reason": null}
+///   ]
+/// }
+/// ```
+///
+/// `findings` includes suppressed entries (with `"suppressed": true` and the
+/// justification in `"reason"`) so tooling can audit the suppression set.
+pub fn render_json(findings: &[Finding], summary: &Summary) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"grass-analysis/1\",\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"files\": {}, \"errors\": {}, \"warnings\": {}, \"suppressed\": {}}},\n",
+        summary.files, summary.errors, summary.warnings, summary.suppressed
+    ));
+    out.push_str("  \"findings\": [");
+    for (index, finding) in findings.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"lint\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
+             \"message\": {}, \"suppressed\": {}, \"reason\": {}",
+            json_string(finding.lint),
+            json_string(finding.severity.as_str()),
+            json_string(&finding.path),
+            finding.line,
+            finding.column,
+            json_string(&finding.message),
+            finding.suppressed.is_some(),
+            match &finding.suppressed {
+                Some(reason) => json_string(reason),
+                None => "null".to_string(),
+            },
+        ));
+        out.push('}');
+    }
+    if findings.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Encode `text` as a JSON string literal.
+pub fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,239 @@
+//! Per-line suppression directives.
+//!
+//! A finding is suppressed by a comment directive of the form
+//!
+//! ```text
+//! let t = m.lock(); // grass: allow(nested-lock, "single-threaded setup path")
+//! ```
+//!
+//! The reason string is **mandatory** — a directive without one is itself a
+//! finding (`malformed-suppression`). A directive in a comment that shares a
+//! line with code applies to that line; a directive on a line of its own
+//! applies to the next line that holds code (so it can sit above the offending
+//! statement). Directives are only recognised in plain comments: the same text
+//! inside a string literal is inert (the lexer never scans string contents for
+//! directives), and doc comments (`///`, `//!`, `/** … */`, `/*! … */`) are
+//! documentation — a directive shown there as an example is not applied.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::LexedFile;
+use crate::lints;
+
+/// One parsed `grass: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Lint id being allowed.
+    pub lint: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line of the comment holding the directive.
+    pub comment_line: u32,
+    /// Line whose findings it suppresses (0 when dangling at end of file).
+    pub target_line: u32,
+}
+
+/// A directive that could not be parsed.
+#[derive(Debug, Clone)]
+pub struct SuppressionError {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+const MARKER: &str = "grass:";
+
+/// Extract all suppression directives (and directive errors) from a lexed file.
+pub fn parse_suppressions(lexed: &LexedFile) -> (Vec<Suppression>, Vec<SuppressionError>) {
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let mut found = Vec::new();
+    let mut errors = Vec::new();
+    for comment in &lexed.comments {
+        // Doc comments are documentation: `///` / `//!` bodies start with `/`
+        // or `!` (`/** */` and `/*! */` with `*` or `!`). Example directives
+        // in docs must not be applied — or counted as unused.
+        if matches!(comment.text.chars().next(), Some('/' | '!' | '*')) {
+            continue;
+        }
+        let mut rest = comment.text.as_str();
+        while let Some(at) = rest.find(MARKER) {
+            let after = rest.get(at + MARKER.len()..).unwrap_or("");
+            // Prose mentions of the `grass::` crate path, or of identifiers
+            // merely ending in "grass", are not directives.
+            let path_not_directive = after.starts_with(':');
+            let mid_word = rest
+                .get(..at)
+                .and_then(|before| before.chars().next_back())
+                .map(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                .unwrap_or(false);
+            if path_not_directive || mid_word {
+                rest = after;
+                continue;
+            }
+            match parse_directive(after) {
+                Ok((lint, reason)) => found.push(Suppression {
+                    lint,
+                    reason,
+                    comment_line: comment.line,
+                    target_line: target_line(comment, &token_lines),
+                }),
+                Err(message) => errors.push(SuppressionError {
+                    line: comment.line,
+                    message,
+                }),
+            }
+            rest = after;
+        }
+    }
+    (found, errors)
+}
+
+/// The code line a directive applies to: its own line when the comment trails
+/// code, otherwise the next line holding a token.
+fn target_line(comment: &crate::lexer::Comment, token_lines: &BTreeSet<u32>) -> u32 {
+    if token_lines.contains(&comment.line) {
+        return comment.line;
+    }
+    // A block comment can end on a line that code then continues.
+    if token_lines.contains(&comment.end_line) {
+        return comment.end_line;
+    }
+    token_lines
+        .range(comment.end_line + 1..)
+        .next()
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Parse `allow(<lint-id>, "<reason>")` after the `grass:` marker.
+fn parse_directive(text: &str) -> Result<(String, String), String> {
+    let rest = text.trim_start();
+    let rest = rest.strip_prefix("allow").ok_or_else(|| {
+        "unknown grass directive; expected `allow(<lint>, \"<reason>\")`".to_string()
+    })?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let id_len = rest
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-'))
+        .map(|(index, _)| index)
+        .unwrap_or(rest.len());
+    let lint = rest.get(..id_len).unwrap_or("").to_string();
+    if lint.is_empty() {
+        return Err("missing lint id in `allow(...)`".to_string());
+    }
+    if !lints::is_known_lint(&lint) {
+        return Err(format!("unknown lint id `{lint}` in `allow(...)`"));
+    }
+    let rest = rest.get(id_len..).unwrap_or("").trim_start();
+    if rest.starts_with(')') {
+        return Err(format!(
+            "suppression of `{lint}` has no reason — every allow must justify itself: allow({lint}, \"<why>\")"
+        ));
+    }
+    let rest = rest
+        .strip_prefix(',')
+        .ok_or_else(|| "expected `,` between lint id and reason".to_string())?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = rest.get(..end).unwrap_or("").to_string();
+    if reason.trim().is_empty() {
+        return Err("reason string must not be empty".to_string());
+    }
+    let rest = rest.get(end + 1..).unwrap_or("").trim_start();
+    if !rest.starts_with(')') {
+        return Err("expected `)` after reason".to_string());
+    }
+    Ok((lint, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(source: &str) -> (Vec<Suppression>, Vec<SuppressionError>) {
+        parse_suppressions(&lex(source))
+    }
+
+    #[test]
+    fn trailing_directive_targets_its_own_line() {
+        let (sups, errs) = parse("let x = 1; // grass: allow(unseeded-rng, \"seeded upstream\")\n");
+        assert!(errs.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].lint, "unseeded-rng");
+        assert_eq!(sups[0].reason, "seeded upstream");
+        assert_eq!(sups[0].target_line, 1);
+    }
+
+    #[test]
+    fn own_line_directive_targets_next_code_line() {
+        let src = "\n// grass: allow(nested-lock, \"why\")\n// another comment\nlet x = 1;\n";
+        let (sups, _) = parse(src);
+        assert_eq!(sups[0].comment_line, 2);
+        assert_eq!(sups[0].target_line, 4);
+    }
+
+    #[test]
+    fn directive_inside_string_is_inert() {
+        let src = "let s = \"grass: allow(unseeded-rng, \\\"nope\\\")\";\n";
+        let (sups, errs) = parse(src);
+        assert!(sups.is_empty() && errs.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (sups, errs) = parse("// grass: allow(unseeded-rng)\n");
+        assert!(sups.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("no reason"), "{}", errs[0].message);
+    }
+
+    #[test]
+    fn unknown_lint_is_an_error() {
+        let (_, errs) = parse("// grass: allow(made-up, \"x\")\n");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unknown lint id"));
+    }
+
+    #[test]
+    fn two_directives_in_one_comment() {
+        let src = "x(); // grass: allow(unseeded-rng, \"a\") grass: allow(nested-lock, \"b\")\n";
+        let (sups, errs) = parse(src);
+        assert!(errs.is_empty());
+        assert_eq!(sups.len(), 2);
+    }
+
+    #[test]
+    fn crate_path_mentions_are_not_directives() {
+        let (sups, errs) = parse("let x = 1; // see `use grass::prelude::*` and seagrass: too\n");
+        assert!(sups.is_empty());
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn doc_comment_directives_are_inert() {
+        let src = "\
+/// Suppress with: grass: allow(unseeded-rng, \"why\")\n\
+//! grass: allow(nested-lock, \"module doc\")\n\
+/** grass: allow(nested-lock, \"block doc\") */\n\
+let x = 1;\n";
+        let (sups, errs) = parse(src);
+        assert!(sups.is_empty(), "doc comments must not suppress");
+        assert!(errs.is_empty(), "doc comments must not error");
+    }
+
+    #[test]
+    fn dangling_directive_has_no_target() {
+        let (sups, _) = parse("let x = 1;\n// grass: allow(unseeded-rng, \"nothing follows\")\n");
+        assert_eq!(sups[0].target_line, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: path-scoped `[[allow]]`. The corpus configuration allows
+//! `wall-clock-in-core` for this file, so the finding below is suppressed
+//! with the configured reason rather than reported.
+
+use std::time::SystemTime;
+
+pub fn stamp() -> u128 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

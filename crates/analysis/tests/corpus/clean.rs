@@ -1,0 +1,21 @@
+//! Fixture: deterministic, robust code. This file carries both the `digest`
+//! and `library` classes and must produce zero findings.
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[(u64, f64)]) -> BTreeMap<u64, f64> {
+    let mut out = BTreeMap::new();
+    for (k, v) in xs {
+        *out.entry(*k).or_insert(0.0) += *v;
+    }
+    out
+}
+
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}
+
+pub fn head(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

@@ -1,0 +1,29 @@
+//! Fixture: `nan-unsafe-cmp`. Every NaN-unsafe comparator sink is flagged,
+//! including inside `#[cfg(test)]` (a NaN-unsafe comparator weakens the test).
+
+use std::cmp::Ordering;
+
+pub fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ nan-unsafe-cmp
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("comparable")); //~ nan-unsafe-cmp
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); //~ nan-unsafe-cmp
+    xs.sort_by(|a, b| {
+        b.partial_cmp(a) //~ nan-unsafe-cmp
+            .unwrap_or_else(|| Ordering::Equal)
+    });
+    xs.sort_by(|a, b| a.total_cmp(b)); // ok: total order
+    xs
+}
+
+pub fn fine(a: f64, b: f64) -> Option<Ordering> {
+    a.partial_cmp(&b) // ok: the None case is the caller's to handle
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn flagged_in_tests_too() {
+        let mut xs = vec![1.0_f64, 0.5];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ nan-unsafe-cmp
+    }
+}

@@ -1,0 +1,58 @@
+//! Fixture: `nested-lock`. Acquiring a second guard while one is live is
+//! flagged; explicit `drop`, block scoping and statement temporaries are the
+//! sanctioned shapes.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Pair {
+    left: Mutex<Vec<u64>>,
+    right: Mutex<Vec<u64>>,
+}
+
+impl Pair {
+    pub fn transfer(&self) {
+        let mut from = self.left.lock();
+        let mut to = self.right.lock(); //~ nested-lock
+        to.append(&mut from);
+    }
+
+    pub fn drained(&self) -> usize {
+        let mut from = self.left.lock();
+        let taken: Vec<u64> = from.drain(..).collect();
+        drop(from);
+        let mut to = self.right.lock(); // ok: the first guard was dropped
+        to.extend(taken);
+        to.len()
+    }
+
+    pub fn staged(&self) -> usize {
+        let taken: Vec<u64> = {
+            let mut from = self.left.lock();
+            from.drain(..).collect()
+        };
+        let mut to = self.right.lock(); // ok: the first guard died with its block
+        to.extend(taken);
+        to.len()
+    }
+
+    pub fn counts(&self) {
+        self.left.lock().push(1);
+        self.right.lock().push(2); // ok: the temporary died at the semicolon
+    }
+}
+
+pub struct Table {
+    map: RwLock<Vec<u64>>,
+    log: Mutex<Vec<u64>>,
+}
+
+impl Table {
+    pub fn audit(&self) {
+        let snapshot = self.map.read();
+        self.log.lock().extend(snapshot.iter().copied()); //~ nested-lock
+    }
+
+    pub fn fill(stream: &mut dyn std::io::Read, buf: &mut [u8]) -> usize {
+        stream.read(buf).unwrap_or(0) // ok: `io::Read::read` takes arguments
+    }
+}

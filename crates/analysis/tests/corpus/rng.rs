@@ -1,0 +1,38 @@
+//! Fixture: `unseeded-rng`. OS-entropy sources are flagged everywhere,
+//! including tests — an unseeded RNG makes a failure unreproducible.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); //~ unseeded-rng
+    rng.gen()
+}
+
+pub fn respawn() -> StdRng {
+    StdRng::from_entropy() //~ unseeded-rng
+}
+
+pub fn handle() -> rand::rngs::ThreadRng {
+    //~^ unseeded-rng
+    rand::thread_rng() //~ unseeded-rng
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed) // ok: derived from configuration
+}
+
+/// A local definition is not a use (this mirrors the rand shim itself).
+pub fn from_entropy() -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseeded_in_tests_is_still_flagged() {
+        let mut rng = rand::thread_rng(); //~ unseeded-rng
+        assert!(rng.gen::<u64>() >= 0);
+    }
+}

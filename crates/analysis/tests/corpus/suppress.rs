@@ -1,0 +1,35 @@
+//! Fixture: suppression mechanics. Valid directives silence their target line
+//! (own-line form targets the next code line, trailing form its own line);
+//! malformed directives and unused directives are findings in their own right.
+
+use rand::Rng;
+
+pub fn allowed() -> u64 {
+    // grass: allow(unseeded-rng, "fixture: demonstrating a justified suppression")
+    let mut rng = rand::thread_rng(); // suppressed by the directive above
+    rng.gen()
+}
+
+pub fn allowed_trailing() -> u64 {
+    let mut rng = rand::thread_rng(); // grass: allow(unseeded-rng, "fixture: trailing form")
+    rng.gen()
+}
+
+pub fn broken() -> u64 {
+    // grass: allow(unseeded-rng)
+    //~^ malformed-suppression
+    let mut rng = rand::thread_rng(); //~ unseeded-rng
+    rng.gen()
+}
+
+pub fn unknown() -> u64 {
+    // grass: allow(no-such-lint, "fixture: unknown lint id")
+    //~^ malformed-suppression
+    7
+}
+
+pub fn tidy() -> u64 {
+    // grass: allow(nan-unsafe-cmp, "fixture: nothing here triggers it")
+    //~^ unused-suppression
+    7
+}

@@ -1,0 +1,28 @@
+//! Fixture: `unordered-iter-on-digest-path`. This file is marked `digest` by
+//! the corpus configuration; every `HashMap`/`HashSet` mention outside tests
+//! is flagged (deduplicated per line), ordered collections are not.
+
+use std::collections::{BTreeMap, HashMap, HashSet}; //~ unordered-iter-on-digest-path
+
+pub struct Index {
+    by_task: HashMap<u64, usize>, //~ unordered-iter-on-digest-path
+    seen: HashSet<u64>, //~ unordered-iter-on-digest-path
+    ordered: BTreeMap<u64, usize>, // ok: deterministic iteration order
+}
+
+pub struct Cache {
+    // grass: allow(unordered-iter-on-digest-path, "fixture: keyed lookup only, never iterated")
+    slots: HashMap<u64, Vec<u8>>, // suppressed: carries a justification
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // ok: test code is exempt
+
+    #[test]
+    fn lookup() {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: `wall-clock-in-core`. This file carries no `timing` class, so
+//! `SystemTime` mentions and `Instant::now()` acquisitions are flagged.
+
+use std::time::{Duration, Instant, SystemTime}; //~ wall-clock-in-core
+
+pub fn epoch_millis() -> u128 {
+    SystemTime::now() //~ wall-clock-in-core
+        .duration_since(SystemTime::UNIX_EPOCH) //~ wall-clock-in-core
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+pub fn measure<F: FnOnce()>(f: F) -> Duration {
+    let begin = Instant::now(); //~ wall-clock-in-core
+    f();
+    begin.elapsed() // ok: only the acquisition point is flagged
+}
+
+pub fn injected(now_ms: u64) -> u64 {
+    now_ms // ok: time injected by the caller keeps results reproducible
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let begin = Instant::now(); // ok: test code is exempt
+        assert!(begin.elapsed().as_secs() < 60);
+    }
+}

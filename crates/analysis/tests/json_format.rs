@@ -1,0 +1,54 @@
+//! Pins the `repro lint --format json` schema (`grass-analysis/1`)
+//! byte-for-byte. Tooling consumes this output; widen the schema by bumping
+//! the version string, never by silently reshaping version 1.
+
+use grass_analysis::{lint_source, render_json, summarize, AnalysisConfig, Finding};
+
+#[test]
+fn one_finding_schema_is_pinned() {
+    let source =
+        "pub fn roll() -> u64 {\n    let mut rng = rand::thread_rng();\n    rng.gen()\n}\n";
+    let findings = lint_source("demo/src/lib.rs", source, &AnalysisConfig::default());
+    let summary = summarize(&findings, 1);
+    let json = render_json(&findings, &summary);
+
+    let expected = "{\n\
+        \x20 \"schema\": \"grass-analysis/1\",\n\
+        \x20 \"summary\": {\"files\": 1, \"errors\": 1, \"warnings\": 0, \"suppressed\": 0},\n\
+        \x20 \"findings\": [\n\
+        \x20   {\"lint\": \"unseeded-rng\", \"severity\": \"error\", \"path\": \"demo/src/lib.rs\", \
+        \"line\": 2, \"column\": 25, \"message\": \"`thread_rng` draws OS entropy and destroys \
+        reproducibility; seed a `StdRng` (`SeedableRng::seed_from_u64`) from a config or derived \
+        seed instead\", \"suppressed\": false, \"reason\": null}\n\
+        \x20 ]\n\
+        }\n";
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn clean_run_schema_is_pinned() {
+    let findings: Vec<Finding> = Vec::new();
+    let summary = summarize(&findings, 42);
+    let json = render_json(&findings, &summary);
+    let expected = "{\n\
+        \x20 \"schema\": \"grass-analysis/1\",\n\
+        \x20 \"summary\": {\"files\": 42, \"errors\": 0, \"warnings\": 0, \"suppressed\": 0},\n\
+        \x20 \"findings\": []\n\
+        }\n";
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn suppressed_findings_keep_their_reason_in_json() {
+    let source = "pub fn roll() -> u64 {\n    \
+         let mut rng = rand::thread_rng(); // grass: allow(unseeded-rng, \"seeded upstream\")\n    \
+         rng.gen()\n}\n";
+    let findings = lint_source("demo/src/lib.rs", source, &AnalysisConfig::default());
+    assert_eq!(findings.len(), 1);
+    let summary = summarize(&findings, 1);
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.suppressed, 1);
+    let json = render_json(&findings, &summary);
+    assert!(json.contains("\"suppressed\": true"));
+    assert!(json.contains("\"reason\": \"seeded upstream\""));
+}

@@ -32,20 +32,15 @@ impl Default for StrawmanConfig {
 }
 
 /// Which switching rule a GRASS instance uses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum SwitchStrategy {
     /// Learned switching over the sample store (the real GRASS).
+    #[default]
     Learned,
     /// Static two-wave strawman (§6.3.2).
     Strawman(StrawmanConfig),
     /// Never switch (pure RAS, useful for tests and ablations).
     Never,
-}
-
-impl Default for SwitchStrategy {
-    fn default() -> Self {
-        SwitchStrategy::Learned
-    }
 }
 
 /// Parameters of the learned evaluation.

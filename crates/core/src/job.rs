@@ -216,7 +216,7 @@ impl JobSpec {
             return 0.0;
         }
         w.sort_by(f64::total_cmp);
-        w[w.len() / 2]
+        w.get(w.len() / 2).copied().unwrap_or(0.0)
     }
 
     /// Task ids belonging to the given stage.

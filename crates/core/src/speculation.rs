@@ -119,9 +119,11 @@ fn choose_deadline(view: &JobView, mode: SpeculationMode) -> Option<Action> {
             // strict win and takes priority (Figure 1, right). Otherwise launch the
             // shortest fresh task that fits the deadline.
             if let Some(s) = speculative.into_iter().max_by(|a, b| {
+                // Candidates were filtered on `speculation_saving().is_some_and(..)`
+                // above; NEG_INFINITY keeps the comparator total if that ever changes.
                 a.speculation_saving()
-                    .unwrap()
-                    .total_cmp(&b.speculation_saving().unwrap())
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .total_cmp(&b.speculation_saving().unwrap_or(f64::NEG_INFINITY))
             }) {
                 return Some(Action::speculate(s.id));
             }
@@ -203,9 +205,11 @@ fn choose_error(view: &JobView, mode: SpeculationMode) -> Option<Action> {
         }
         SpeculationMode::Ras => {
             if let Some(s) = speculative.into_iter().max_by(|a, b| {
+                // Candidates were filtered on `speculation_saving().is_some_and(..)`
+                // above; NEG_INFINITY keeps the comparator total if that ever changes.
                 a.speculation_saving()
-                    .unwrap()
-                    .total_cmp(&b.speculation_saving().unwrap())
+                    .unwrap_or(f64::NEG_INFINITY)
+                    .total_cmp(&b.speculation_saving().unwrap_or(f64::NEG_INFINITY))
             }) {
                 return Some(Action::speculate(s.id));
             }

@@ -15,6 +15,7 @@
 //! repro fleet serve <workload.trace|dir> [grid flags] [--port P] [--cache <dir>]
 //! repro fleet work --connect <host:port> [--id NAME] [--stall-ms N]
 //! repro fleet run <workload.trace|dir> [grid flags] [--workers N] [--cache <dir>]
+//! repro lint [--format text|json] [--root <dir>] [paths...]
 //! ```
 //!
 //! With no experiment ids, every experiment is run in paper order. `--quick` uses the
@@ -28,8 +29,8 @@
 use std::process::ExitCode;
 
 use grass_experiments::{
-    experiment_ids, run_experiment, run_fleet_command, run_sweep_command, run_trace_command,
-    ExpConfig,
+    experiment_ids, run_experiment, run_fleet_command, run_lint_command, run_sweep_command,
+    run_trace_command, ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -49,6 +50,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("repro sweep: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return match run_lint_command(&args[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("repro lint: {message}");
                 ExitCode::FAILURE
             }
         };
@@ -142,6 +153,7 @@ fn print_help() {
     println!("       repro fleet work --connect <host:port> [--id NAME] [--stall-ms N]");
     println!("       repro fleet run <workload.trace|dir> [grid flags] [--workers N]");
     println!("                       [--cache <dir>] [--test-profile] [timing flags]");
+    println!("       repro lint [--format text|json] [--root <dir>] [paths...]");
     println!();
     println!("Experiment ids:");
     for id in experiment_ids() {

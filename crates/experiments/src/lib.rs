@@ -17,6 +17,7 @@ pub mod common;
 pub mod dag;
 pub mod fleet;
 pub mod gains;
+pub mod lint_cli;
 pub mod sweep;
 pub mod tables;
 pub mod trace_cli;
@@ -29,6 +30,7 @@ pub use fleet::{
     run_fleet_command, run_sweep_with_cache, trace_identity, FleetCellSpec, FleetPlan, ResumeStats,
     SweepCellRunner,
 };
+pub use lint_cli::run_lint_command;
 pub use sweep::{
     assemble_sweep_result, merge_seed_sets, parse_policy, run_sweep, run_sweep_cell,
     run_sweep_command, SweepCell, SweepConfig, SweepResult,

@@ -303,6 +303,7 @@ pub fn merge_seed_sets(sets: impl IntoIterator<Item = OutcomeSet>) -> OutcomeSet
 /// to a serial run.
 pub fn run_sweep(source: &(dyn JobSource + Sync), config: &SweepConfig) -> SweepResult {
     let units = config.units();
+    // grass: allow(wall-clock-in-core, "elapsed is operator-facing metadata; digests and comparisons never read it")
     let started = Instant::now();
     let sets = run_units(source, config, &units);
     assemble_sweep_result(source, config, sets, started.elapsed())

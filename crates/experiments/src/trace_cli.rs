@@ -334,6 +334,7 @@ fn gen(args: &[String]) -> Result<(), String> {
         machines,
         slots_per_machine: slots,
     };
+    // grass: allow(wall-clock-in-core, "elapsed is reported on stderr only; it never reaches a result")
     let started = std::time::Instant::now();
     let file =
         std::fs::File::create(&out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;

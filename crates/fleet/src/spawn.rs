@@ -101,7 +101,7 @@ pub fn run_fleet(
     })
 }
 
-fn kill_all(children: &mut Vec<Option<Child>>) {
+fn kill_all(children: &mut [Option<Child>]) {
     for slot in children.iter_mut().flatten() {
         let _ = slot.kill();
         let _ = slot.wait();

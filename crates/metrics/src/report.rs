@@ -106,10 +106,12 @@ impl Table {
             .map(|(label, cells)| (label.clone(), cells.iter().map(Cell::render).collect()))
             .collect();
         for (label, cells) in &rendered_rows {
-            widths[0] = widths[0].max(label.len());
+            if let Some(w) = widths.first_mut() {
+                *w = (*w).max(label.len());
+            }
             for (i, c) in cells.iter().enumerate() {
-                if i + 1 < widths.len() {
-                    widths[i + 1] = widths[i + 1].max(c.len());
+                if let Some(w) = widths.get_mut(i + 1) {
+                    *w = (*w).max(c.len());
                 }
             }
         }
@@ -118,15 +120,16 @@ impl Table {
         let header: Vec<String> = self
             .columns
             .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .zip(&widths)
+            .map(|(c, w)| format!("{:<width$}", c, width = w))
             .collect();
         out.push_str(&header.join("  "));
         out.push('\n');
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for (label, cells) in &rendered_rows {
-            let mut fields = vec![format!("{:<width$}", label, width = widths[0])];
+            let label_width = widths.first().copied().unwrap_or(0);
+            let mut fields = vec![format!("{:<width$}", label, width = label_width)];
             for (i, c) in cells.iter().enumerate() {
                 let w = widths.get(i + 1).copied().unwrap_or(8);
                 fields.push(format!("{:>width$}", c, width = w));

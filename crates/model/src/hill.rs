@@ -22,11 +22,12 @@ pub fn hill_estimate(sorted_desc: &[f64], k: usize) -> Option<f64> {
     if k == 0 || k + 1 > sorted_desc.len() {
         return None;
     }
-    let threshold = sorted_desc[k];
+    let &threshold = sorted_desc.get(k)?;
     if threshold <= 0.0 {
         return None;
     }
-    let mean_log: f64 = sorted_desc[..k]
+    let mean_log: f64 = sorted_desc
+        .get(..k)?
         .iter()
         .map(|&x| (x / threshold).ln())
         .sum::<f64>()
@@ -79,9 +80,9 @@ pub fn tail_index(samples: &[f64]) -> Option<f64> {
     }
     let lo = plot.len() / 4;
     let hi = (3 * plot.len() / 4).max(lo + 1);
-    let mut betas: Vec<f64> = plot[lo..hi].iter().map(|p| p.beta).collect();
+    let mut betas: Vec<f64> = plot.get(lo..hi)?.iter().map(|p| p.beta).collect();
     betas.sort_by(f64::total_cmp);
-    Some(betas[betas.len() / 2])
+    betas.get(betas.len() / 2).copied()
 }
 
 #[cfg(test)]

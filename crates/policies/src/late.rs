@@ -79,7 +79,7 @@ impl LatePolicy {
         }
         rates.sort_by(f64::total_cmp);
         let idx = ((rates.len() as f64) * self.config.slow_task_threshold).floor() as usize;
-        Some(rates[idx.min(rates.len() - 1)])
+        rates.get(idx.min(rates.len() - 1)).copied()
     }
 
     fn speculation_candidate<'v>(&self, view: &'v JobView) -> Option<&'v TaskView> {
@@ -187,8 +187,10 @@ mod tests {
 
     #[test]
     fn speculative_cap_limits_concurrent_duplicates() {
-        let mut config = LateConfig::default();
-        config.speculative_cap = 0.5; // budget = 2 for wave width 4
+        let config = LateConfig {
+            speculative_cap: 0.5, // budget = 2 for wave width 4
+            ..LateConfig::default()
+        };
         let tasks = vec![
             running_task(0, 60.0, 3.0, 2),
             running_task(1, 50.0, 3.0, 2),
@@ -198,7 +200,10 @@ mod tests {
         // Two speculative copies already running == budget, so no more.
         assert!(LatePolicy::new(config).choose(&view).is_none());
         // With a larger cap it speculates task 2, the slowest task with a single copy.
-        config.speculative_cap = 0.9;
+        let config = LateConfig {
+            speculative_cap: 0.9,
+            ..config
+        };
         let a = LatePolicy::new(config).choose(&view).unwrap();
         assert_eq!(a.task, TaskId(2));
     }

@@ -42,7 +42,9 @@ struct ScheduledEvent {
 
 impl PartialEq for ScheduledEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        // Must agree with `Ord::cmp` below (total order), so compare times with
+        // `total_cmp` rather than `==` (under which NaN != NaN).
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.seq == other.seq
     }
 }
 
@@ -51,10 +53,12 @@ impl Eq for ScheduledEvent {}
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        // `total_cmp` is a total order, so a NaN that slips past the push-side
+        // debug_assert cannot break heap transitivity (it sorts last instead of
+        // comparing Equal to everything, which silently scrambled pop order).
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -35,7 +35,7 @@ pub fn run_reference(
     factory: &dyn PolicyFactory,
 ) -> SimResult {
     let mut sink = NullSink;
-    ReferenceSimulator::new(config.clone(), jobs, factory, &mut sink).run()
+    ReferenceSimulator::new(*config, jobs, factory, &mut sink).run()
 }
 
 /// Run the frozen reference engine while streaming every scheduling-level event
@@ -47,7 +47,7 @@ pub fn run_reference_traced(
     factory: &dyn PolicyFactory,
     sink: &mut dyn TraceSink,
 ) -> SimResult {
-    ReferenceSimulator::new(config.clone(), jobs, factory, sink).run()
+    ReferenceSimulator::new(*config, jobs, factory, sink).run()
 }
 
 struct ReferenceSimulator<'a> {

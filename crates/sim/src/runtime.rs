@@ -206,6 +206,7 @@ impl JobRuntime {
 
     /// Number of input-stage tasks required for this job's bound.
     fn stage_needed(&self, stage: usize) -> usize {
+        // grass: allow(panicky-lib, "stage indices come from iterating this spec's own stages")
         let count = self.spec.stages[stage].task_count;
         if stage == 0 {
             match self.spec.bound {
@@ -223,12 +224,14 @@ impl JobRuntime {
         if stage == 0 {
             return true;
         }
+        // grass: allow(panicky-lib, "completed_per_stage is sized from spec.stages at construction")
         self.completed_per_stage[stage - 1] >= self.stage_needed(stage - 1)
     }
 
     /// Whether every stage has met its completion requirement (error-bound jobs
     /// finish when this becomes true).
     pub fn bound_satisfied(&self) -> bool {
+        // grass: allow(panicky-lib, "completed_per_stage is sized from spec.stages at construction")
         (0..self.spec.stages.len()).all(|s| self.completed_per_stage[s] >= self.stage_needed(s))
     }
 
@@ -359,6 +362,7 @@ impl JobRuntime {
         estimator: &EstimatorConfig,
         rng: &mut R,
     ) {
+        // grass: allow(panicky-lib, "TaskIds are minted by this runtime's constructor; index is always valid")
         let t = &mut self.tasks[task.index()];
         debug_assert!(!t.finished, "launched a copy of a finished task");
         let speculative = !t.copies.is_empty();
@@ -401,6 +405,7 @@ impl JobRuntime {
         effect: &mut CompletionEffect,
     ) {
         effect.reset();
+        // grass: allow(panicky-lib, "TaskIds are minted by this runtime's constructor; index is always valid")
         let t = &mut self.tasks[task.index()];
         let Some(pos) = t.copies.iter().position(|c| c.id == copy_id) else {
             effect.stale = true;
@@ -434,6 +439,7 @@ impl JobRuntime {
         let tnew_bias = t.tnew_bias;
         let rem_bias = finishing.rem_bias;
         let actual = finishing.duration;
+        // grass: allow(panicky-lib, "stage comes from this task's spec; completed_per_stage is sized from spec.stages")
         self.completed_per_stage[stage] += 1;
         if work > 0.0 && actual > 0.0 {
             self.duration_per_work.push(actual / work);

@@ -142,13 +142,16 @@ impl<R: BufRead> FrameReader<R> {
             }
         })?;
         self.offset += header.len() as u64;
+        // grass: allow(panicky-lib, "constant offsets into the fixed 14-byte header array")
         if &header[..MAGIC.len()] != MAGIC.as_bytes() || header[MAGIC.len()] != MAGIC_TERMINATOR {
             return Err(TraceError::BadMagic);
         }
+        // grass: allow(panicky-lib, "constant offsets into the fixed 14-byte header array")
         let version = header[12];
         if u32::from(version) != BINARY_FORMAT_VERSION {
             return Err(TraceError::UnsupportedVersion(u32::from(version)));
         }
+        // grass: allow(panicky-lib, "constant offsets into the fixed 14-byte header array")
         match header[13] {
             0 => Ok(StreamKind::Workload),
             1 => Ok(StreamKind::Execution),
@@ -198,7 +201,7 @@ impl<R: BufRead> FrameReader<R> {
         loop {
             let mut byte = [0u8; 1];
             self.read_exact(&mut byte)?;
-            let byte = byte[0];
+            let [byte] = byte;
             if shift == 63 && byte > 1 {
                 return Err(frame_err(start, "varint overflows 64 bits"));
             }
@@ -242,13 +245,14 @@ impl<'a> Body<'a> {
                 format!("frame ends inside {what} ({n} bytes needed)"),
             ));
         }
+        // grass: allow(panicky-lib, "range proven in bounds by the remaining-bytes check above")
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)
     }
 
     fn take_u8(&mut self, what: &str) -> Result<u8, TraceError> {
-        Ok(self.take(1, what)?[0])
+        Ok(self.take(1, what)?.first().copied().unwrap_or(0))
     }
 
     fn take_bool(&mut self, what: &str) -> Result<bool, TraceError> {
@@ -261,10 +265,12 @@ impl<'a> Body<'a> {
     }
 
     fn take_f64(&mut self, what: &str) -> Result<f64, TraceError> {
+        let at = self.offset();
         let bytes = self.take(8, what)?;
-        Ok(f64::from_bits(u64::from_le_bytes(
-            bytes.try_into().expect("slice of 8"),
-        )))
+        let bytes: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| frame_err(at, format!("{what} is not 8 bytes")))?;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
     }
 
     fn take_varint(&mut self, what: &str) -> Result<u64, TraceError> {

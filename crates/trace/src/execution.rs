@@ -77,6 +77,7 @@ impl ExecutionTrace {
     pub fn to_bytes_as(&self, format: TraceFormat) -> Vec<u8> {
         let mut buf = Vec::new();
         self.write_as(&mut buf, format)
+            // grass: allow(panicky-lib, "documented panic: unreachable for real event streams; write_as is the fallible variant")
             .unwrap_or_else(|e| panic!("in-memory {format} encode failed: {e}"));
         buf
     }

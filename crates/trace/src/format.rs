@@ -179,9 +179,11 @@ pub fn codec_for(format: TraceFormat) -> Box<dyn TraceCodec> {
 /// including a stream shorter than the magic itself — is [`TraceError::BadMagic`].
 pub fn sniff_format(prefix: &[u8]) -> Result<TraceFormat, TraceError> {
     let magic = MAGIC.as_bytes();
+    // grass: allow(panicky-lib, "SNIFF_LEN > MAGIC.len(), checked on the line itself")
     if prefix.len() < SNIFF_LEN || &prefix[..magic.len()] != magic {
         return Err(TraceError::BadMagic);
     }
+    // grass: allow(panicky-lib, "SNIFF_LEN > MAGIC.len(), checked by the guard above")
     match prefix[magic.len()] {
         b' ' => Ok(TraceFormat::Text),
         0 => Ok(TraceFormat::Binary),
@@ -193,6 +195,7 @@ pub fn sniff_format(prefix: &[u8]) -> Result<TraceFormat, TraceError> {
 /// records.
 pub fn sniff_bytes(bytes: &[u8]) -> Result<(TraceFormat, StreamKind), TraceError> {
     let format = sniff_format(bytes)?;
+    // grass: allow(panicky-lib, "a full-range slice `[..]` cannot be out of bounds")
     let kind = codec_for(format).peek_kind(&mut &bytes[..])?;
     Ok((format, kind))
 }

@@ -148,11 +148,10 @@ impl ExecutionAccumulator {
         self.horizon = self.horizon.max(event.time());
         match *event {
             SimTraceEvent::JobFinish { .. } => self.jobs += 1,
-            SimTraceEvent::CopyFinish { task_completed, .. } => {
-                if task_completed {
-                    self.tasks += 1;
-                }
-            }
+            SimTraceEvent::CopyFinish {
+                task_completed: true,
+                ..
+            } => self.tasks += 1,
             SimTraceEvent::CopyLaunch { duration, .. } => self.total_work += duration,
             _ => {}
         }

@@ -272,6 +272,7 @@ fn fill_prefix<R: Read>(r: &mut R, prefix: &mut Vec<u8>, n: usize) -> Result<(),
     while prefix.len() < target {
         match r.read(&mut byte) {
             Ok(0) => break,
+            // grass: allow(panicky-lib, "constant index into the fixed [u8; 1] buffer")
             Ok(_) => prefix.push(byte[0]),
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e.into()),
@@ -330,6 +331,7 @@ fn sniff_kind<'r, R: BufRead + 'r>(
         }
     }
     let kind = codec_for(format)
+        // grass: allow(panicky-lib, "a full-range slice `[..]` cannot be out of bounds")
         .peek_kind(&mut &prefix[..])
         .unwrap_or(StreamKind::Workload);
     Ok((format, kind, replaying(prefix, r)))

@@ -200,7 +200,8 @@ pub fn generate_job<R: Rng + ?Sized>(
 
     let bound = assign_bound(config, &stage_work, rng);
     if config.dag_length.max(1) == 1 {
-        JobSpec::single_stage(id, arrival, bound, stage_work.pop().unwrap())
+        // The stage loop above always pushes at least one stage.
+        JobSpec::single_stage(id, arrival, bound, stage_work.pop().unwrap_or_default())
     } else {
         JobSpec::multi_stage(id, arrival, bound, stage_work)
     }
@@ -230,7 +231,7 @@ pub fn ideal_duration(config: &WorkloadConfig, stage_work: &[Vec<f64>]) -> Time 
         .map(|stage| {
             let mut sorted = stage.clone();
             sorted.sort_by(f64::total_cmp);
-            let median = sorted[sorted.len() / 2];
+            let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
             let waves = (stage.len() as f64 / share).ceil();
             median * waves * config.duration_calibration
         })

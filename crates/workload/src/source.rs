@@ -199,6 +199,7 @@ impl StreamedWorkload {
     /// Load the first `count` jobs, with the documented panic on loader failure.
     fn load_prefix(&self, count: usize) -> Vec<JobSpec> {
         (self.loader)(count).unwrap_or_else(|e| {
+            // grass: allow(panicky-lib, "documented panic: the streamed-workload loader contract (see method doc)")
             panic!(
                 "streamed workload '{}' failed to load its first {count} jobs: {e}",
                 self.label

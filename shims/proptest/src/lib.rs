@@ -42,6 +42,10 @@ impl RngCore for TestRng {
 pub struct ProptestConfig {
     /// Number of random cases each property is checked against.
     pub cases: u32,
+    /// Accepted for source compatibility with the real proptest; this shim
+    /// never shrinks, so the value is ignored. Its presence also keeps the
+    /// idiomatic `..ProptestConfig::default()` spread meaningful at use sites.
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
@@ -54,7 +58,10 @@ impl Default for ProptestConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(64);
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 1024,
+        }
     }
 }
 

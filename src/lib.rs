@@ -23,7 +23,9 @@
 //! * [`fleet`] (`grass-fleet`) — broker/worker sweep service with cell leases,
 //!   heartbeats and a persistent digest cache,
 //! * [`experiments`] (`grass-experiments`) — harnesses regenerating every table and
-//!   figure of the paper.
+//!   figure of the paper,
+//! * [`analysis`] (`grass-analysis`) — determinism & robustness lint engine behind
+//!   `repro lint` (see `docs/lints.md`).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 //! assert!(outcome.accuracy() > 0.0);
 //! ```
 
+pub use grass_analysis as analysis;
 pub use grass_core as core;
 pub use grass_experiments as experiments;
 pub use grass_fleet as fleet;
@@ -63,6 +66,12 @@ pub use grass_workload as workload;
 /// re-exported (`grass_core::{Error, Result}`, which would shadow the std prelude)
 /// are accessible through the module re-exports above.
 pub mod prelude {
+    pub use grass_analysis::{
+        is_known_lint, lex, lint_info, lint_source, parse_suppressions, path_covers, render_json,
+        render_text, role_for, run_lints, sort_findings, summarize, AnalysisConfig, ClassSet,
+        Comment, FileCtx, Finding, LexedFile, LintInfo, PathAllow, Role, Severity, SourceFile,
+        Summary, Suppression, SuppressionError, Token, TokenKind, Workspace, CATALOG,
+    };
     pub use grass_core::{
         degrade_estimate, AccuracyTracker, Action, ActionKind, Bound, BoxedPolicy, EstimatorConfig,
         FactorSet, GrassConfig, GrassFactory, GrassPolicy, GsFactory, GsPolicy, JobId, JobOutcome,
@@ -73,10 +82,10 @@ pub mod prelude {
     pub use grass_experiments::{
         assemble_sweep_result, compare, compare_outcomes, experiment_ids, make_factory,
         merge_seed_sets, metric_for, metric_for_source, outcome_digest, parse_policy,
-        run_experiment, run_fleet_command, run_once, run_policy, run_sweep, run_sweep_cell,
-        run_sweep_command, run_sweep_with_cache, run_trace_command, sample_task_durations,
-        trace_identity, workload_jobs, Comparison, ExpConfig, FleetCellSpec, FleetPlan, PolicyKind,
-        ResumeStats, SweepCell, SweepCellRunner, SweepConfig, SweepResult,
+        run_experiment, run_fleet_command, run_lint_command, run_once, run_policy, run_sweep,
+        run_sweep_cell, run_sweep_command, run_sweep_with_cache, run_trace_command,
+        sample_task_durations, trace_identity, workload_jobs, Comparison, ExpConfig, FleetCellSpec,
+        FleetPlan, PolicyKind, ResumeStats, SweepCell, SweepCellRunner, SweepConfig, SweepResult,
     };
     pub use grass_fleet::{
         fnv1a64, run_fleet, run_worker, serve_broker, BrokerHandle, CellRunner, CellStatus, Claim,

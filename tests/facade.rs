@@ -31,13 +31,11 @@ fn pub_use_identifiers(source: &str) -> BTreeSet<String> {
     let mut statement: Option<String> = None;
     for line in source.lines() {
         let trimmed = line.trim();
-        if statement.is_none() {
-            if let Some(rest) = trimmed.strip_prefix("pub use ") {
-                statement = Some(rest.to_string());
-            }
-        } else {
-            statement.as_mut().unwrap().push(' ');
-            statement.as_mut().unwrap().push_str(trimmed);
+        if let Some(stmt) = &mut statement {
+            stmt.push(' ');
+            stmt.push_str(trimmed);
+        } else if let Some(rest) = trimmed.strip_prefix("pub use ") {
+            statement = Some(rest.to_string());
         }
         if let Some(stmt) = &statement {
             if let Some(end) = stmt.find(';') {

@@ -25,7 +25,9 @@ use grass::prelude::*;
 use grass::sim::reference::run_reference_traced;
 use proptest::prelude::*;
 
-const PROFILES: &[(&str, fn() -> TraceProfile)] = &[
+type ProfileEntry = (&'static str, fn() -> TraceProfile);
+
+const PROFILES: &[ProfileEntry] = &[
     ("facebook-hadoop", || {
         TraceProfile::facebook(Framework::Hadoop)
     }),
@@ -301,7 +303,7 @@ fn property_cases() -> u32 {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: property_cases() })]
+    #![proptest_config(ProptestConfig { cases: property_cases(), ..ProptestConfig::default() })]
 
     /// The heart of the differential harness: on arbitrary workloads the event
     /// core and the frozen pre-refactor engine must agree on the full-precision

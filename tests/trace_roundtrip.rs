@@ -18,7 +18,7 @@ fn meta(policy: &str) -> WorkloadMeta {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48 })]
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
     #[test]
     fn workload_records_round_trip(
