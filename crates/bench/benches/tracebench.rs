@@ -1,26 +1,35 @@
 //! Benchmarks of the `grass-trace` subsystem: per-format codec encode/decode
-//! throughput for both record streams (text v1 vs compact binary v2 on the same
-//! workload, eager collect vs `_streamed` pull-iterator decode), and
-//! replay-from-trace versus regenerate-from-seed simulation speed (the cost a
-//! trace-driven experiment pays — or saves — relative to re-rolling the
-//! workload every run).
+//! throughput for both record streams (text v1 vs compact binary v2 vs
+//! block-compressed v3 on the same workload, eager collect vs `_streamed`
+//! pull-iterator decode, plus the file-backed `_binary_file` buffered read vs
+//! `_mmap` zero-copy scan), and replay-from-trace versus regenerate-from-seed
+//! simulation speed (the cost a trace-driven experiment pays — or saves —
+//! relative to re-rolling the workload every run).
 //!
 //! Filter one format via the shim's CLI filtering, e.g.
 //! `cargo bench -p grass-bench --bench tracebench -- binary`.
 
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use grass_bench::{recorded_execution, recorded_trace, workload_config};
 use grass_core::GsFactory;
 use grass_sim::{run_simulation, SimConfig};
 use grass_trace::{
-    replay, replay_config, ExecutionEvents, ExecutionTrace, TraceFormat, WorkloadItems,
-    WorkloadTrace,
+    replay, replay_config, ExecutionEvents, ExecutionTrace, MappedWorkload, TraceFormat,
+    WorkloadItems, WorkloadTrace,
 };
 use grass_workload::generate;
 
-const FORMATS: [TraceFormat; 2] = [TraceFormat::Text, TraceFormat::Binary];
+const FORMATS: [TraceFormat; 3] = TraceFormat::ALL;
+
+/// Write `bytes` to a bench-scoped temp file for the file-backed read paths
+/// (mmap vs buffered reads need a real file, not a `&[u8]`).
+fn temp_trace(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("grass-tracebench-{tag}-{}", std::process::id()));
+    std::fs::write(&path, bytes).expect("write bench trace");
+    path
+}
 
 /// Minimum wall time of `f` over `reps` runs (same convention as the shim's
 /// "min" column); used for the printed throughput summary table.
@@ -107,7 +116,7 @@ fn throughput_summary(c: &mut Criterion) {
             .as_secs_f64();
             op_times.push((enc, dec));
             println!(
-                "# {stream:<9} {format:<7} {:>8.1}  {:>9.2}  {:>9.0}  {:>9.2}  {:>9.0}  {:>7.2}  {:>10.0}",
+                "# {stream:<9} {format:<10} {:>8.1}  {:>9.2}  {:>9.0}  {:>9.2}  {:>9.0}  {:>7.2}  {:>10.0}",
                 encoded.len() as f64 / 1024.0,
                 enc * 1e3,
                 mib / enc,
@@ -117,16 +126,56 @@ fn throughput_summary(c: &mut Criterion) {
                 mib / sdec,
             );
         }
-    }
-    for (stream, pair) in ["workload", "execution"].iter().zip(op_times.chunks(2)) {
-        let [(text_enc, text_dec), (bin_enc, bin_dec)] = pair else {
-            unreachable!()
-        };
+        // Size ratio of the compressed format against v2 on this corpus.
+        let (bin_len, comp_len) = (bytes[1].len() as f64, bytes[2].len() as f64);
         println!(
-            "# {stream} speedup (binary over text, same trace): encode {:.1}x, decode {:.1}x",
-            text_enc / bin_enc,
-            text_dec / bin_dec,
+            "# {stream} size ratio: binary/compressed = {:.2}x ({:.1} KiB -> {:.1} KiB)",
+            bin_len / comp_len,
+            bin_len / 1024.0,
+            comp_len / 1024.0,
         );
+    }
+
+    // File-backed workload reads: mmap zero-copy scan vs the buffered streamed
+    // decode of the same binary file — the speedup EXPERIMENTS.md pins.
+    let binary = workload.to_bytes_as(TraceFormat::Binary);
+    let mib = binary.len() as f64 / (1024.0 * 1024.0);
+    let path = temp_trace("summary", &binary);
+    let buffered = time_min(15, || {
+        let items = WorkloadItems::open_path(&path).unwrap();
+        criterion::black_box(items.map(|job| job.unwrap().total_tasks()).sum::<usize>());
+    })
+    .as_secs_f64();
+    let mapped = time_min(15, || {
+        let mapped = MappedWorkload::open(&path).unwrap();
+        criterion::black_box(
+            mapped
+                .jobs()
+                .map(|job| job.unwrap().task_count())
+                .sum::<usize>(),
+        );
+    })
+    .as_secs_f64();
+    println!(
+        "# workload file scan (binary): buffered {:.2} ms ({:.0} MiB/s), mmap {:.2} ms \
+         ({:.0} MiB/s) -> mmap speedup {:.1}x",
+        buffered * 1e3,
+        mib / buffered,
+        mapped * 1e3,
+        mib / mapped,
+        buffered / mapped,
+    );
+    let _ = std::fs::remove_file(&path);
+
+    for (stream, rows) in ["workload", "execution"].iter().zip(op_times.chunks(3)) {
+        let (text_enc, text_dec) = rows[0];
+        for (format, (enc, dec)) in FORMATS.iter().zip(rows.iter()).skip(1) {
+            println!(
+                "# {stream} speedup ({format} over text, same trace): encode {:.1}x, decode {:.1}x",
+                text_enc / enc,
+                text_dec / dec,
+            );
+        }
     }
 }
 
@@ -151,7 +200,8 @@ fn codec_throughput(c: &mut Criterion) {
             "trace_codec/encode_workload_500_jobs",
             "trace_codec/decode_workload_500_jobs",
         ],
-    );
+    ) || c.filter_matches("trace_codec/decode_workload_500_jobs_binary_file")
+        || c.filter_matches("trace_codec/decode_workload_500_jobs_mmap");
     let run_execution = any_format_selected(
         c,
         &[
@@ -175,6 +225,7 @@ fn codec_throughput(c: &mut Criterion) {
         let trace = recorded_trace(500);
         for format in FORMATS {
             let bytes = trace.to_bytes_as(format);
+            group.throughput(Throughput::Bytes(bytes.len() as u64));
             group.bench_function(format!("encode_workload_500_jobs_{format}"), |b| {
                 b.iter(|| criterion::black_box(trace.to_bytes_as(format).len()))
             });
@@ -190,6 +241,29 @@ fn codec_throughput(c: &mut Criterion) {
                 })
             });
         }
+        // File-backed binary reads: zero-copy mmap scan vs the buffered
+        // streamed decode of the same file — the tentpole comparison.
+        let binary = trace.to_bytes_as(TraceFormat::Binary);
+        let path = temp_trace("codec", &binary);
+        group.throughput(Throughput::Bytes(binary.len() as u64));
+        group.bench_function("decode_workload_500_jobs_binary_file", |b| {
+            b.iter(|| {
+                let items = WorkloadItems::open_path(&path).unwrap();
+                criterion::black_box(items.map(|job| job.unwrap().total_tasks()).sum::<usize>())
+            })
+        });
+        group.bench_function("decode_workload_500_jobs_mmap", |b| {
+            b.iter(|| {
+                let mapped = MappedWorkload::open(&path).unwrap();
+                criterion::black_box(
+                    mapped
+                        .jobs()
+                        .map(|job| job.unwrap().task_count())
+                        .sum::<usize>(),
+                )
+            })
+        });
+        let _ = std::fs::remove_file(&path);
     }
 
     // Execution stream: the event log of a 20-job simulated run.
@@ -197,6 +271,7 @@ fn codec_throughput(c: &mut Criterion) {
         let exec = recorded_execution();
         for format in FORMATS {
             let bytes = exec.to_bytes_as(format);
+            group.throughput(Throughput::Bytes(bytes.len() as u64));
             group.bench_function(format!("encode_execution_20_jobs_{format}"), |b| {
                 b.iter(|| criterion::black_box(exec.to_bytes_as(format).len()))
             });

@@ -4,14 +4,14 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [<experiment-id>...]
-//! repro trace record --out <dir> [--jobs N] [--policy P] [--format text|binary] [...]
-//! repro trace gen --out <file> [--jobs N] [--seed S] [--format text|binary] [...]
+//! repro trace record --out <dir> [--jobs N] [--policy P] [--format text|binary|compressed] [...]
+//! repro trace gen --out <file> [--jobs N] [--seed S] [--format text|binary|compressed] [...]
 //! repro trace replay <workload.trace> [--policy P]
-//! repro trace convert <in> <out> --format text|binary
-//! repro trace stats <trace-file>...
+//! repro trace convert <in> <out> --format text|binary|compressed
+//! repro trace stats [--mmap] <trace-file>...
 //! repro sweep <workload.trace|dir> [--machines 20,50,100] [--policies late,gs,ras,grass]
 //!             [--baseline late] [--threads N] [--seeds a,b,c] [--slots N] [--quick]
-//!             [--resume <cache-dir>]
+//!             [--resume <cache-dir>] [--mmap]
 //! repro fleet serve <workload.trace|dir> [grid flags] [--port P] [--cache <dir>]
 //! repro fleet work --connect <host:port> [--id NAME] [--stall-ms N]
 //! repro fleet run <workload.trace|dir> [grid flags] [--workers N] [--cache <dir>]
@@ -136,23 +136,25 @@ fn print_help() {
     println!(
         "                          [--framework hadoop|spark] [--bound deadlines|errors|exact]"
     );
-    println!("                          [--machines N] [--slots N] [--format text|binary]");
+    println!(
+        "                          [--machines N] [--slots N] [--format text|binary|compressed]"
+    );
     println!("       repro trace gen --out <file> [--jobs N] [--seed S] [--sim-seed S]");
     println!("                       [--policy P] [--profile facebook|bing]");
     println!("                       [--framework hadoop|spark] [--bound deadlines|errors|exact]");
-    println!("                       [--machines N] [--slots N] [--format text|binary]");
+    println!("                       [--machines N] [--slots N] [--format text|binary|compressed]");
     println!("       repro trace replay <workload.trace|dir> [--policy P]");
-    println!("       repro trace convert <in> <out> --format text|binary");
-    println!("       repro trace stats <trace-file>...");
+    println!("       repro trace convert <in> <out> --format text|binary|compressed");
+    println!("       repro trace stats [--mmap] <trace-file>...");
     println!("       repro sweep <workload.trace|dir> [--machines 20,50,100]");
     println!("                   [--policies late,gs,ras,grass] [--baseline late]");
     println!("                   [--threads N] [--seeds a,b,c] [--slots N] [--quick]");
-    println!("                   [--resume <cache-dir>]");
+    println!("                   [--resume <cache-dir>] [--mmap]");
     println!("       repro fleet serve <workload.trace|dir> [grid flags] [--port P]");
-    println!("                         [--cache <dir>] [--test-profile] [timing flags]");
-    println!("       repro fleet work --connect <host:port> [--id NAME] [--stall-ms N]");
+    println!("                         [--cache <dir>] [--test-profile] [--mmap] [timing flags]");
+    println!("       repro fleet work --connect <host:port> [--id NAME] [--stall-ms N] [--mmap]");
     println!("       repro fleet run <workload.trace|dir> [grid flags] [--workers N]");
-    println!("                       [--cache <dir>] [--test-profile] [timing flags]");
+    println!("                       [--cache <dir>] [--test-profile] [--mmap] [timing flags]");
     println!("       repro lint [--format text|json] [--root <dir>] [paths...]");
     println!();
     println!("Experiment ids:");

@@ -34,7 +34,7 @@ use grass_fleet::{run_fleet, run_worker, CellRunner, DigestCache, FleetConfig, F
 use grass_metrics::OutcomeSet;
 use grass_sim::ClusterConfig;
 use grass_trace::codec::{escape, unescape};
-use grass_trace::{open_workload_source, WorkloadMeta};
+use grass_trace::{open_workload_source, open_workload_source_mmap, WorkloadMeta};
 use grass_workload::{JobSource, StreamedWorkload};
 
 use crate::common::ExpConfig;
@@ -379,14 +379,21 @@ impl FleetPlan {
         })
     }
 
-    /// Open the trace at `path` and build the plan in one step.
+    /// Open the trace at `path` and build the plan in one step. With `mmap`,
+    /// binary traces decode zero-copy out of a memory map (other formats fall
+    /// back to the streamed open; the plan is identical either way).
     pub fn open(
         path: &Path,
+        mmap: bool,
         config_for: impl FnOnce(&WorkloadMeta, &StreamedWorkload) -> Result<SweepConfig, String>,
     ) -> Result<FleetPlan, String> {
         let path = resolve_workload_path(path);
-        let (meta, source) = open_workload_source(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let (meta, source) = if mmap {
+            open_workload_source_mmap(&path)
+        } else {
+            open_workload_source(&path)
+        }
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let config = config_for(&meta, &source)?;
         FleetPlan::new(&path, meta, source, config)
     }
@@ -491,6 +498,7 @@ impl FleetPlan {
 /// source is shared: no per-worker in-memory copy of the workload.
 pub struct SweepCellRunner {
     stall_ms: u64,
+    mmap: bool,
     // grass: allow(unordered-iter-on-digest-path, "keyed lookup only; cells fetch their own trace by path")
     sources: Mutex<HashMap<PathBuf, StreamedWorkload>>,
 }
@@ -506,9 +514,17 @@ impl SweepCellRunner {
     pub fn with_stall(stall_ms: u64) -> SweepCellRunner {
         SweepCellRunner {
             stall_ms,
+            mmap: false,
             // grass: allow(unordered-iter-on-digest-path, "keyed lookup only; cells fetch their own trace by path")
             sources: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Open traces through the zero-copy mmap path (`repro fleet work --mmap`).
+    /// Cell payloads are identical either way; only the read path differs.
+    pub fn with_mmap(mut self, mmap: bool) -> SweepCellRunner {
+        self.mmap = mmap;
+        self
     }
 
     fn source_for(&self, path: &Path) -> Result<StreamedWorkload, String> {
@@ -516,8 +532,12 @@ impl SweepCellRunner {
         if let Some(source) = sources.get(path) {
             return Ok(source.clone());
         }
-        let (_meta, source) = open_workload_source(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let (_meta, source) = if self.mmap {
+            open_workload_source_mmap(path)
+        } else {
+            open_workload_source(path)
+        }
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         sources.insert(path.to_path_buf(), source.clone());
         Ok(source)
     }
@@ -704,15 +724,15 @@ pub fn run_fleet_command(args: &[String]) -> Result<(), String> {
 }
 
 fn fleet_serve_command(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse_with_switches(args, &["quick", "test-profile"])?;
-    let mut allowed = vec!["quick", "test-profile", "cache", "port"];
+    let flags = Flags::parse_with_switches(args, &["quick", "test-profile", "mmap"])?;
+    let mut allowed = vec!["quick", "test-profile", "cache", "port", "mmap"];
     allowed.extend_from_slice(GRID_FLAGS);
     allowed.extend_from_slice(TIMING_FLAGS);
     flags.reject_unknown(&allowed)?;
     let [path] = flags.positional.as_slice() else {
         return Err("fleet serve expects exactly one workload trace path".to_string());
     };
-    let plan = FleetPlan::open(Path::new(path), |meta, source| {
+    let plan = FleetPlan::open(Path::new(path), flags.has("mmap"), |meta, source| {
         sweep_config_from_flags(&flags, meta, source)
     })?;
     let fleet_config = fleet_config_from_flags(&flags)?;
@@ -734,8 +754,15 @@ fn fleet_serve_command(args: &[String]) -> Result<(), String> {
 }
 
 fn fleet_run_command(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse_with_switches(args, &["quick", "test-profile"])?;
-    let mut allowed = vec!["quick", "test-profile", "cache", "workers", "stall-ms"];
+    let flags = Flags::parse_with_switches(args, &["quick", "test-profile", "mmap"])?;
+    let mut allowed = vec![
+        "quick",
+        "test-profile",
+        "cache",
+        "workers",
+        "stall-ms",
+        "mmap",
+    ];
     allowed.extend_from_slice(GRID_FLAGS);
     allowed.extend_from_slice(TIMING_FLAGS);
     flags.reject_unknown(&allowed)?;
@@ -748,7 +775,8 @@ fn fleet_run_command(args: &[String]) -> Result<(), String> {
         return Err("fleet run needs --workers >= 1".to_string());
     }
     let stall_ms = flags.get_u64("stall-ms", 0)?;
-    let plan = FleetPlan::open(Path::new(path), |meta, source| {
+    let mmap = flags.has("mmap");
+    let plan = FleetPlan::open(Path::new(path), mmap, |meta, source| {
         sweep_config_from_flags(&flags, meta, source)
     })?;
     let cache = open_cache(&flags)?;
@@ -777,6 +805,9 @@ fn fleet_run_command(args: &[String]) -> Result<(), String> {
         if stall_ms > 0 {
             cmd.arg("--stall-ms").arg(stall_ms.to_string());
         }
+        if mmap {
+            cmd.arg("--mmap");
+        }
         // Workers log to stderr; keep stdout digest-clean.
         cmd.stdout(Stdio::null());
         cmd
@@ -792,8 +823,8 @@ fn fleet_run_command(args: &[String]) -> Result<(), String> {
 }
 
 fn fleet_work_command(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args)?;
-    flags.reject_unknown(&["connect", "id", "stall-ms"])?;
+    let flags = Flags::parse_with_switches(args, &["mmap"])?;
+    flags.reject_unknown(&["connect", "id", "stall-ms", "mmap"])?;
     if !flags.positional.is_empty() {
         return Err("fleet work takes no positional arguments".to_string());
     }
@@ -803,7 +834,7 @@ fn fleet_work_command(args: &[String]) -> Result<(), String> {
     let default_id = format!("worker-{}", std::process::id());
     let id = flags.get("id").unwrap_or(default_id.as_str());
     let stall_ms = flags.get_u64("stall-ms", 0)?;
-    let runner = SweepCellRunner::with_stall(stall_ms);
+    let runner = SweepCellRunner::with_stall(stall_ms).with_mmap(flags.has("mmap"));
     eprintln!("fleet worker {id} connecting to {addr}");
     let report = run_worker(addr, id, &runner).map_err(|e| e.to_string())?;
     eprintln!(

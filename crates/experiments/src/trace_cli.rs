@@ -5,14 +5,14 @@
 //! repro trace record --out <dir> [--jobs N] [--gen-seed S] [--sim-seed S]
 //!                    [--policy P] [--profile facebook|bing] [--framework hadoop|spark]
 //!                    [--bound deadlines|errors|exact] [--machines N] [--slots N]
-//!                    [--format text|binary]
+//!                    [--format text|binary|compressed]
 //! repro trace gen --out <file> [--jobs N] [--seed S] [--sim-seed S] [--policy P]
 //!                 [--profile facebook|bing] [--framework hadoop|spark]
 //!                 [--bound deadlines|errors|exact] [--machines N] [--slots N]
-//!                 [--format text|binary]
+//!                 [--format text|binary|compressed]
 //! repro trace replay <workload.trace> [--policy P]
-//! repro trace convert <in> <out> --format text|binary
-//! repro trace stats <trace-file>...
+//! repro trace convert <in> <out> --format text|binary|compressed
+//! repro trace stats [--mmap] <trace-file>...
 //! ```
 //!
 //! `record` samples a synthetic workload, persists it as `workload.trace`, runs it
@@ -28,8 +28,10 @@
 //! <(replay)` is the record→replay determinism check CI runs in both formats.
 //! `convert` re-encodes a trace of either stream kind into the requested format,
 //! record at a time through `convert_stream` (O(one record) memory). `stats`
-//! folds each file in one streaming pass. Informational messages go to stderr to
-//! keep stdout digest-clean.
+//! folds each file in one streaming pass; `--mmap` switches binary workload
+//! traces to the zero-copy memory-mapped fold (other files fall back to the
+//! streaming pass with identical output). Informational messages go to stderr
+//! to keep stdout digest-clean.
 
 use std::path::{Path, PathBuf};
 
@@ -63,9 +65,8 @@ pub fn run_trace_command(args: &[String]) -> Result<(), String> {
 fn parse_format(value: Option<&str>) -> Result<TraceFormat, String> {
     match value {
         None => Ok(TraceFormat::Text),
-        Some(v) => {
-            TraceFormat::parse(v).ok_or_else(|| format!("unknown format '{v}' (text|binary)"))
-        }
+        Some(v) => TraceFormat::parse(v)
+            .ok_or_else(|| format!("unknown format '{v}' (text|binary|compressed)")),
     }
 }
 
@@ -395,7 +396,7 @@ fn convert(args: &[String]) -> Result<(), String> {
     let format = parse_format(Some(
         flags
             .get("format")
-            .ok_or("convert requires --format text|binary")?,
+            .ok_or("convert requires --format text|binary|compressed")?,
     ))?;
     // Record-at-a-time re-encode: the input is never held in memory, so a trace
     // bigger than RAM converts fine.
@@ -429,11 +430,21 @@ pub(crate) fn resolve_workload_path(path: &Path) -> PathBuf {
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
-    if args.is_empty() {
+    let flags = Flags::parse_with_switches(args, &["mmap"])?;
+    flags.reject_unknown(&["mmap"])?;
+    if flags.positional.is_empty() {
         return Err("stats expects at least one trace path".to_string());
     }
-    for path in args {
-        let stats = TraceStats::load(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mmap = flags.has("mmap");
+    for path in &flags.positional {
+        // --mmap folds binary workload traces zero-copy out of a memory map;
+        // other files silently fall back to the streaming pass (same result).
+        let stats = if mmap {
+            TraceStats::load_mmap(path)
+        } else {
+            TraceStats::load(path)
+        }
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
         println!("== {path}");
         println!("{stats}");
     }
@@ -474,24 +485,30 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("grass-trace-cli-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut digests = Vec::new();
-        for format in ["text", "binary"] {
+        for format in ["text", "binary", "compressed"] {
             for policy in ["gs", "grass"] {
                 let (a, b) = run_record_and_replay(&dir, policy, format);
                 assert_eq!(a, b, "digest mismatch for policy {policy} ({format})");
                 assert!(a.contains("summary jobs=6"));
                 digests.push(a);
             }
-            // The stats verb reads both written files, whichever format they are in.
+            // The stats verb reads both written files, whichever format they are
+            // in — and --mmap must not change what it reports.
             let stats_args: Vec<String> = vec![
                 "stats".into(),
                 dir.join("workload.trace").to_str().unwrap().into(),
                 dir.join("execution.trace").to_str().unwrap().into(),
             ];
             run_trace_command(&stats_args).unwrap();
+            let mut mmap_args = stats_args.clone();
+            mmap_args.insert(1, "--mmap".into());
+            run_trace_command(&mmap_args).unwrap();
         }
         // Same seeds, same policy: the digest must not depend on the wire format.
-        assert_eq!(digests[0], digests[2]);
-        assert_eq!(digests[1], digests[3]);
+        for pair in digests.chunks(2).skip(1) {
+            assert_eq!(digests[0], pair[0]);
+            assert_eq!(digests[1], pair[1]);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -525,6 +542,16 @@ mod tests {
                 std::fs::read(&binary).unwrap(),
                 std::fs::read(&text).unwrap()
             );
+            // Same canonical round trip through the compressed format.
+            let comp = dir.join(format!("{name}.v3"));
+            let back_v3 = dir.join(format!("{name}.bin2"));
+            run_trace_command(&args(&binary, &comp, "compressed")).unwrap();
+            run_trace_command(&args(&comp, &back_v3, "binary")).unwrap();
+            assert_eq!(
+                std::fs::read(&binary).unwrap(),
+                std::fs::read(&back_v3).unwrap(),
+                "{name} via compressed"
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -535,7 +562,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let arg = |s: &str| s.to_string();
-        for format in ["text", "binary"] {
+        for format in ["text", "binary", "compressed"] {
             // record writes workload.trace into a directory; gen writes one file.
             let rec_dir = dir.join(format!("rec-{format}"));
             run_trace_command(&[

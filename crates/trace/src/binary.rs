@@ -34,7 +34,7 @@ use crate::stream::{ExecutionEvents, ExecutionFrames, WorkloadFrames, WorkloadIt
 use crate::workload::WorkloadMeta;
 
 /// Byte that follows the shared magic in a binary header (text uses `' '`).
-const MAGIC_TERMINATOR: u8 = 0;
+pub(crate) const MAGIC_TERMINATOR: u8 = 0;
 
 /// Upper bound on a single frame's body length. Generously above any real record
 /// (the largest are multi-thousand-task job frames, tens of KiB) while keeping a
@@ -42,7 +42,7 @@ const MAGIC_TERMINATOR: u8 = 0;
 pub const MAX_FRAME_LEN: u64 = 1 << 28;
 
 /// Stream-kind byte in the binary header.
-fn kind_code(kind: StreamKind) -> u8 {
+pub(crate) fn kind_code(kind: StreamKind) -> u8 {
     match kind {
         StreamKind::Workload => 0,
         StreamKind::Execution => 1,
@@ -52,8 +52,8 @@ fn kind_code(kind: StreamKind) -> u8 {
 // Frame tags. Meta is always the first frame of either stream; the remaining
 // tags are stream-specific (job frames in workload streams, event frames in
 // execution streams).
-const TAG_META: u8 = 0x01;
-const TAG_JOB: u8 = 0x02;
+pub(crate) const TAG_META: u8 = 0x01;
+pub(crate) const TAG_JOB: u8 = 0x02;
 const TAG_ARRIVE: u8 = 0x10;
 const TAG_DECIDE: u8 = 0x11;
 const TAG_LAUNCH: u8 = 0x12;
@@ -61,7 +61,7 @@ const TAG_FINISH: u8 = 0x13;
 const TAG_KILL: u8 = 0x14;
 const TAG_JOBDONE: u8 = 0x15;
 
-fn frame_err(offset: u64, message: impl Into<String>) -> TraceError {
+pub(crate) fn frame_err(offset: u64, message: impl Into<String>) -> TraceError {
     TraceError::Frame {
         offset,
         message: message.into(),
@@ -98,22 +98,143 @@ fn put_bool(buf: &mut Vec<u8>, v: bool) {
 }
 
 // ---------------------------------------------------------------------------
+// Frame bodies (shared by the v2 codec and the compressed v3 codec, whose
+// blocks carry the same frame schema).
+// ---------------------------------------------------------------------------
+
+/// Encode a workload meta frame body (tag included).
+pub(crate) fn workload_meta_body(buf: &mut Vec<u8>, meta: &WorkloadMeta, num_jobs: usize) {
+    buf.push(TAG_META);
+    put_varint(buf, meta.generator_seed);
+    put_varint(buf, meta.sim_seed);
+    put_str(buf, &meta.policy);
+    put_str(buf, &meta.profile);
+    put_varint(buf, meta.machines as u64);
+    put_varint(buf, meta.slots_per_machine as u64);
+    put_varint(buf, num_jobs as u64);
+}
+
+/// Encode a job frame body (tag included).
+pub(crate) fn job_body(buf: &mut Vec<u8>, job: &JobSpec) {
+    buf.push(TAG_JOB);
+    put_varint(buf, job.id.value());
+    put_f64(buf, job.arrival);
+    match job.bound {
+        Bound::Deadline(d) => {
+            buf.push(0);
+            put_f64(buf, d);
+        }
+        Bound::Error(e) => {
+            buf.push(1);
+            put_f64(buf, e);
+        }
+    }
+    put_varint(buf, job.stages.len() as u64);
+    for stage in &job.stages {
+        put_str(buf, &stage.name);
+        put_varint(buf, stage.task_count as u64);
+    }
+    put_varint(buf, job.tasks.len() as u64);
+    for task in &job.tasks {
+        buf.push(task.stage.value());
+        put_f64(buf, task.work);
+    }
+}
+
+/// Encode an execution meta frame body (tag included).
+pub(crate) fn execution_meta_body(buf: &mut Vec<u8>, meta: &ExecutionMeta) {
+    buf.push(TAG_META);
+    put_varint(buf, meta.sim_seed);
+    put_str(buf, &meta.policy);
+    put_varint(buf, meta.machines as u64);
+    put_varint(buf, meta.slots_per_machine as u64);
+}
+
+/// Encode an execution event frame body (tag included).
+pub(crate) fn event_body(buf: &mut Vec<u8>, event: &SimTraceEvent) {
+    let tag = match *event {
+        SimTraceEvent::JobArrival { .. } => TAG_ARRIVE,
+        SimTraceEvent::Decision { .. } => TAG_DECIDE,
+        SimTraceEvent::CopyLaunch { .. } => TAG_LAUNCH,
+        SimTraceEvent::CopyFinish { .. } => TAG_FINISH,
+        SimTraceEvent::CopyKill { .. } => TAG_KILL,
+        SimTraceEvent::JobFinish { .. } => TAG_JOBDONE,
+    };
+    buf.push(tag);
+    put_f64(buf, event.time());
+    put_varint(buf, event.job().value());
+    match *event {
+        SimTraceEvent::JobArrival { .. } => {}
+        SimTraceEvent::Decision { task, kind, .. } => {
+            put_varint(buf, u64::from(task.0));
+            buf.push(match kind {
+                ActionKind::Launch => 0,
+                ActionKind::Speculate => 1,
+            });
+        }
+        SimTraceEvent::CopyLaunch {
+            task,
+            copy,
+            slot,
+            duration,
+            speculative,
+            ..
+        } => {
+            put_varint(buf, u64::from(task.0));
+            put_varint(buf, copy);
+            put_varint(buf, slot.machine as u64);
+            put_varint(buf, slot.slot as u64);
+            put_f64(buf, duration);
+            put_bool(buf, speculative);
+        }
+        SimTraceEvent::CopyFinish {
+            task,
+            copy,
+            task_completed,
+            ..
+        } => {
+            put_varint(buf, u64::from(task.0));
+            put_varint(buf, copy);
+            put_bool(buf, task_completed);
+        }
+        SimTraceEvent::CopyKill {
+            task, copy, slot, ..
+        } => {
+            put_varint(buf, u64::from(task.0));
+            put_varint(buf, copy);
+            put_varint(buf, slot.machine as u64);
+            put_varint(buf, slot.slot as u64);
+        }
+        SimTraceEvent::JobFinish {
+            completed_input,
+            completed_total,
+            ..
+        } => {
+            put_varint(buf, completed_input as u64);
+            put_varint(buf, completed_total as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Decode primitives.
 // ---------------------------------------------------------------------------
 
 /// Reads frames off a stream, tracking the absolute byte offset for error
-/// reporting. Owns its reader so streaming iterators can carry it.
-struct FrameReader<R> {
-    r: R,
-    offset: u64,
+/// reporting. Owns its reader so streaming iterators can carry it. Shared with
+/// the compressed (v3) codec, which reuses the varint/offset machinery for its
+/// block framing.
+pub(crate) struct FrameReader<R> {
+    pub(crate) r: R,
+    pub(crate) offset: u64,
 }
 
 impl<R: BufRead> FrameReader<R> {
-    fn new(r: R) -> Self {
+    pub(crate) fn new(r: R) -> Self {
         FrameReader { r, offset: 0 }
     }
 
-    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
+    pub(crate) fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TraceError> {
         let at = self.offset;
         self.r.read_exact(buf).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -131,6 +252,15 @@ impl<R: BufRead> FrameReader<R> {
 
     /// Validate the 14-byte binary header, returning the declared stream kind.
     fn read_header(&mut self) -> Result<StreamKind, TraceError> {
+        self.read_header_version(BINARY_FORMAT_VERSION)
+    }
+
+    /// Validate a 14-byte binary-framing header against `expected_version`
+    /// (shared by the v2 and v3 codecs, which differ only in the version byte).
+    pub(crate) fn read_header_version(
+        &mut self,
+        expected_version: u32,
+    ) -> Result<StreamKind, TraceError> {
         let mut header = [0u8; 14];
         self.r.read_exact(&mut header).map_err(|e| {
             // A too-short stream is "not a binary trace"; a genuine I/O failure
@@ -148,7 +278,7 @@ impl<R: BufRead> FrameReader<R> {
         }
         // grass: allow(panicky-lib, "constant offsets into the fixed 14-byte header array")
         let version = header[12];
-        if u32::from(version) != BINARY_FORMAT_VERSION {
+        if u32::from(version) != expected_version {
             return Err(TraceError::UnsupportedVersion(u32::from(version)));
         }
         // grass: allow(panicky-lib, "constant offsets into the fixed 14-byte header array")
@@ -159,9 +289,14 @@ impl<R: BufRead> FrameReader<R> {
         }
     }
 
+    /// Whether the underlying reader is exactly at end of stream.
+    pub(crate) fn at_eof(&mut self) -> Result<bool, TraceError> {
+        Ok(self.r.fill_buf()?.is_empty())
+    }
+
     /// Read the next frame's length prefix, or `None` at a clean end of stream.
-    fn next_frame_len(&mut self) -> Result<Option<u64>, TraceError> {
-        if self.r.fill_buf()?.is_empty() {
+    pub(crate) fn next_frame_len(&mut self) -> Result<Option<u64>, TraceError> {
+        if self.at_eof()? {
             return Ok(None);
         }
         let start = self.offset;
@@ -194,7 +329,7 @@ impl<R: BufRead> FrameReader<R> {
         Ok(Some(start))
     }
 
-    fn read_varint(&mut self) -> Result<u64, TraceError> {
+    pub(crate) fn read_varint(&mut self) -> Result<u64, TraceError> {
         let start = self.offset;
         let mut value = 0u64;
         let mut shift = 0u32;
@@ -217,9 +352,38 @@ impl<R: BufRead> FrameReader<R> {
     }
 }
 
+impl<'a> FrameReader<&'a [u8]> {
+    /// Borrowed variant of [`next_frame`](Self::next_frame) for in-memory
+    /// streams (the memory-mapped decode path): yields the frame body as a
+    /// slice of the underlying buffer plus its absolute offset, copying
+    /// nothing. Shares the length-prefix and truncation checks with the
+    /// streamed reader, so errors are byte-identical.
+    pub(crate) fn next_frame_borrowed(&mut self) -> Result<Option<(&'a [u8], u64)>, TraceError> {
+        let Some(len) = self.next_frame_len()? else {
+            return Ok(None);
+        };
+        let start = self.offset;
+        // `len` is capped at MAX_FRAME_LEN (fits usize on every supported
+        // target), so the cast cannot truncate.
+        let n = len as usize;
+        if n > self.r.len() {
+            return Err(frame_err(
+                start,
+                format!("truncated frame: length prefix declares {len} bytes past end of trace"),
+            ));
+        }
+        let (frame, rest) = self.r.split_at(n);
+        self.r = rest;
+        self.offset += len;
+        Ok(Some((frame, start)))
+    }
+}
+
 /// Cursor over one frame's body; every error names the absolute byte offset of
-/// the offending field.
-struct Body<'a> {
+/// the offending field. Shared by the v2, v3 and memory-mapped decode paths —
+/// for the mmap path, `base` is the byte index into the map, so errors are
+/// byte-identical to the streamed decoder's.
+pub(crate) struct Body<'a> {
     buf: &'a [u8],
     pos: usize,
     /// Absolute stream offset of `buf[0]`.
@@ -227,15 +391,26 @@ struct Body<'a> {
 }
 
 impl<'a> Body<'a> {
-    fn new(buf: &'a [u8], base: u64) -> Self {
+    pub(crate) fn new(buf: &'a [u8], base: u64) -> Self {
         Body { buf, pos: 0, base }
     }
 
-    fn offset(&self) -> u64 {
+    pub(crate) fn offset(&self) -> u64 {
         self.base + self.pos as u64
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
+    /// Position within the frame buffer (bytes consumed so far).
+    pub(crate) fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The slice between two recorded positions — used by the borrowed decoder
+    /// to capture a region it has just validated by scanning.
+    pub(crate) fn slice_between(&self, start: usize, end: usize) -> &'a [u8] {
+        self.buf.get(start..end).unwrap_or(&[])
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
         // `n` comes from untrusted varints (string/array lengths), so compare
         // against the remaining bytes rather than computing `pos + n`, which a
         // corrupt near-usize::MAX length would overflow into a panic.
@@ -251,11 +426,11 @@ impl<'a> Body<'a> {
         Ok(slice)
     }
 
-    fn take_u8(&mut self, what: &str) -> Result<u8, TraceError> {
+    pub(crate) fn take_u8(&mut self, what: &str) -> Result<u8, TraceError> {
         Ok(self.take(1, what)?.first().copied().unwrap_or(0))
     }
 
-    fn take_bool(&mut self, what: &str) -> Result<bool, TraceError> {
+    pub(crate) fn take_bool(&mut self, what: &str) -> Result<bool, TraceError> {
         let at = self.offset();
         match self.take_u8(what)? {
             0 => Ok(false),
@@ -264,7 +439,7 @@ impl<'a> Body<'a> {
         }
     }
 
-    fn take_f64(&mut self, what: &str) -> Result<f64, TraceError> {
+    pub(crate) fn take_f64(&mut self, what: &str) -> Result<f64, TraceError> {
         let at = self.offset();
         let bytes = self.take(8, what)?;
         let bytes: [u8; 8] = bytes
@@ -273,7 +448,7 @@ impl<'a> Body<'a> {
         Ok(f64::from_bits(u64::from_le_bytes(bytes)))
     }
 
-    fn take_varint(&mut self, what: &str) -> Result<u64, TraceError> {
+    pub(crate) fn take_varint(&mut self, what: &str) -> Result<u64, TraceError> {
         let start = self.offset();
         let mut value = 0u64;
         let mut shift = 0u32;
@@ -293,22 +468,27 @@ impl<'a> Body<'a> {
         }
     }
 
-    fn take_usize(&mut self, what: &str) -> Result<usize, TraceError> {
+    pub(crate) fn take_usize(&mut self, what: &str) -> Result<usize, TraceError> {
         let at = self.offset();
         let v = self.take_varint(what)?;
         usize::try_from(v).map_err(|_| frame_err(at, format!("{what} {v} overflows usize")))
     }
 
-    fn take_str(&mut self, what: &str) -> Result<String, TraceError> {
+    pub(crate) fn take_str(&mut self, what: &str) -> Result<String, TraceError> {
+        Ok(self.take_str_borrowed(what)?.to_string())
+    }
+
+    /// Borrow a varint-length-prefixed UTF-8 string straight from the frame
+    /// buffer — the zero-copy decode path over a memory map.
+    pub(crate) fn take_str_borrowed(&mut self, what: &str) -> Result<&'a str, TraceError> {
         let len = self.take_usize(what)?;
         let at = self.offset();
         let bytes = self.take(len, what)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| frame_err(at, format!("{what} is not valid UTF-8")))
+        std::str::from_utf8(bytes).map_err(|_| frame_err(at, format!("{what} is not valid UTF-8")))
     }
 
     /// A frame must be consumed exactly: trailing bytes mean a schema mismatch.
-    fn expect_end(&mut self, what: &str) -> Result<(), TraceError> {
+    pub(crate) fn expect_end(&mut self, what: &str) -> Result<(), TraceError> {
         if self.pos != self.buf.len() {
             return Err(frame_err(
                 self.offset(),
@@ -381,42 +561,13 @@ impl TraceCodec for BinaryCodec {
     ) -> Result<(), TraceError> {
         self.header(w, StreamKind::Workload)?;
         self.scratch.clear();
-        self.scratch.push(TAG_META);
-        put_varint(&mut self.scratch, meta.generator_seed);
-        put_varint(&mut self.scratch, meta.sim_seed);
-        put_str(&mut self.scratch, &meta.policy);
-        put_str(&mut self.scratch, &meta.profile);
-        put_varint(&mut self.scratch, meta.machines as u64);
-        put_varint(&mut self.scratch, meta.slots_per_machine as u64);
-        put_varint(&mut self.scratch, num_jobs as u64);
+        workload_meta_body(&mut self.scratch, meta, num_jobs);
         self.write_frame(w)
     }
 
     fn encode_job(&mut self, w: &mut dyn Write, job: &JobSpec) -> Result<(), TraceError> {
         self.scratch.clear();
-        self.scratch.push(TAG_JOB);
-        put_varint(&mut self.scratch, job.id.value());
-        put_f64(&mut self.scratch, job.arrival);
-        match job.bound {
-            Bound::Deadline(d) => {
-                self.scratch.push(0);
-                put_f64(&mut self.scratch, d);
-            }
-            Bound::Error(e) => {
-                self.scratch.push(1);
-                put_f64(&mut self.scratch, e);
-            }
-        }
-        put_varint(&mut self.scratch, job.stages.len() as u64);
-        for stage in &job.stages {
-            put_str(&mut self.scratch, &stage.name);
-            put_varint(&mut self.scratch, stage.task_count as u64);
-        }
-        put_varint(&mut self.scratch, job.tasks.len() as u64);
-        for task in &job.tasks {
-            self.scratch.push(task.stage.value());
-            put_f64(&mut self.scratch, task.work);
-        }
+        job_body(&mut self.scratch, job);
         self.write_frame(w)
     }
 
@@ -427,78 +578,13 @@ impl TraceCodec for BinaryCodec {
     ) -> Result<(), TraceError> {
         self.header(w, StreamKind::Execution)?;
         self.scratch.clear();
-        self.scratch.push(TAG_META);
-        put_varint(&mut self.scratch, meta.sim_seed);
-        put_str(&mut self.scratch, &meta.policy);
-        put_varint(&mut self.scratch, meta.machines as u64);
-        put_varint(&mut self.scratch, meta.slots_per_machine as u64);
+        execution_meta_body(&mut self.scratch, meta);
         self.write_frame(w)
     }
 
     fn encode_event(&mut self, w: &mut dyn Write, event: &SimTraceEvent) -> Result<(), TraceError> {
         self.scratch.clear();
-        let tag = match *event {
-            SimTraceEvent::JobArrival { .. } => TAG_ARRIVE,
-            SimTraceEvent::Decision { .. } => TAG_DECIDE,
-            SimTraceEvent::CopyLaunch { .. } => TAG_LAUNCH,
-            SimTraceEvent::CopyFinish { .. } => TAG_FINISH,
-            SimTraceEvent::CopyKill { .. } => TAG_KILL,
-            SimTraceEvent::JobFinish { .. } => TAG_JOBDONE,
-        };
-        self.scratch.push(tag);
-        put_f64(&mut self.scratch, event.time());
-        put_varint(&mut self.scratch, event.job().value());
-        match *event {
-            SimTraceEvent::JobArrival { .. } => {}
-            SimTraceEvent::Decision { task, kind, .. } => {
-                put_varint(&mut self.scratch, u64::from(task.0));
-                self.scratch.push(match kind {
-                    ActionKind::Launch => 0,
-                    ActionKind::Speculate => 1,
-                });
-            }
-            SimTraceEvent::CopyLaunch {
-                task,
-                copy,
-                slot,
-                duration,
-                speculative,
-                ..
-            } => {
-                put_varint(&mut self.scratch, u64::from(task.0));
-                put_varint(&mut self.scratch, copy);
-                put_varint(&mut self.scratch, slot.machine as u64);
-                put_varint(&mut self.scratch, slot.slot as u64);
-                put_f64(&mut self.scratch, duration);
-                put_bool(&mut self.scratch, speculative);
-            }
-            SimTraceEvent::CopyFinish {
-                task,
-                copy,
-                task_completed,
-                ..
-            } => {
-                put_varint(&mut self.scratch, u64::from(task.0));
-                put_varint(&mut self.scratch, copy);
-                put_bool(&mut self.scratch, task_completed);
-            }
-            SimTraceEvent::CopyKill {
-                task, copy, slot, ..
-            } => {
-                put_varint(&mut self.scratch, u64::from(task.0));
-                put_varint(&mut self.scratch, copy);
-                put_varint(&mut self.scratch, slot.machine as u64);
-                put_varint(&mut self.scratch, slot.slot as u64);
-            }
-            SimTraceEvent::JobFinish {
-                completed_input,
-                completed_total,
-                ..
-            } => {
-                put_varint(&mut self.scratch, completed_input as u64);
-                put_varint(&mut self.scratch, completed_total as u64);
-            }
-        }
+        event_body(&mut self.scratch, event);
         self.write_frame(w)
     }
 
@@ -569,6 +655,14 @@ fn decode_workload_meta_frame<R: BufRead>(
         return Err(frame_err(at, "workload trace has no meta frame"));
     };
     let mut body = Body::new(buf, base);
+    workload_meta_from_body(&mut body, base)
+}
+
+/// Decode a workload meta frame body, tag check and trailing-byte check included.
+pub(crate) fn workload_meta_from_body(
+    body: &mut Body<'_>,
+    base: u64,
+) -> Result<(WorkloadMeta, usize), TraceError> {
     let tag = body.take_u8("frame tag")?;
     if tag != TAG_META {
         return Err(frame_err(
@@ -638,7 +732,7 @@ impl<R: BufRead> WorkloadFrames for BinaryWorkloadFrames<R> {
     }
 }
 
-fn decode_job(body: &mut Body<'_>) -> Result<JobSpec, TraceError> {
+pub(crate) fn decode_job(body: &mut Body<'_>) -> Result<JobSpec, TraceError> {
     let start = body.offset();
     let id = JobId(body.take_varint("job id")?);
     let arrival = body.take_f64("arrival")?;
@@ -685,6 +779,14 @@ fn decode_execution_meta_frame<R: BufRead>(
         return Err(frame_err(at, "execution trace has no meta frame"));
     };
     let mut body = Body::new(buf, base);
+    execution_meta_from_body(&mut body, base)
+}
+
+/// Decode an execution meta frame body, tag check and trailing-byte check included.
+pub(crate) fn execution_meta_from_body(
+    body: &mut Body<'_>,
+    base: u64,
+) -> Result<ExecutionMeta, TraceError> {
     let tag = body.take_u8("frame tag")?;
     if tag != TAG_META {
         return Err(frame_err(
@@ -724,7 +826,7 @@ impl<R: BufRead> ExecutionFrames for BinaryExecutionFrames<R> {
     }
 }
 
-fn decode_event(body: &mut Body<'_>) -> Result<SimTraceEvent, TraceError> {
+pub(crate) fn decode_event(body: &mut Body<'_>) -> Result<SimTraceEvent, TraceError> {
     let tag_at = body.offset();
     let tag = body.take_u8("frame tag")?;
     let time = body.take_f64("event time")?;

@@ -34,6 +34,10 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Version of the *binary* trace framing (v2). See [`crate::binary`].
 pub const BINARY_FORMAT_VERSION: u32 = 2;
 
+/// Version of the *compressed* binary trace framing (v3): v2 frames packed into
+/// LZ-compressed blocks. See [`crate::v3`].
+pub const COMPRESSED_FORMAT_VERSION: u32 = 3;
+
 /// Which of the two record streams a trace file carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamKind {
@@ -109,7 +113,7 @@ impl fmt::Display for TraceError {
                 write!(
                     f,
                     "unsupported trace format version {v} (supported: {FORMAT_VERSION} = text, \
-                     {BINARY_FORMAT_VERSION} = binary)"
+                     {BINARY_FORMAT_VERSION} = binary, {COMPRESSED_FORMAT_VERSION} = compressed)"
                 )
             }
             TraceError::WrongStream { expected, found } => {
@@ -543,8 +547,8 @@ mod tests {
 
     #[test]
     fn errors_render_their_context() {
-        let msg = TraceError::UnsupportedVersion(3).to_string();
-        assert!(msg.contains('3') && msg.contains('1'), "{msg}");
+        let msg = TraceError::UnsupportedVersion(9).to_string();
+        assert!(msg.contains('9') && msg.contains('1'), "{msg}");
         let msg = TraceError::Parse {
             line: 12,
             message: "boom".into(),

@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn every_event_variant_round_trips_in_both_formats() {
         let trace = sample_trace();
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let bytes = trace.to_bytes_as(format);
             let decoded = ExecutionTrace::from_bytes(&bytes).unwrap();
             assert_eq!(decoded, trace, "{format}");

@@ -13,10 +13,14 @@
 //! * **Binary (v2)** — compact length-prefixed framing
 //!   ([`crate::binary::BinaryCodec`]): varint integers, raw-bits `f64`, an order of
 //!   magnitude faster than text on GB-scale traces.
+//! * **Compressed (v3)** — v2 frames packed into LZ-compressed blocks
+//!   ([`crate::v3::CompressedCodec`]): the same record schema behind a varint
+//!   block framing, for cold storage and network transfer.
 //!
-//! Both formats open with the shared `grass-trace` magic; byte 11 discriminates
-//! (`0x20` space = text header, `0x00` NUL = binary header), so [`sniff_format`]
-//! needs only the first twelve bytes.
+//! All formats open with the shared `grass-trace` magic; byte 11 discriminates
+//! text from binary framing (`0x20` space = text header, `0x00` NUL = binary),
+//! and for binary framing the version byte that follows picks v2 or v3 — so
+//! [`sniff_format`] needs only the first thirteen bytes.
 
 use std::io::{BufRead, Write};
 
@@ -28,11 +32,13 @@ use crate::codec::{StreamKind, TraceError, MAGIC};
 use crate::execution::{ExecutionMeta, ExecutionTrace};
 use crate::stream::{ExecutionEvents, WorkloadItems};
 use crate::text::TextCodec;
+use crate::v3::CompressedCodec;
 use crate::workload::{WorkloadMeta, WorkloadTrace};
 
-/// Number of leading bytes [`sniff_format`] needs: the 11-byte magic plus the
-/// discriminator byte that follows it.
-pub const SNIFF_LEN: usize = MAGIC.len() + 1;
+/// Number of leading bytes [`sniff_format`] needs: the 11-byte magic, the
+/// discriminator byte that follows it, and (for binary framing) the version
+/// byte after that.
+pub const SNIFF_LEN: usize = MAGIC.len() + 2;
 
 /// The wire formats a trace can be encoded in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,32 +49,48 @@ pub enum TraceFormat {
     /// Compact length-prefixed binary framing (format v2). Varint integers,
     /// raw-bits `f64`; the high-volume interchange path.
     Binary,
+    /// Block-compressed binary framing (format v3): the v2 record schema inside
+    /// LZ-compressed blocks. Smallest on disk; streaming and strict byte-offset
+    /// errors survive because every block is independently framed.
+    Compressed,
 }
 
 impl TraceFormat {
+    /// Every supported format, in version order. Tests and benches iterate this
+    /// so a new format is exercised everywhere by construction.
+    pub const ALL: [TraceFormat; 3] = [
+        TraceFormat::Text,
+        TraceFormat::Binary,
+        TraceFormat::Compressed,
+    ];
+
     /// Stable label, as accepted by [`TraceFormat::parse`] and the CLI `--format`
     /// flag.
     pub fn label(self) -> &'static str {
         match self {
             TraceFormat::Text => "text",
             TraceFormat::Binary => "binary",
+            TraceFormat::Compressed => "compressed",
         }
     }
 
     /// Trace-format version number carried in the header (`1` = text, `2` =
-    /// binary).
+    /// binary, `3` = compressed).
     pub fn version(self) -> u32 {
         match self {
             TraceFormat::Text => crate::codec::FORMAT_VERSION,
             TraceFormat::Binary => crate::codec::BINARY_FORMAT_VERSION,
+            TraceFormat::Compressed => crate::codec::COMPRESSED_FORMAT_VERSION,
         }
     }
 
-    /// Parse a format label (`"text"` / `"binary"`).
+    /// Parse a format label (`"text"` / `"binary"` / `"compressed"`, with `"v3"`
+    /// accepted as a shorthand for the latter).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "text" => Some(TraceFormat::Text),
             "binary" => Some(TraceFormat::Binary),
+            "compressed" | "v3" => Some(TraceFormat::Compressed),
             _ => None,
         }
     }
@@ -171,22 +193,30 @@ pub fn codec_for(format: TraceFormat) -> Box<dyn TraceCodec> {
     match format {
         TraceFormat::Text => Box::new(TextCodec::new()),
         TraceFormat::Binary => Box::new(BinaryCodec::new()),
+        TraceFormat::Compressed => Box::new(CompressedCodec::new()),
     }
 }
 
 /// Recognise the format of a trace from its first bytes (at least [`SNIFF_LEN`];
 /// extra bytes are ignored). Anything that does not open with the shared magic —
 /// including a stream shorter than the magic itself — is [`TraceError::BadMagic`].
+///
+/// A NUL discriminator with an *unknown* version byte sniffs as [`TraceFormat::Binary`]
+/// so the binary codec's own header validation reports the canonical
+/// [`TraceError::UnsupportedVersion`] instead of a bare bad-magic error.
 pub fn sniff_format(prefix: &[u8]) -> Result<TraceFormat, TraceError> {
     let magic = MAGIC.as_bytes();
     // grass: allow(panicky-lib, "SNIFF_LEN > MAGIC.len(), checked on the line itself")
     if prefix.len() < SNIFF_LEN || &prefix[..magic.len()] != magic {
         return Err(TraceError::BadMagic);
     }
-    // grass: allow(panicky-lib, "SNIFF_LEN > MAGIC.len(), checked by the guard above")
-    match prefix[magic.len()] {
-        b' ' => Ok(TraceFormat::Text),
-        0 => Ok(TraceFormat::Binary),
+    // grass: allow(panicky-lib, "prefix.len() >= SNIFF_LEN = MAGIC.len() + 2, checked by the guard above")
+    match (prefix[magic.len()], prefix[magic.len() + 1]) {
+        (b' ', _) => Ok(TraceFormat::Text),
+        (0, v) if u32::from(v) == crate::codec::COMPRESSED_FORMAT_VERSION => {
+            Ok(TraceFormat::Compressed)
+        }
+        (0, _) => Ok(TraceFormat::Binary),
         _ => Err(TraceError::BadMagic),
     }
 }
@@ -206,19 +236,20 @@ mod tests {
 
     #[test]
     fn labels_versions_and_parsing_are_consistent() {
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             assert_eq!(TraceFormat::parse(format.label()), Some(format));
             assert_eq!(format.to_string(), format.label());
+            assert_eq!(codec_for(format).format(), format);
         }
         assert_eq!(TraceFormat::Text.version(), 1);
         assert_eq!(TraceFormat::Binary.version(), 2);
+        assert_eq!(TraceFormat::Compressed.version(), 3);
+        assert_eq!(TraceFormat::parse("v3"), Some(TraceFormat::Compressed));
         assert_eq!(TraceFormat::parse("json"), None);
-        assert_eq!(codec_for(TraceFormat::Text).format(), TraceFormat::Text);
-        assert_eq!(codec_for(TraceFormat::Binary).format(), TraceFormat::Binary);
     }
 
     #[test]
-    fn sniffing_discriminates_on_the_twelfth_byte() {
+    fn sniffing_discriminates_on_discriminator_and_version() {
         assert_eq!(
             sniff_format(b"grass-trace 1 workload\n").unwrap(),
             TraceFormat::Text
@@ -227,12 +258,23 @@ mod tests {
             sniff_format(b"grass-trace\0\x02\x00").unwrap(),
             TraceFormat::Binary
         );
+        assert_eq!(
+            sniff_format(b"grass-trace\0\x03\x00").unwrap(),
+            TraceFormat::Compressed
+        );
+        // An unknown version under the NUL discriminator sniffs as binary so the
+        // codec reports UnsupportedVersion with the canonical message.
+        assert_eq!(
+            sniff_format(b"grass-trace\0\x09\x00").unwrap(),
+            TraceFormat::Binary
+        );
         for bad in [
-            &b"grass-trace"[..], // magic but no discriminator
+            &b"grass-trace"[..],   // magic but no discriminator
+            &b"grass-trace\0"[..], // binary framing but no version byte
             &b"grass-tracX 1 "[..],
             &b""[..],
             &b"{\"not\": \"a trace\"}"[..],
-            &b"grass-trace\t1"[..], // unknown discriminator
+            &b"grass-trace\t1x"[..], // unknown discriminator
         ] {
             assert!(
                 matches!(sniff_format(bad), Err(TraceError::BadMagic)),

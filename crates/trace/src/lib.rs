@@ -13,11 +13,23 @@
 //! * **Binary (v2)** — compact length-prefixed framing ([`binary`]): shared magic +
 //!   stream-kind header, varint integers, raw-bits `f64`. Same data model, an order
 //!   of magnitude faster — the interchange path once traces reach GBs.
+//! * **Compressed (v3)** — the v2 record schema inside LZ-compressed blocks
+//!   ([`v3`], block framing in [`compress`]): smallest on disk, with streaming,
+//!   seeking and exact-offset truncation errors intact because every block is
+//!   independently framed and decompressed.
 //!
 //! Reads **sniff the format automatically** ([`sniff_format`]), so every consumer —
-//! replay, stats, sweeps, the CLI — accepts either format through one call; writes
-//! take a [`TraceFormat`] (defaulting to text for debuggability). Both formats
+//! replay, stats, sweeps, the CLI — accepts any format through one call; writes
+//! take a [`TraceFormat`] (defaulting to text for debuggability). All formats
 //! round-trip every `f64` bit-exactly, the property the replay guarantee rests on.
+//!
+//! For binary (v2) traces there is additionally a **zero-copy memory-mapped read
+//! path** ([`mmap`]): [`MappedWorkload`] borrows stage names and task records
+//! straight out of the map ([`BorrowedJob`]), decoding without per-record
+//! allocation, with [`BorrowedJob::to_spec`] as the copy-on-demand escape hatch
+//! into the owned types. [`open_workload_source_mmap`] is the drop-in mmap
+//! variant of [`open_workload_source`] used by `repro sweep --mmap` and fleet
+//! warm-up.
 //!
 //! Decode is **streaming end to end** ([`stream`]): the codec plugins expose
 //! pull-based frame iterators ([`WorkloadItems`], [`ExecutionEvents`], and
@@ -62,24 +74,30 @@
 
 pub mod binary;
 pub mod codec;
+pub mod compress;
 pub mod execution;
 pub mod format;
+pub mod mmap;
 pub mod replay;
 pub mod sink;
 pub mod stats;
 pub mod stream;
 pub mod text;
+pub mod v3;
 pub mod workload;
 
 pub use binary::BinaryCodec;
 pub use codec::{
-    Record, StreamKind, TraceError, TraceReader, TraceWriter, BINARY_FORMAT_VERSION, FORMAT_VERSION,
+    Record, StreamKind, TraceError, TraceReader, TraceWriter, BINARY_FORMAT_VERSION,
+    COMPRESSED_FORMAT_VERSION, FORMAT_VERSION,
 };
 pub use execution::{ExecutionMeta, ExecutionTrace};
 pub use format::{codec_for, sniff_bytes, sniff_format, TraceCodec, TraceFormat};
+pub use mmap::{open_workload_source_mmap, BorrowedJob, BorrowedJobs, MappedWorkload};
 pub use replay::{replay, replay_config};
 pub use sink::{convert_stream, ExecutionTraceSink, WorkloadTraceSink};
 pub use stats::TraceStats;
 pub use stream::{ExecutionEvents, TraceItems, WorkloadItems};
 pub use text::TextCodec;
+pub use v3::CompressedCodec;
 pub use workload::{open_workload_source, record_workload, WorkloadMeta, WorkloadTrace};

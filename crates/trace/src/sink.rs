@@ -229,7 +229,7 @@ mod tests {
             vec![2.0; 8],
         )];
 
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let mut streaming =
                 ExecutionTraceSink::with_format(Vec::new(), &meta(), format).unwrap();
             assert_eq!(streaming.format(), format);
@@ -270,7 +270,10 @@ mod tests {
     fn io_errors_are_latched_and_reported_by_finish() {
         // Allow enough writes for the header and meta record, then fail; the error
         // must be latched and surface from finish() regardless of when it hits.
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        // The compressed format only touches the writer once per ~64 KiB block,
+        // so the event count must push well past 20 blocks to guarantee the
+        // failure hits mid-stream in every format.
+        for format in TraceFormat::ALL {
             let mut sink =
                 ExecutionTraceSink::with_format(FailingWriter { allowed: 20 }, &meta(), format)
                     .unwrap();
@@ -278,7 +281,7 @@ mod tests {
                 time: 0.0,
                 job: grass_core::JobId(1),
             };
-            for _ in 0..100 {
+            for _ in 0..100_000 {
                 sink.record(&event);
             }
             assert!(sink.finish().is_err(), "{format}");

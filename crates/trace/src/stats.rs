@@ -52,6 +52,31 @@ impl TraceStats {
         Self::read_from(BufReader::new(std::fs::File::open(path)?))
     }
 
+    /// Compute statistics over a memory-mapped binary workload trace without
+    /// copying a single record: jobs fold straight out of the mapped bytes via
+    /// [`crate::MappedWorkload`]. Files the mapped path does not cover (text,
+    /// compressed, execution streams) fall back to [`TraceStats::load`] — the
+    /// result is identical either way, only the read path differs.
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        let mapped = match crate::MappedWorkload::open(path) {
+            Ok(mapped) => mapped,
+            Err(TraceError::UnsupportedVersion(_) | TraceError::WrongStream { .. }) => {
+                return Self::load(path);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut acc = WorkloadAccumulator::default();
+        for job in mapped.jobs() {
+            let job = job?;
+            acc.jobs += 1;
+            acc.tasks += job.task_count();
+            acc.total_work += job.total_work();
+            acc.horizon = acc.horizon.max(job.arrival);
+        }
+        Ok(acc.finish(TraceFormat::Binary))
+    }
+
     /// Compute statistics over any buffered reader in a single O(one record)
     /// pass: format and stream kind are sniffed, then each decoded record folds
     /// into the accumulator and is dropped.
@@ -248,6 +273,26 @@ mod tests {
             rendered.contains("workload") && rendered.contains("job=5"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn mmap_stats_match_streamed_stats_in_every_format() {
+        let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+            .with_jobs(4)
+            .with_bound(BoundSpec::paper_errors());
+        let trace = record_workload(&config, 3, 4, "GS", 2, 2);
+        let dir = std::env::temp_dir().join(format!("grass-stats-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for format in TraceFormat::ALL {
+            // Binary takes the zero-copy mapped fold; text and compressed fall
+            // back to the streaming reader. The stats must agree exactly.
+            let path = dir.join(format!("workload-{format}.trace"));
+            std::fs::write(&path, trace.to_bytes_as(format)).unwrap();
+            let mapped = TraceStats::load_mmap(&path).unwrap();
+            let streamed = TraceStats::load(&path).unwrap();
+            assert_eq!(mapped, streamed, "{format}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

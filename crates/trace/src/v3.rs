@@ -1,0 +1,231 @@
+//! The compressed binary format plugin (v3): the v2 record schema inside
+//! LZ-compressed blocks.
+//!
+//! ```text
+//! header := "grass-trace" 0x00 0x03 kind:u8                (14 bytes, stored raw)
+//! stream := header block*
+//! block  := raw_len:varint comp_len:varint payload          (see crate::compress)
+//! ```
+//!
+//! Every frame body is byte-identical to its v2 encoding — v2 ↔ v3 conversion
+//! is pure re-framing — so the replay guarantee (raw-bits floats, canonical
+//! varints) carries over unchanged. Compression is deterministic, making v3
+//! output canonical: re-encoding a decoded stream reproduces it byte for byte.
+//!
+//! Decoding keeps the strict posture of v2: bad magic, bad version, wrong
+//! stream kind, corrupt block framing, truncated payloads, unknown tags and
+//! job-count mismatches all fail with exact offsets (file offsets for block
+//! defects, decompressed-stream offsets for frame defects — see
+//! [`crate::compress`]).
+
+use std::io::{BufRead, Write};
+
+use grass_core::JobSpec;
+use grass_sim::SimTraceEvent;
+
+use crate::binary::{
+    decode_event, decode_job, event_body, execution_meta_body, execution_meta_from_body, frame_err,
+    job_body, kind_code, workload_meta_body, workload_meta_from_body, Body, FrameReader,
+    MAGIC_TERMINATOR, TAG_JOB,
+};
+use crate::codec::{StreamKind, TraceError, COMPRESSED_FORMAT_VERSION, MAGIC};
+use crate::compress::{BlockReader, BlockWriter};
+use crate::execution::ExecutionMeta;
+use crate::format::{TraceCodec, TraceFormat};
+use crate::stream::{ExecutionEvents, ExecutionFrames, WorkloadFrames, WorkloadItems};
+use crate::workload::WorkloadMeta;
+
+/// The compressed binary plugin (format v3). Buffers at most one block of
+/// encoded frames; [`TraceCodec::finish`] flushes the final partial block.
+#[derive(Debug, Default)]
+pub struct CompressedCodec {
+    scratch: Vec<u8>,
+    writer: BlockWriter,
+}
+
+impl CompressedCodec {
+    /// A fresh compressed codec.
+    pub fn new() -> Self {
+        CompressedCodec::default()
+    }
+
+    fn header(&self, w: &mut dyn Write, kind: StreamKind) -> Result<(), TraceError> {
+        w.write_all(MAGIC.as_bytes())?;
+        w.write_all(&[
+            MAGIC_TERMINATOR,
+            COMPRESSED_FORMAT_VERSION as u8,
+            kind_code(kind),
+        ])?;
+        Ok(())
+    }
+}
+
+impl TraceCodec for CompressedCodec {
+    fn format(&self) -> TraceFormat {
+        TraceFormat::Compressed
+    }
+
+    fn begin_workload(
+        &mut self,
+        w: &mut dyn Write,
+        meta: &WorkloadMeta,
+        num_jobs: usize,
+    ) -> Result<(), TraceError> {
+        self.header(w, StreamKind::Workload)?;
+        self.scratch.clear();
+        workload_meta_body(&mut self.scratch, meta, num_jobs);
+        self.writer.push_frame(w, &self.scratch)
+    }
+
+    fn encode_job(&mut self, w: &mut dyn Write, job: &JobSpec) -> Result<(), TraceError> {
+        self.scratch.clear();
+        job_body(&mut self.scratch, job);
+        self.writer.push_frame(w, &self.scratch)
+    }
+
+    fn begin_execution(
+        &mut self,
+        w: &mut dyn Write,
+        meta: &ExecutionMeta,
+    ) -> Result<(), TraceError> {
+        self.header(w, StreamKind::Execution)?;
+        self.scratch.clear();
+        execution_meta_body(&mut self.scratch, meta);
+        self.writer.push_frame(w, &self.scratch)
+    }
+
+    fn encode_event(&mut self, w: &mut dyn Write, event: &SimTraceEvent) -> Result<(), TraceError> {
+        self.scratch.clear();
+        event_body(&mut self.scratch, event);
+        self.writer.push_frame(w, &self.scratch)
+    }
+
+    fn finish(&mut self, w: &mut dyn Write) -> Result<(), TraceError> {
+        self.writer.flush(w)
+    }
+
+    fn workload_items<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<WorkloadItems<'r>, TraceError> {
+        let (mut br, kind) = BlockReader::open(r)?;
+        if kind != StreamKind::Workload {
+            return Err(TraceError::WrongStream {
+                expected: StreamKind::Workload,
+                found: kind,
+            });
+        }
+        let at = br.file_offset();
+        let Some((start, end, base)) = br.next_frame()? else {
+            return Err(frame_err(at, "workload trace has no meta frame"));
+        };
+        let mut body = Body::new(br.frame(start, end), base);
+        let (meta, declared_jobs) = workload_meta_from_body(&mut body, base)?;
+        Ok(WorkloadItems::from_parts(
+            TraceFormat::Compressed,
+            meta,
+            declared_jobs,
+            Box::new(CompressedWorkloadFrames {
+                br,
+                declared_jobs,
+                seen: 0,
+            }),
+        ))
+    }
+
+    fn execution_events<'r>(
+        &mut self,
+        r: Box<dyn BufRead + 'r>,
+    ) -> Result<ExecutionEvents<'r>, TraceError> {
+        let (mut br, kind) = BlockReader::open(r)?;
+        if kind != StreamKind::Execution {
+            return Err(TraceError::WrongStream {
+                expected: StreamKind::Execution,
+                found: kind,
+            });
+        }
+        let at = br.file_offset();
+        let Some((start, end, base)) = br.next_frame()? else {
+            return Err(frame_err(at, "execution trace has no meta frame"));
+        };
+        let mut body = Body::new(br.frame(start, end), base);
+        let meta = execution_meta_from_body(&mut body, base)?;
+        Ok(ExecutionEvents::from_parts(
+            TraceFormat::Compressed,
+            meta,
+            Box::new(CompressedExecutionFrames { br }),
+        ))
+    }
+
+    fn peek_kind(&mut self, r: &mut dyn BufRead) -> Result<StreamKind, TraceError> {
+        FrameReader::new(r).read_header_version(COMPRESSED_FORMAT_VERSION)
+    }
+}
+
+/// Frame-at-a-time job puller behind [`WorkloadItems`] for v3 streams; enforces
+/// the declared job count at end of stream like its v2 counterpart.
+struct CompressedWorkloadFrames<R> {
+    br: BlockReader<R>,
+    declared_jobs: usize,
+    seen: usize,
+}
+
+impl<R: BufRead> WorkloadFrames for CompressedWorkloadFrames<R> {
+    fn next_job(&mut self) -> Option<Result<JobSpec, TraceError>> {
+        match self.br.next_frame() {
+            Err(e) => Some(Err(e)),
+            Ok(Some((start, end, base))) => {
+                let mut body = Body::new(self.br.frame(start, end), base);
+                let tag = match body.take_u8("frame tag") {
+                    Ok(tag) => tag,
+                    Err(e) => return Some(Err(e)),
+                };
+                if tag != TAG_JOB {
+                    return Some(Err(frame_err(
+                        base,
+                        format!("unknown frame tag {tag:#04x} in workload trace"),
+                    )));
+                }
+                self.seen += 1;
+                Some(decode_job(&mut body).and_then(|job| {
+                    body.expect_end("job")?;
+                    Ok(job)
+                }))
+            }
+            Ok(None) => {
+                if self.seen != self.declared_jobs {
+                    Some(Err(frame_err(
+                        self.br.file_offset(),
+                        format!(
+                            "meta declares {} jobs but the trace contains {}",
+                            self.declared_jobs, self.seen
+                        ),
+                    )))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Frame-at-a-time event puller behind [`ExecutionEvents`] for v3 streams.
+struct CompressedExecutionFrames<R> {
+    br: BlockReader<R>,
+}
+
+impl<R: BufRead> ExecutionFrames for CompressedExecutionFrames<R> {
+    fn next_event(&mut self) -> Option<Result<SimTraceEvent, TraceError>> {
+        match self.br.next_frame() {
+            Err(e) => Some(Err(e)),
+            Ok(Some((start, end, base))) => {
+                let mut body = Body::new(self.br.frame(start, end), base);
+                Some(decode_event(&mut body).and_then(|event| {
+                    body.expect_end("event")?;
+                    Ok(event)
+                }))
+            }
+            Ok(None) => None,
+        }
+    }
+}

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_jobs_bit_exactly_in_both_formats() {
         let trace = sample_trace();
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let bytes = trace.to_bytes_as(format);
             let decoded = WorkloadTrace::from_bytes(&bytes).unwrap();
             assert_eq!(decoded.meta, trace.meta, "{format}");
@@ -254,7 +254,7 @@ mod tests {
             },
             jobs.clone(),
         );
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let decoded = WorkloadTrace::from_bytes(&trace.to_bytes_as(format)).unwrap();
             assert_eq!(decoded.jobs, jobs, "{format}");
             assert_eq!(decoded.jobs[0].stages[0].name, "map:shuffle|α");

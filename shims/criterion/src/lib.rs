@@ -26,11 +26,23 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Mirrors `criterion::Throughput`: how much work one iteration of a benchmark
+/// processes. Declaring it adds a throughput column (MiB/s for bytes, elem/s
+/// for elements) next to the per-iteration times.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+    /// One iteration processes this many logical elements.
+    Elements(u64),
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Settings {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
 }
 
 impl Default for Settings {
@@ -39,6 +51,7 @@ impl Default for Settings {
             sample_size: 20,
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(1),
+            throughput: None,
         }
     }
 }
@@ -49,6 +62,8 @@ pub struct Criterion {
     settings: Settings,
     /// Substring filters from the command line; empty means "run everything".
     filters: Vec<String>,
+    /// When set (`--json <path>`), every benchmark appends one JSON line here.
+    json: Option<std::path::PathBuf>,
 }
 
 impl Criterion {
@@ -82,6 +97,17 @@ impl Criterion {
         let mut filters = Vec::new();
         while let Some(arg) = args.next() {
             if arg.starts_with('-') {
+                // **Shim extension**: `--json <path>` appends one JSON line per
+                // benchmark to <path> (real criterion persists under target/
+                // instead — drop the flag when swapping back in).
+                if arg == "--json" {
+                    self.json = args.next().map(std::path::PathBuf::from);
+                    continue;
+                }
+                if let Some(path) = arg.strip_prefix("--json=") {
+                    self.json = Some(std::path::PathBuf::from(path));
+                    continue;
+                }
                 // `--flag=value` carries its value inside the token; a bare
                 // value-taking flag consumes the next token instead.
                 if VALUE_FLAGS.contains(&arg.as_str()) {
@@ -124,7 +150,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         if self.matches(id) {
-            run_benchmark(id, &self.settings, &mut f);
+            run_benchmark(id, &self.settings, self.json.as_deref(), &mut f);
         }
         self
     }
@@ -144,6 +170,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare how much work one iteration of the following benchmarks does;
+    /// they gain a throughput column (and JSON field) derived from the median.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
         self.settings.warm_up_time = d;
         self
@@ -160,7 +193,12 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.as_ref());
         if self.criterion.matches(&full) {
-            run_benchmark(&full, &self.settings, &mut f);
+            run_benchmark(
+                &full,
+                &self.settings,
+                self.criterion.json.as_deref(),
+                &mut f,
+            );
         }
         self
     }
@@ -168,7 +206,12 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    settings: &Settings,
+    json: Option<&std::path::Path>,
+    f: &mut F,
+) {
     // Warm-up: run until the warm-up budget is spent.
     let warm_deadline = Instant::now() + settings.warm_up_time;
     while Instant::now() < warm_deadline {
@@ -201,15 +244,78 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut 
     } else {
         0.0
     };
+    let thrpt = settings.throughput.map(|t| match t {
+        Throughput::Bytes(n) => (n, n as f64 / median / (1024.0 * 1024.0), "MiB/s"),
+        Throughput::Elements(n) => (n, n as f64 / median, "elem/s"),
+    });
+    let thrpt_col = thrpt.map_or(String::new(), |(_, rate, unit)| {
+        format!("  thrpt {rate:>10.1} {unit}")
+    });
     println!(
         "bench {id:<50} min {:>12}  median {:>12}  mean {:>12}  sd {:>12}  \
-         ({} samples x {iters} iters)",
+         ({} samples x {iters} iters){thrpt_col}",
         fmt_time(min),
         fmt_time(median),
         fmt_time(mean),
         fmt_time(stddev),
         samples.len(),
     );
+    if let Some(path) = json {
+        append_json_line(
+            path,
+            id,
+            min,
+            median,
+            mean,
+            stddev,
+            samples.len(),
+            iters,
+            thrpt,
+        );
+    }
+}
+
+/// Append one machine-readable line for this benchmark: times in seconds, plus
+/// the declared per-iteration work and derived throughput when present.
+#[allow(clippy::too_many_arguments)]
+fn append_json_line(
+    path: &std::path::Path,
+    id: &str,
+    min: f64,
+    median: f64,
+    mean: f64,
+    stddev: f64,
+    samples: usize,
+    iters: u64,
+    thrpt: Option<(u64, f64, &str)>,
+) {
+    let escaped: String = id
+        .chars()
+        .map(|c| match c {
+            '"' => "\\\"".to_string(),
+            '\\' => "\\\\".to_string(),
+            c if c.is_control() => ' '.to_string(),
+            c => c.to_string(),
+        })
+        .collect();
+    let mut line = format!(
+        "{{\"id\":\"{escaped}\",\"min_s\":{min:e},\"median_s\":{median:e},\"mean_s\":{mean:e},\
+         \"sd_s\":{stddev:e},\"samples\":{samples},\"iters\":{iters}"
+    );
+    if let Some((work, rate, unit)) = thrpt {
+        line.push_str(&format!(
+            ",\"work_per_iter\":{work},\"throughput\":{rate:e},\"throughput_unit\":\"{unit}\""
+        ));
+    }
+    line.push_str("}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("cannot append bench JSON to {}: {e}", path.display());
+    }
 }
 
 fn fmt_time(secs: f64) -> String {

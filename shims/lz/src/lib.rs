@@ -1,0 +1,411 @@
+//! Offline stand-in for an LZ compression crate (`lz4_flex` / `zstd`).
+//!
+//! Implements a greedy hash-table LZ77 compressor whose output is the **LZ4
+//! block format** (token byte with literal/match-length nibbles, 255-run length
+//! extensions, 16-bit little-endian match offsets, literals-only final
+//! sequence). The encoder honours the LZ4 end-of-block rules — the last five
+//! bytes are always literals and no match starts within the last twelve bytes —
+//! so blocks written by this shim are decodable by real LZ4 implementations and
+//! vice versa. See `shims/README.md` for the swap-back path.
+//!
+//! The decoder is panic-free: every malformed input returns an [`LzError`]
+//! carrying the byte position of the defect, and the `expected_len` argument
+//! caps the output so corrupt length fields cannot cause unbounded allocation.
+//!
+//! Compression is fully deterministic — identical input always yields identical
+//! output — which the trace layer relies on for byte-identical re-encoding.
+
+/// Shortest match the compressor will emit (LZ4 fixed minimum).
+const MIN_MATCH: usize = 4;
+/// Matches must end at least this many bytes before the end of the block.
+const LAST_LITERALS: usize = 5;
+/// Matches must start at least this many bytes before the end of the block.
+const MATCH_START_MARGIN: usize = 12;
+/// log2 of the hash-table size. 2^13 u32 slots = 32 KiB of scratch.
+const HASH_BITS: u32 = 13;
+/// Maximum representable match offset (16-bit field).
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+/// A malformed compressed block. Positions are byte offsets into the
+/// *compressed* input unless stated otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzError {
+    /// The input ended inside a token, length extension, literal run or offset.
+    Truncated {
+        /// Offset of the first missing byte.
+        at: usize,
+    },
+    /// A match referred back further than the bytes produced so far (or had
+    /// offset zero, which the format forbids).
+    BadOffset {
+        /// Offset of the two-byte offset field.
+        at: usize,
+        /// The offset value found.
+        offset: usize,
+        /// Decompressed bytes available to copy from at that point.
+        available: usize,
+    },
+    /// The block decompressed to a different size than the caller declared.
+    LengthMismatch {
+        /// Declared decompressed size.
+        expected: usize,
+        /// Size actually produced (or about to be exceeded).
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            LzError::Truncated { at } => {
+                write!(f, "compressed block truncated at byte {at}")
+            }
+            LzError::BadOffset {
+                at,
+                offset,
+                available,
+            } => write!(
+                f,
+                "match offset {offset} at byte {at} exceeds the {available} bytes produced"
+            ),
+            LzError::LengthMismatch { expected, got } => write!(
+                f,
+                "block declares {expected} decompressed bytes but yields {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// Worst-case compressed size for `input_len` bytes of incompressible data:
+/// the literal-run length extensions add one byte per 255 literals, plus the
+/// token and terminator slack.
+pub fn max_compressed_len(input_len: usize) -> usize {
+    input_len + input_len / 255 + 16
+}
+
+#[inline]
+fn hash(v: u32) -> usize {
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn read_u32(input: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    // grass: allow(panicky-lib, "callers guarantee at + 4 <= input.len() (match_limit = len - 12)")
+    b.copy_from_slice(&input[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Append the 255-run length extension for a value whose nibble was 15.
+fn put_len_ext(out: &mut Vec<u8>, mut n: usize) {
+    while n >= 255 {
+        out.push(255);
+        n -= 255;
+    }
+    out.push(n as u8);
+}
+
+/// Emit one sequence: a literal run, optionally followed by a match.
+fn emit(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit_nibble = literals.len().min(15);
+    let match_nibble = m.map_or(0, |(_, len)| (len - MIN_MATCH).min(15));
+    out.push(((lit_nibble << 4) | match_nibble) as u8);
+    if literals.len() >= 15 {
+        put_len_ext(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            put_len_ext(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compress `input` into a fresh buffer.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(max_compressed_len(input.len()) / 2);
+    compress_into(input, &mut out);
+    out
+}
+
+/// Compress `input`, appending the block to `out`.
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
+    if input.is_empty() {
+        return;
+    }
+    let mut anchor = 0usize;
+    // Blocks shorter than the end margins cannot contain matches.
+    if input.len() > MATCH_START_MARGIN {
+        // `pos + 1` so zero means "empty slot"; positions fit u32 because the
+        // trace layer caps blocks far below 4 GiB.
+        let mut table = vec![0u32; 1 << HASH_BITS];
+        let match_limit = input.len() - MATCH_START_MARGIN;
+        let end_limit = input.len() - LAST_LITERALS;
+        let mut i = 0usize;
+        while i <= match_limit {
+            let v = read_u32(input, i);
+            let slot = hash(v);
+            // grass: allow(panicky-lib, "hash() shifts down to HASH_BITS bits, so slot < 1 << HASH_BITS = table.len()")
+            let candidate = table[slot] as usize;
+            // grass: allow(panicky-lib, "same slot bound as the read above")
+            table[slot] = (i + 1) as u32;
+            if candidate > 0 {
+                let c = candidate - 1;
+                if i - c <= MAX_OFFSET && read_u32(input, c) == v {
+                    let mut len = MIN_MATCH;
+                    // grass: allow(panicky-lib, "i + len < end_limit < input.len() is the loop guard, and c < i")
+                    while i + len < end_limit && input[c + len] == input[i + len] {
+                        len += 1;
+                    }
+                    // grass: allow(panicky-lib, "anchor <= i <= match_limit < input.len()")
+                    emit(out, &input[anchor..i], Some((i - c, len)));
+                    i += len;
+                    anchor = i;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    // grass: allow(panicky-lib, "anchor is only ever assigned positions <= input.len()")
+    emit(out, &input[anchor..], None);
+}
+
+/// Read a 255-run length extension starting from nibble value 15.
+fn read_len_ext(src: &[u8], i: &mut usize) -> Result<usize, LzError> {
+    let mut n = 15usize;
+    loop {
+        let b = *src.get(*i).ok_or(LzError::Truncated { at: *i })?;
+        *i += 1;
+        // Each extension byte consumes one input byte, so `n` is bounded by
+        // 15 + 255 * src.len() and cannot overflow usize.
+        n += b as usize;
+        if b != 255 {
+            return Ok(n);
+        }
+    }
+}
+
+/// Decompress a block that must expand to exactly `expected_len` bytes.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::with_capacity(expected_len);
+    decompress_into(input, &mut out, expected_len)?;
+    Ok(out)
+}
+
+/// Decompress a block, appending exactly `expected_len` bytes to `out`.
+///
+/// The declared length is a hard cap enforced *before* each copy, so a corrupt
+/// block can never allocate more than `expected_len` bytes of output.
+pub fn decompress_into(
+    input: &[u8],
+    out: &mut Vec<u8>,
+    expected_len: usize,
+) -> Result<(), LzError> {
+    let start = out.len();
+    out.reserve(expected_len);
+    if input.is_empty() {
+        return if expected_len == 0 {
+            Ok(())
+        } else {
+            Err(LzError::LengthMismatch {
+                expected: expected_len,
+                got: 0,
+            })
+        };
+    }
+    let mut i = 0usize;
+    loop {
+        let token = *input.get(i).ok_or(LzError::Truncated { at: i })?;
+        i += 1;
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len = read_len_ext(input, &mut i)?;
+        }
+        let lit_end = i.checked_add(lit_len).ok_or(LzError::Truncated { at: i })?;
+        let literals = input.get(i..lit_end).ok_or(LzError::Truncated { at: i })?;
+        let produced = out.len() - start;
+        if produced + lit_len > expected_len {
+            return Err(LzError::LengthMismatch {
+                expected: expected_len,
+                got: produced + lit_len,
+            });
+        }
+        out.extend_from_slice(literals);
+        i = lit_end;
+        if i == input.len() {
+            break;
+        }
+        let off_at = i;
+        let off_bytes = input
+            .get(i..i + 2)
+            .ok_or(LzError::Truncated { at: input.len() })?;
+        // grass: allow(panicky-lib, "off_bytes is the 2-byte slice produced by the get(i..i + 2) on the previous line")
+        let offset = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
+        i += 2;
+        let mut match_len = (token & 0x0F) as usize + MIN_MATCH;
+        if match_len == 15 + MIN_MATCH {
+            match_len = read_len_ext(input, &mut i)? + MIN_MATCH;
+        }
+        let produced = out.len() - start;
+        if offset == 0 || offset > produced {
+            return Err(LzError::BadOffset {
+                at: off_at,
+                offset,
+                available: produced,
+            });
+        }
+        if produced + match_len > expected_len {
+            return Err(LzError::LengthMismatch {
+                expected: expected_len,
+                got: produced + match_len,
+            });
+        }
+        let from = out.len() - offset;
+        if offset >= match_len {
+            // Non-overlapping: one memcpy.
+            out.extend_from_within(from..from + match_len);
+        } else {
+            // Overlapping run: byte-at-a-time, reading bytes as they appear.
+            for k in 0..match_len {
+                // grass: allow(panicky-lib, "from + k < out.len(): offset >= 1 keeps the read index behind the write head, which advances with every push")
+                let b = out[from + k];
+                out.push(b);
+            }
+        }
+    }
+    let got = out.len() - start;
+    if got != expected_len {
+        return Err(LzError::LengthMismatch {
+            expected: expected_len,
+            got,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let compressed = compress(data);
+        decompress(&compressed, data.len()).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn roundtrips_identity() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"hello world"), b"hello world");
+        let repetitive: Vec<u8> = b"grass-trace-frame-"
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect();
+        assert_eq!(roundtrip(&repetitive), repetitive);
+        let overlap = vec![7u8; 4096];
+        assert_eq!(roundtrip(&overlap), overlap);
+    }
+
+    #[test]
+    fn roundtrips_incompressible_data() {
+        // Deterministic pseudo-random bytes (LCG) — essentially incompressible.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        let noise: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (x >> 56) as u8
+            })
+            .collect();
+        let compressed = compress(&noise);
+        assert!(compressed.len() <= max_compressed_len(noise.len()));
+        assert_eq!(decompress(&compressed, noise.len()).unwrap(), noise);
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data = vec![b'x'; 100_000];
+        let compressed = compress(&data);
+        assert!(
+            compressed.len() < data.len() / 50,
+            "run of 100k bytes compressed to {} bytes",
+            compressed.len()
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        assert_eq!(compress(&data), compress(&data));
+    }
+
+    #[test]
+    fn long_literal_and_match_length_extensions() {
+        // > 15 literals followed by a > 19-byte match exercises both 255-run paths.
+        let mut data: Vec<u8> = (0..=255u8).collect();
+        data.extend(std::iter::repeat_n(b'z', 1000));
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn truncated_inputs_error_with_position() {
+        let data: Vec<u8> = b"abcdefgh".iter().copied().cycle().take(400).collect();
+        let compressed = compress(&data);
+        for cut in 0..compressed.len() {
+            let err = decompress(&compressed[..cut], data.len()).unwrap_err();
+            match err {
+                LzError::Truncated { at } => assert!(at <= cut, "position {at} past cut {cut}"),
+                LzError::LengthMismatch { expected, got } => {
+                    assert_eq!(expected, data.len());
+                    assert!(got < data.len());
+                }
+                LzError::BadOffset { .. } => {
+                    // A cut can land so that stale bytes parse as a tiny offset.
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_offsets_are_rejected() {
+        // token: 1 literal + match, offset 0.
+        let bad = [0x11, b'a', 0x00, 0x00];
+        assert!(matches!(
+            decompress(&bad, 10),
+            Err(LzError::BadOffset { offset: 0, .. })
+        ));
+        // offset 9000 with only one byte produced.
+        let far = [0x11, b'a', 0x28, 0x23];
+        assert!(matches!(
+            decompress(&far, 10),
+            Err(LzError::BadOffset {
+                offset: 9000,
+                available: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn declared_length_caps_output() {
+        let data = vec![b'q'; 5000];
+        let compressed = compress(&data);
+        // Lying about the decompressed size fails rather than over-allocating.
+        assert!(matches!(
+            decompress(&compressed, 10),
+            Err(LzError::LengthMismatch { expected: 10, .. })
+        ));
+        assert!(matches!(
+            decompress(&compressed, 100_000),
+            Err(LzError::LengthMismatch {
+                expected: 100_000,
+                got: 5000
+            })
+        ));
+    }
+}

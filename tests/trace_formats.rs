@@ -1,8 +1,9 @@
 //! Integration tests of the pluggable trace-format layer: strict binary (v2)
 //! decode errors mirroring the text corrupt-input suite, property-based
-//! cross-format identity (text→binary→text and binary→text→binary are
-//! byte-identical), and replay equivalence — a workload replayed from either
-//! format produces bit-identical `JobOutcome` digests.
+//! cross-format identity (every conversion cycle between text, binary and
+//! compressed is byte-identical), and replay equivalence — a workload replayed
+//! from any format produces bit-identical `JobOutcome` digests. The
+//! compressed-specific corrupt-input suite lives in `trace_compressed.rs`.
 
 use proptest::prelude::*;
 
@@ -231,11 +232,14 @@ proptest! {
 
         let text = trace.to_bytes_as(TraceFormat::Text);
         let binary = trace.to_bytes_as(TraceFormat::Binary);
+        let compressed = trace.to_bytes_as(TraceFormat::Compressed);
         let from_text = WorkloadTrace::from_bytes(&text).unwrap();
         let from_binary = WorkloadTrace::from_bytes(&binary).unwrap();
+        let from_compressed = WorkloadTrace::from_bytes(&compressed).unwrap();
 
         // Value identity across formats, including bit-exact floats.
         prop_assert_eq!(&from_text, &from_binary);
+        prop_assert_eq!(&from_text, &from_compressed);
         prop_assert_eq!(
             from_text.jobs[0].arrival.to_bits(),
             from_binary.jobs[0].arrival.to_bits()
@@ -244,9 +248,12 @@ proptest! {
             prop_assert_eq!(a.work.to_bits(), b.work.to_bits());
         }
 
-        // text -> binary -> text and binary -> text -> binary are byte-identical.
+        // Every conversion cycle reproduces the canonical bytes exactly.
         prop_assert_eq!(from_binary.to_bytes_as(TraceFormat::Text), text);
-        prop_assert_eq!(from_text.to_bytes_as(TraceFormat::Binary), binary);
+        prop_assert_eq!(from_text.to_bytes_as(TraceFormat::Binary), binary.as_slice());
+        prop_assert_eq!(from_text.to_bytes_as(TraceFormat::Compressed), compressed.as_slice());
+        prop_assert_eq!(from_compressed.to_bytes_as(TraceFormat::Binary), binary);
+        prop_assert_eq!(from_binary.to_bytes_as(TraceFormat::Compressed), compressed);
     }
 
     /// Cross-format identity for execution traces over every event variant.
@@ -299,11 +306,16 @@ proptest! {
         );
         let text = trace.to_bytes_as(TraceFormat::Text);
         let binary = trace.to_bytes_as(TraceFormat::Binary);
+        let compressed = trace.to_bytes_as(TraceFormat::Compressed);
         let from_text = ExecutionTrace::from_bytes(&text).unwrap();
         let from_binary = ExecutionTrace::from_bytes(&binary).unwrap();
+        let from_compressed = ExecutionTrace::from_bytes(&compressed).unwrap();
         prop_assert_eq!(&from_text, &from_binary);
+        prop_assert_eq!(&from_text, &from_compressed);
         prop_assert_eq!(from_binary.to_bytes_as(TraceFormat::Text), text);
-        prop_assert_eq!(from_text.to_bytes_as(TraceFormat::Binary), binary);
+        prop_assert_eq!(from_text.to_bytes_as(TraceFormat::Binary), binary.as_slice());
+        prop_assert_eq!(from_compressed.to_bytes_as(TraceFormat::Binary), binary);
+        prop_assert_eq!(from_binary.to_bytes_as(TraceFormat::Compressed), compressed);
     }
 }
 
@@ -318,11 +330,18 @@ fn replay_from_either_format_yields_bit_identical_digests() {
     let original = replay(&trace, &sim, &GrassFactory::new(sim.seed));
     let from_text = WorkloadTrace::from_bytes(&trace.to_bytes_as(TraceFormat::Text)).unwrap();
     let from_binary = WorkloadTrace::from_bytes(&trace.to_bytes_as(TraceFormat::Binary)).unwrap();
+    let from_compressed =
+        WorkloadTrace::from_bytes(&trace.to_bytes_as(TraceFormat::Compressed)).unwrap();
     let text_result = replay(&from_text, &sim, &GrassFactory::new(sim.seed));
     let binary_result = replay(&from_binary, &sim, &GrassFactory::new(sim.seed));
+    let compressed_result = replay(&from_compressed, &sim, &GrassFactory::new(sim.seed));
 
     assert_eq!(outcome_digest(&original), outcome_digest(&text_result));
     assert_eq!(outcome_digest(&original), outcome_digest(&binary_result));
+    assert_eq!(
+        outcome_digest(&original),
+        outcome_digest(&compressed_result)
+    );
     assert_eq!(
         text_result.makespan.to_bits(),
         binary_result.makespan.to_bits()
@@ -342,6 +361,10 @@ fn golden_fixtures_convert_to_binary_and_back_byte_identically() {
     let decoded = WorkloadTrace::from_bytes(&text).unwrap();
     let binary = decoded.to_bytes_as(TraceFormat::Binary);
     let back = WorkloadTrace::from_bytes(&binary).unwrap();
+    assert_eq!(back, decoded);
+    assert_eq!(back.to_bytes_as(TraceFormat::Text), text);
+    let compressed = decoded.to_bytes_as(TraceFormat::Compressed);
+    let back = WorkloadTrace::from_bytes(&compressed).unwrap();
     assert_eq!(back, decoded);
     assert_eq!(back.to_bytes_as(TraceFormat::Text), text);
 

@@ -1,6 +1,10 @@
 //! GB-scale streaming pin: `trace gen` → `trace stats` → `trace convert` over a
 //! ≥100 MiB trace must run in bounded memory — far less than the file itself,
 //! which is what the eager (slurp + full decode) design structurally required.
+//! The mmap and compressed (v3) legs ride the same bound: the borrowed decode
+//! maps the binary trace (touched pages count toward VmHWM, so the file must
+//! fit under the bound once, not twice), and v3 stats decompress one ~64 KiB
+//! block at a time.
 //!
 //! Gated behind `GRASS_HEAVY=1` (run by the scheduled bench workflow, skipped in
 //! tier-1) because it writes ~350 MiB of temp files; the wall time itself is
@@ -115,6 +119,51 @@ fn hundred_mib_trace_streams_through_gen_stats_and_convert_in_bounded_memory() {
     assert_eq!(binary_stats.jobs, JOBS);
     assert_eq!(binary_stats.format, TraceFormat::Binary);
     assert_eq!(binary_stats.tasks, stats.tasks);
+
+    // mmap: the zero-copy read path folds the same stats. Mapped pages that are
+    // actually touched count toward VmHWM, so this leg also proves the borrowed
+    // decode adds (file size + epsilon), not a second materialised copy.
+    let started = Instant::now();
+    let mmap_stats = TraceStats::load_mmap(&binary_path).unwrap();
+    let mmap_elapsed = started.elapsed();
+    assert_eq!(mmap_stats.jobs, JOBS);
+    assert_eq!(mmap_stats.tasks, stats.tasks);
+    eprintln!(
+        "# mmap:    {:.1} MiB binary in {mmap_elapsed:.2?} ({:.0} MiB/s)",
+        mib(binary_bytes),
+        mib(binary_bytes) / mmap_elapsed.as_secs_f64(),
+    );
+
+    // compressed (v3): stream the binary into block-compressed form, stats it
+    // (one block decompressed at a time), and pin the memory bound across it.
+    let v3_path = dir.join("heavy.v3.trace");
+    let started = Instant::now();
+    let (from, kind) = convert_stream(
+        BufReader::new(std::fs::File::open(&binary_path).unwrap()),
+        BufWriter::new(std::fs::File::create(&v3_path).unwrap()),
+        TraceFormat::Compressed,
+    )
+    .unwrap();
+    let v3_convert_elapsed = started.elapsed();
+    assert_eq!((from, kind), (TraceFormat::Binary, StreamKind::Workload));
+    let v3_bytes = std::fs::metadata(&v3_path).unwrap().len();
+    eprintln!(
+        "# convert: binary -> {:.1} MiB compressed in {v3_convert_elapsed:.2?} \
+         (binary/compressed = {:.2}x)",
+        mib(v3_bytes),
+        binary_bytes as f64 / v3_bytes as f64,
+    );
+    let started = Instant::now();
+    let v3_stats = TraceStats::load(&v3_path).unwrap();
+    let v3_elapsed = started.elapsed();
+    assert_eq!(v3_stats.jobs, JOBS);
+    assert_eq!(v3_stats.format, TraceFormat::Compressed);
+    assert_eq!(v3_stats.tasks, stats.tasks);
+    eprintln!(
+        "# stats:   {:.1} MiB compressed in {v3_elapsed:.2?} ({:.0} MiB/s)",
+        mib(v3_bytes),
+        mib(v3_bytes) / v3_elapsed.as_secs_f64(),
+    );
 
     // The memory pin: everything above ran in this process; its peak RSS must
     // stay far below the file it processed.

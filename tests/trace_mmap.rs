@@ -1,0 +1,141 @@
+//! Integration tests of the zero-copy mmap read path: borrowed decode must be
+//! bit-identical to the eager decode, replay digests must agree across every
+//! format *and* read path (text, binary, compressed, mmap), error diagnostics
+//! must match the buffered reader byte for byte, and the non-binary fallbacks
+//! of `open_workload_source_mmap` must stay transparent.
+
+use grass::prelude::*;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("grass-mmap-test-{tag}-{}", std::process::id()))
+}
+
+fn recorded_trace() -> WorkloadTrace {
+    let config = WorkloadConfig::new(TraceProfile::facebook(Framework::Spark))
+        .with_jobs(8)
+        .with_bound(BoundSpec::paper_errors());
+    record_workload(&config, 21, 43, "GRASS", 4, 4)
+}
+
+#[test]
+fn mapped_decode_is_bit_identical_to_eager_decode() {
+    let trace = recorded_trace();
+    let path = temp_path("decode");
+    std::fs::write(&path, trace.to_bytes_as(TraceFormat::Binary)).unwrap();
+
+    let mapped = MappedWorkload::open(&path).unwrap();
+    assert_eq!(mapped.meta(), &trace.meta);
+    assert_eq!(mapped.declared_jobs(), trace.jobs.len());
+
+    let mut count = 0;
+    for (borrowed, original) in mapped.jobs().zip(trace.jobs.iter()) {
+        let borrowed = borrowed.unwrap();
+        assert_eq!(borrowed.id, original.id);
+        assert_eq!(borrowed.arrival.to_bits(), original.arrival.to_bits());
+        assert_eq!(borrowed.bound, original.bound);
+        assert_eq!(borrowed.task_count(), original.tasks.len());
+        // The owned escape hatch rebuilds the exact JobSpec, floats included.
+        let owned = borrowed.to_spec();
+        assert_eq!(&owned, original);
+        for (a, b) in owned.tasks.iter().zip(original.tasks.iter()) {
+            assert_eq!(a.work.to_bits(), b.work.to_bits());
+        }
+        count += 1;
+    }
+    assert_eq!(count, trace.jobs.len());
+    drop(mapped);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn replay_digests_are_identical_across_formats_and_read_paths() {
+    let trace = recorded_trace();
+    let sim = replay_config(&trace);
+    let baseline = outcome_digest(&replay(&trace, &sim, &GrassFactory::new(sim.seed)));
+
+    // Every encoding decodes to a trace whose replay digest is bit-identical.
+    for format in TraceFormat::ALL {
+        let decoded = WorkloadTrace::from_bytes(&trace.to_bytes_as(format)).unwrap();
+        let digest = outcome_digest(&replay(&decoded, &sim, &GrassFactory::new(sim.seed)));
+        assert_eq!(digest, baseline, "{format}");
+    }
+
+    // The mmap read path: borrowed jobs lifted through `to_spec` must replay to
+    // the same digest as every buffered decode.
+    let path = temp_path("replay");
+    std::fs::write(&path, trace.to_bytes_as(TraceFormat::Binary)).unwrap();
+    let mapped = MappedWorkload::open(&path).unwrap();
+    let jobs: Vec<JobSpec> = mapped.jobs().map(|job| job.unwrap().to_spec()).collect();
+    let from_map = WorkloadTrace::new(mapped.meta().clone(), jobs);
+    let digest = outcome_digest(&replay(&from_map, &sim, &GrassFactory::new(sim.seed)));
+    assert_eq!(digest, baseline, "mmap");
+    drop(mapped);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mapped_errors_match_the_buffered_reader_exactly() {
+    // Error parity: a truncated binary trace must produce the same TraceError
+    // (message and byte offset) whether decoded from a map or from a reader.
+    let trace = recorded_trace();
+    let mut bytes = trace.to_bytes_as(TraceFormat::Binary);
+    bytes.truncate(bytes.len() - 5);
+    let buffered = WorkloadTrace::from_bytes(&bytes).unwrap_err();
+
+    let path = temp_path("errors");
+    std::fs::write(&path, &bytes).unwrap();
+    let mapped = MappedWorkload::open(&path).unwrap();
+    let from_map = mapped
+        .jobs()
+        .find_map(|job| job.err())
+        .expect("truncated map must surface an error");
+    assert_eq!(from_map.to_string(), buffered.to_string());
+    drop(mapped);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn open_workload_source_mmap_falls_back_for_non_binary_formats() {
+    let trace = recorded_trace();
+    for format in TraceFormat::ALL {
+        let path = temp_path(&format!("source-{format}"));
+        std::fs::write(&path, trace.to_bytes_as(format)).unwrap();
+        let (meta, source) =
+            open_workload_source_mmap(&path).unwrap_or_else(|e| panic!("{format}: {e}"));
+        assert_eq!(meta, trace.meta, "{format}");
+        assert_eq!(source.total_jobs(), trace.jobs.len(), "{format}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // An execution stream is still a WrongStream error, not a fallback.
+    let exec = ExecutionTrace::new(
+        ExecutionMeta {
+            sim_seed: 0,
+            policy: "GS".into(),
+            machines: 1,
+            slots_per_machine: 1,
+        },
+        vec![],
+    );
+    let path = temp_path("source-exec");
+    std::fs::write(&path, exec.to_bytes_as(TraceFormat::Binary)).unwrap();
+    assert!(matches!(
+        open_workload_source_mmap(&path),
+        Err(TraceError::WrongStream { .. })
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mapped_stats_fold_matches_streamed_stats_in_every_format() {
+    let trace = recorded_trace();
+    for format in TraceFormat::ALL {
+        let path = temp_path(&format!("stats-{format}"));
+        std::fs::write(&path, trace.to_bytes_as(format)).unwrap();
+        let streamed = TraceStats::load(&path).unwrap();
+        let mapped = TraceStats::load_mmap(&path).unwrap();
+        assert_eq!(mapped, streamed, "{format}");
+        assert_eq!(mapped.jobs, trace.jobs.len(), "{format}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -49,7 +49,7 @@ fn recorded_execution() -> ExecutionTrace {
 #[test]
 fn streamed_workload_items_match_eager_decode_exactly() {
     let trace = recorded(12);
-    for format in [TraceFormat::Text, TraceFormat::Binary] {
+    for format in TraceFormat::ALL {
         let bytes = trace.to_bytes_as(format);
         let eager = WorkloadTrace::from_bytes(&bytes).unwrap();
 
@@ -69,7 +69,7 @@ fn streamed_workload_items_match_eager_decode_exactly() {
 fn streamed_execution_events_match_eager_decode_exactly() {
     let trace = recorded_execution();
     assert!(trace.events.len() > 20, "corpus too small to be meaningful");
-    for format in [TraceFormat::Text, TraceFormat::Binary] {
+    for format in TraceFormat::ALL {
         let bytes = trace.to_bytes_as(format);
         let eager = ExecutionTrace::from_bytes(&bytes).unwrap();
         let mut events = ExecutionEvents::open(&bytes[..]).unwrap();
@@ -128,7 +128,7 @@ proptest! {
             ));
         }
         let trace = WorkloadTrace::new(meta("GRASS"), jobs);
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let bytes = trace.to_bytes_as(format);
             let eager = WorkloadTrace::from_bytes(&bytes).unwrap();
             let (streamed_meta, streamed_jobs) = drain_workload(&bytes).unwrap();
@@ -155,7 +155,7 @@ proptest! {
                 .map(|i| JobSpec::single_stage(i as u64, i as f64, Bound::EXACT, vec![1.0, 2.0]))
                 .collect(),
         );
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let bytes = trace.to_bytes_as(format);
             let cut = ((bytes.len() as f64 * cut_fraction) as usize).min(bytes.len() - 1);
             let truncated = &bytes[..cut];
@@ -200,7 +200,7 @@ proptest! {
                 })
                 .collect(),
         );
-        for format in [TraceFormat::Text, TraceFormat::Binary] {
+        for format in TraceFormat::ALL {
             let bytes = trace.to_bytes_as(format);
             let cut = ((bytes.len() as f64 * cut_fraction) as usize).min(bytes.len() - 1);
             let truncated = &bytes[..cut];
@@ -227,8 +227,8 @@ proptest! {
 fn streaming_convert_is_byte_identical_to_eager_convert() {
     let workload = recorded(10);
     let execution = recorded_execution();
-    for from in [TraceFormat::Text, TraceFormat::Binary] {
-        for to in [TraceFormat::Text, TraceFormat::Binary] {
+    for from in TraceFormat::ALL {
+        for to in TraceFormat::ALL {
             let input = workload.to_bytes_as(from);
             let mut streamed = Vec::new();
             let (sniffed, kind) = convert_stream(&input[..], &mut streamed, to).unwrap();
@@ -254,7 +254,7 @@ fn streaming_convert_is_byte_identical_to_eager_convert() {
 fn streamed_stats_match_decoded_trace_stats() {
     let workload = recorded(8);
     let execution = recorded_execution();
-    for format in [TraceFormat::Text, TraceFormat::Binary] {
+    for format in TraceFormat::ALL {
         let streamed = TraceStats::from_bytes(&workload.to_bytes_as(format)).unwrap();
         assert_eq!(streamed.format, format);
         let eager = TraceStats::of_workload(&workload);
@@ -285,7 +285,7 @@ fn open_workload_source_prefix_loads_like_an_in_memory_recording() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let trace = recorded(10);
-    for format in [TraceFormat::Text, TraceFormat::Binary] {
+    for format in TraceFormat::ALL {
         let path = dir.join(format!("workload-{format}.trace"));
         trace.save_as(&path, format).unwrap();
 
