@@ -3,12 +3,15 @@
 //! production scheduler would care about — the paper's schedulers make a decision
 //! every time a slot frees, so `choose()` must be cheap.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use grass_core::grass::reference::ReferenceSampleStore;
+use grass_core::grass::{BoundKind, QueryContext, Sample};
 use grass_core::{
-    Bound, GrassFactory, GsFactory, JobId, JobSpec, JobView, PolicyFactory, RasFactory, StageId,
-    TaskId, TaskView,
+    Bound, FactorSet, GrassConfig, GrassFactory, GsFactory, JobId, JobSpec, JobView, PolicyFactory,
+    RasFactory, SampleStore, SizeBucket, SpeculationMode, StageId, TaskId, TaskView,
 };
 use grass_model::tail_index;
 use grass_policies::{LateFactory, MantriFactory};
@@ -91,6 +94,193 @@ fn policy_decision_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic synthetic sample stream spread evenly over all four
+/// (mode, kind) partitions — the worst case for the partitioned layout, since
+/// only a quarter of the records land in the queried partition.
+fn synthetic_sample(i: usize) -> Sample {
+    let mode = if i.is_multiple_of(2) {
+        SpeculationMode::Gs
+    } else {
+        SpeculationMode::Ras
+    };
+    let kind = if (i / 2).is_multiple_of(2) {
+        BoundKind::Deadline
+    } else {
+        BoundKind::Error
+    };
+    Sample {
+        mode,
+        kind,
+        size_bucket: SizeBucket((i % 8) as u8),
+        bound_value: 10.0 + (i % 31) as f64,
+        performance: 5.0 + (i % 17) as f64,
+        utilization: 0.05 + ((i % 10) as f64) / 10.0,
+        accuracy: 0.5 + ((i % 5) as f64) / 10.0,
+    }
+}
+
+/// Fixed-relevance stream: exactly `n / stride` samples land in the queried
+/// (GS, deadline) partition, the rest cycle over the other three partitions —
+/// the fleet-scale shape where one bound kind or mode dominates the learned
+/// history and predictions for the minority partition should not pay for it.
+fn fixed_relevant_sample(i: usize, stride: usize) -> Sample {
+    let mut s = synthetic_sample(i);
+    if i.is_multiple_of(stride) {
+        s.mode = SpeculationMode::Gs;
+        s.kind = BoundKind::Deadline;
+    } else {
+        match i % 3 {
+            0 => {
+                s.mode = SpeculationMode::Ras;
+                s.kind = BoundKind::Deadline;
+            }
+            1 => {
+                s.mode = SpeculationMode::Gs;
+                s.kind = BoundKind::Error;
+            }
+            _ => {
+                s.mode = SpeculationMode::Ras;
+                s.kind = BoundKind::Error;
+            }
+        }
+    }
+    s
+}
+
+fn store_query() -> QueryContext {
+    QueryContext {
+        kind: BoundKind::Deadline,
+        size_bucket: SizeBucket(3),
+        bound_value: 25.0,
+        utilization: 0.55,
+        accuracy: 0.72,
+    }
+}
+
+/// `predict_rate` latency at growing store populations: the frozen
+/// pre-partitioning store (whole-store filtered scan), the exact partitioned
+/// store (single-partition scan) and the sketched store (O(bins) aggregates).
+fn sample_store_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_store_predict_rate");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let ctx = store_query();
+    for n in [1_000usize, 10_000, 50_000] {
+        let reference = ReferenceSampleStore::with_capacity(n);
+        let exact = SampleStore::with_capacity(n);
+        let sketched = SampleStore::sketched();
+        for i in 0..n {
+            let sample = synthetic_sample(i);
+            reference.record(sample.clone());
+            exact.record(sample.clone());
+            sketched.record(sample);
+        }
+        let label = format!("{}k", n / 1_000);
+        group.bench_function(format!("reference/{label}"), |b| {
+            b.iter(|| {
+                criterion::black_box(reference.predict_rate(
+                    SpeculationMode::Gs,
+                    &ctx,
+                    FactorSet::all(),
+                    1,
+                ))
+            })
+        });
+        group.bench_function(format!("exact/{label}"), |b| {
+            b.iter(|| {
+                criterion::black_box(exact.predict_rate(
+                    SpeculationMode::Gs,
+                    &ctx,
+                    FactorSet::all(),
+                    1,
+                ))
+            })
+        });
+        group.bench_function(format!("sketched/{label}"), |b| {
+            b.iter(|| {
+                criterion::black_box(sketched.predict_rate(
+                    SpeculationMode::Gs,
+                    &ctx,
+                    FactorSet::all(),
+                    1,
+                ))
+            })
+        });
+
+        // O(relevant) series: the queried partition holds a fixed 500 samples
+        // while the store grows around it. The whole-store scan pays for every
+        // stored sample; the partition scan pays only for the relevant ones.
+        let stride = n / 500;
+        let reference = ReferenceSampleStore::with_capacity(n);
+        let exact = SampleStore::with_capacity(n);
+        for i in 0..n {
+            let sample = fixed_relevant_sample(i, stride);
+            reference.record(sample.clone());
+            exact.record(sample);
+        }
+        group.bench_function(format!("reference/500-of-{label}"), |b| {
+            b.iter(|| {
+                criterion::black_box(reference.predict_rate(
+                    SpeculationMode::Gs,
+                    &ctx,
+                    FactorSet::all(),
+                    1,
+                ))
+            })
+        });
+        group.bench_function(format!("exact/500-of-{label}"), |b| {
+            b.iter(|| {
+                criterion::black_box(exact.predict_rate(
+                    SpeculationMode::Gs,
+                    &ctx,
+                    FactorSet::all(),
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end GRASS `choose()` with a warmed store: the store scan dominates
+/// once the store is large, so this shows how much of the predict_rate win
+/// survives in the full decision path.
+fn grass_choose_warmed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grass_choose_warmed_500_tasks");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let (tasks, spec) = synthetic_view(500);
+    for n in [1_000usize, 10_000, 50_000] {
+        let exact = Arc::new(SampleStore::with_capacity(n));
+        let sketched = Arc::new(SampleStore::sketched());
+        for i in 0..n {
+            let sample = synthetic_sample(i);
+            exact.record(sample.clone());
+            sketched.record(sample);
+        }
+        let label = format!("{}k", n / 1_000);
+        for (layer, store) in [("exact", exact), ("sketched", sketched)] {
+            let factory =
+                GrassFactory::with_store(GrassConfig::paper_default(), Arc::clone(&store), 1);
+            group.bench_function(format!("{layer}/{label}"), |b| {
+                b.iter_batched(
+                    || factory.create(&spec),
+                    |mut policy| {
+                        let view = view_of(&tasks);
+                        criterion::black_box(policy.choose(&view))
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 fn simulator_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group
@@ -155,6 +345,8 @@ fn hill_estimation(c: &mut Criterion) {
 criterion_group!(
     micro,
     policy_decision_latency,
+    sample_store_prediction,
+    grass_choose_warmed,
     simulator_throughput,
     workload_generation,
     hill_estimation

@@ -14,13 +14,39 @@
 //! (tasks per second), estimated as a similarity-weighted average over stored samples.
 //! Which factors participate in the similarity weighting is controlled by a
 //! [`FactorSet`], which is how the Best-1 / Best-2 ablations of §6.3.2 are expressed.
+//!
+//! # Two-layer layout
+//!
+//! Internally the store is **partitioned by `(BoundKind, SpeculationMode)`** — the
+//! exact pair every prediction filters on — so `predict_rate` touches only the
+//! relevant partition instead of scanning the whole history. Within a partition,
+//! samples keep their global insertion order (each carries a global sequence number),
+//! so the float summation order of the similarity-weighted mean is *identical* to the
+//! historical whole-vector scan and predictions are bit-for-bit unchanged. Eviction
+//! at the retention cap pops the globally oldest sample (smallest sequence number
+//! across partition fronts), reproducing the historical FIFO exactly — but as an O(1)
+//! `VecDeque::pop_front` instead of an O(cap) front drain.
+//!
+//! On top of the exact partitions the store always maintains a **sketched layer**:
+//! per-partition binned aggregates keyed by size bucket × coarse bound / utilisation /
+//! accuracy bins, each bin holding `(count, Σw, Σw·rate)`, plus a mergeable
+//! [`QuantileSketch`] of observed rates. A store built with
+//! [`SampleStore::sketched`] answers predictions *from the bins* — O(bins) per query
+//! and O(1) memory per partition regardless of job count — while the default exact
+//! store uses the sketch layer only for snapshots, merging and rate percentiles.
+//! [`SampleStore::snapshot`] / [`SampleStore::merge`] exchange the sketched layer
+//! between stores (e.g. fleet workers), never raw samples; see
+//! `docs/sample-store.md` for the full contract.
 
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::bins::SizeBucket;
+use crate::grass::sketch::{floor_log2, pow2, QuantileSketch};
 use crate::job::Bound;
 use crate::outcome::JobOutcome;
 use crate::speculation::SpeculationMode;
@@ -223,13 +249,8 @@ impl StoreCounts {
     }
 }
 
-/// Samples plus the incrementally maintained `counts[kind][mode]` table, kept under
-/// one lock so they can never disagree.
-#[derive(Debug, Default)]
-struct Inner {
-    samples: Vec<Sample>,
-    counts: [[usize; 2]; 2],
-}
+/// Number of `(BoundKind, SpeculationMode)` partitions.
+const NUM_PARTITIONS: usize = 4;
 
 fn kind_idx(kind: BoundKind) -> usize {
     match kind {
@@ -245,38 +266,205 @@ fn mode_idx(mode: SpeculationMode) -> usize {
     }
 }
 
-impl Inner {
-    fn bump(&mut self, sample: &Sample, delta: isize) {
-        let slot = &mut self.counts[kind_idx(sample.kind)][mode_idx(sample.mode)];
-        *slot = slot.checked_add_signed(delta).expect("count underflow");
-    }
+/// Partition index for a `(mode, kind)` pair.
+fn par_idx(mode: SpeculationMode, kind: BoundKind) -> usize {
+    kind_idx(kind) * 2 + mode_idx(mode)
+}
 
-    #[cfg(debug_assertions)]
-    fn check_counts(&self) {
-        let mut scanned = [[0usize; 2]; 2];
-        for s in &self.samples {
-            scanned[kind_idx(s.kind)][mode_idx(s.mode)] += 1;
+/// Inverse of [`par_idx`], used when walking every partition by index.
+fn par_mode_kind(idx: usize) -> (SpeculationMode, BoundKind) {
+    let kind = if idx / 2 == 0 {
+        BoundKind::Deadline
+    } else {
+        BoundKind::Error
+    };
+    let mode = if idx.is_multiple_of(2) {
+        SpeculationMode::Gs
+    } else {
+        SpeculationMode::Ras
+    };
+    (mode, kind)
+}
+
+/// Sentinel bound bin for non-positive / non-finite bound values, which the exact
+/// kernel assigns infinite log-distance (zero weight) whenever the bound factor is
+/// active.
+const BOUND_BIN_NONE: u8 = 255;
+
+/// Coarse bound bin: one bin per power of two over `[2^-31, 2^31]`, clamped at the
+/// edges; [`BOUND_BIN_NONE`] for values without a usable logarithm.
+fn bound_bin(value: f64) -> u8 {
+    if value > 0.0 && value.is_finite() {
+        (floor_log2(value) + 31).clamp(0, 62) as u8
+    } else {
+        BOUND_BIN_NONE
+    }
+}
+
+/// Geometric centre `1.5 · 2^(bin-31)` of a (non-sentinel) bound bin.
+fn bound_bin_center(bin: u8) -> f64 {
+    1.5 * pow2(i32::from(bin) - 31)
+}
+
+/// Decile bin for utilisation / accuracy values nominally in `[0, 1]`; out-of-range
+/// and NaN values clamp into the edge deciles.
+fn decile_bin(value: f64) -> u8 {
+    ((value * 10.0) as i32).clamp(0, 9) as u8
+}
+
+/// Centre of a decile bin.
+fn decile_center(bin: u8) -> f64 {
+    (f64::from(bin) + 0.5) / 10.0
+}
+
+/// Key of one sketched-layer bin: size bucket × coarse factor bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct BinKey {
+    size: u8,
+    bound: u8,
+    util: u8,
+    acc: u8,
+}
+
+impl BinKey {
+    fn of(sample: &Sample) -> BinKey {
+        BinKey {
+            size: sample.size_bucket.0,
+            bound: bound_bin(sample.bound_value),
+            util: decile_bin(sample.utilization),
+            acc: decile_bin(sample.accuracy),
         }
-        debug_assert_eq!(scanned, self.counts, "incremental counts drifted");
     }
+}
 
-    #[cfg(not(debug_assertions))]
-    fn check_counts(&self) {}
+/// Aggregates of one sketched-layer bin: `(count, Σw, Σw·rate)` over the samples
+/// that landed in it, where `w` is each sample's kernel weight against its own bin's
+/// centres (its "self weight").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct BinAgg {
+    count: u64,
+    w_sum: f64,
+    wr_sum: f64,
+}
+
+/// Kernel weight of a sample against the centres of its own bin — strictly positive,
+/// so every recorded rate contributes to the bin's weighted mean.
+fn self_weight(sample: &Sample, key: BinKey) -> f64 {
+    // Size-bucket distance to the sample's own bucket is zero, so that kernel is 1.
+    let mut w = 1.0;
+    if key.bound != BOUND_BIN_NONE {
+        w *= 1.0 / (1.0 + log_ratio(sample.bound_value, bound_bin_center(key.bound)));
+    }
+    w *= 1.0 / (1.0 + 5.0 * (sample.utilization - decile_center(key.util)).abs());
+    w *= 1.0 / (1.0 + 5.0 * (sample.accuracy - decile_center(key.acc)).abs());
+    w
+}
+
+/// Kernel weight of a query against a bin's centres, honouring the active factors —
+/// the sketched analogue of the exact per-sample kernel.
+fn query_weight(key: &BinKey, ctx: &QueryContext, factors: FactorSet) -> f64 {
+    let mut q = 1.0 / (1.0 + f64::from(SizeBucket(key.size).distance(&ctx.size_bucket)));
+    if factors.bound {
+        if key.bound == BOUND_BIN_NONE {
+            // Exact kernel: log_ratio is infinite for non-positive bounds => weight 0.
+            return 0.0;
+        }
+        q *= 1.0 / (1.0 + log_ratio(bound_bin_center(key.bound), ctx.bound_value));
+    }
+    if factors.utilization {
+        q *= 1.0 / (1.0 + 5.0 * (decile_center(key.util) - ctx.utilization).abs());
+    }
+    if factors.accuracy {
+        q *= 1.0 / (1.0 + 5.0 * (decile_center(key.acc) - ctx.accuracy).abs());
+    }
+    q
+}
+
+/// One `(BoundKind, SpeculationMode)` partition: the exact FIFO of retained samples
+/// (empty in sketched stores) plus the sketched layer — binned aggregates, a rate
+/// quantile sketch and a lifetime observation count (never decremented; sketches are
+/// eviction-free).
+#[derive(Debug, Clone, Default)]
+struct Partition {
+    fifo: VecDeque<(u64, Sample)>,
+    bins: BTreeMap<BinKey, BinAgg>,
+    rates: QuantileSketch,
+    lifetime: u64,
+}
+
+impl Partition {
+    fn absorb(&mut self, sample: &Sample) {
+        let key = BinKey::of(sample);
+        let rate = sample.rate();
+        let w = self_weight(sample, key);
+        let agg = self.bins.entry(key).or_default();
+        agg.count += 1;
+        agg.w_sum += w;
+        agg.wr_sum += w * rate;
+        self.rates.insert(rate);
+        self.lifetime += 1;
+    }
+}
+
+/// All four partitions plus the global sequence counter that preserves cross-partition
+/// FIFO order for eviction.
+#[derive(Debug, Default)]
+struct Inner {
+    parts: [Partition; NUM_PARTITIONS],
+    retained: usize,
+    next_seq: u64,
+}
+
+impl Inner {
+    /// Evict the globally oldest retained sample: the smallest sequence number among
+    /// the partition fronts. O(partitions) compare + O(1) pop, versus the historical
+    /// O(cap) front drain of a flat `Vec`.
+    fn evict_oldest(&mut self) {
+        let mut oldest: Option<usize> = None;
+        let mut oldest_seq = u64::MAX;
+        for (i, part) in self.parts.iter().enumerate() {
+            if let Some(&(seq, _)) = part.fifo.front() {
+                if seq < oldest_seq {
+                    oldest_seq = seq;
+                    oldest = Some(i);
+                }
+            }
+        }
+        if let Some(i) = oldest {
+            self.parts[i].fifo.pop_front();
+            self.retained -= 1;
+        }
+    }
+}
+
+/// Whether a store answers predictions from the exact partitions or the sketched
+/// bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreLayer {
+    Exact,
+    Sketched,
 }
 
 /// Thread-safe store of GS / RAS performance samples shared by every GRASS job in a
 /// simulation run.
 ///
 /// Per-(kind, mode) sample counts are maintained incrementally alongside the sample
-/// vector, and a monotonically increasing *generation* is bumped on every mutation.
-/// Together they let the switching evaluation's sparse-store pre-flight run without
-/// scanning — and, via `StoreCounts` memoisation, usually without even taking the
-/// lock.
-#[derive(Debug, Default)]
+/// partitions, and a monotonically increasing *generation* is bumped on every
+/// mutation. Together they let the switching evaluation's sparse-store pre-flight run
+/// without scanning — and, via `StoreCounts` memoisation, usually without even taking
+/// the lock.
+#[derive(Debug)]
 pub struct SampleStore {
     inner: RwLock<Inner>,
     max_samples: usize,
+    layer: StoreLayer,
     generation: AtomicU64,
+}
+
+impl Default for SampleStore {
+    fn default() -> Self {
+        SampleStore::new()
+    }
 }
 
 /// Default cap on retained samples; old samples are evicted FIFO beyond this, which
@@ -285,27 +473,49 @@ pub struct SampleStore {
 const DEFAULT_MAX_SAMPLES: usize = 50_000;
 
 impl SampleStore {
-    /// Empty store with the default retention cap.
+    /// Empty exact store with the default retention cap.
     pub fn new() -> Self {
-        SampleStore {
-            inner: RwLock::new(Inner::default()),
-            max_samples: DEFAULT_MAX_SAMPLES,
-            generation: AtomicU64::new(0),
-        }
+        SampleStore::with_layer(DEFAULT_MAX_SAMPLES, StoreLayer::Exact)
     }
 
-    /// Empty store with an explicit retention cap (primarily for tests).
+    /// Empty exact store with an explicit retention cap (primarily for tests).
     pub fn with_capacity(max_samples: usize) -> Self {
+        SampleStore::with_layer(max_samples.max(1), StoreLayer::Exact)
+    }
+
+    /// Empty *sketched* store: raw samples are not retained at all — predictions are
+    /// answered from the O(1)-memory binned aggregates, and counts report lifetime
+    /// observations (including merged-in ones) rather than retained samples.
+    pub fn sketched() -> Self {
+        SampleStore::with_layer(DEFAULT_MAX_SAMPLES, StoreLayer::Sketched)
+    }
+
+    fn with_layer(max_samples: usize, layer: StoreLayer) -> Self {
         SampleStore {
             inner: RwLock::new(Inner::default()),
-            max_samples: max_samples.max(1),
+            max_samples,
+            layer,
             generation: AtomicU64::new(0),
         }
     }
 
-    /// Number of stored samples.
+    /// Whether this store answers predictions from the sketched layer.
+    pub fn is_sketched(&self) -> bool {
+        self.layer == StoreLayer::Sketched
+    }
+
+    /// Number of stored samples: retained samples for exact stores, lifetime
+    /// observations for sketched stores.
     pub fn len(&self) -> usize {
-        self.inner.read().samples.len()
+        let guard = self.inner.read();
+        match self.layer {
+            StoreLayer::Exact => guard.retained,
+            StoreLayer::Sketched => guard
+                .parts
+                .iter()
+                .map(|p| usize::try_from(p.lifetime).unwrap_or(usize::MAX))
+                .fold(0usize, usize::saturating_add),
+        }
     }
 
     /// Whether the store holds no samples.
@@ -314,8 +524,9 @@ impl SampleStore {
     }
 
     /// Mutation counter: bumped once per [`record`](Self::record) /
-    /// [`clear`](Self::clear). Two equal generations mean the store content (and
-    /// hence any `StoreCounts` snapshot) is unchanged between the two reads.
+    /// [`clear`](Self::clear) / [`merge`](Self::merge). Two equal generations mean
+    /// the store content (and hence any `StoreCounts` snapshot) is unchanged between
+    /// the two reads.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
     }
@@ -323,20 +534,17 @@ impl SampleStore {
     /// Record a raw sample.
     pub fn record(&self, sample: Sample) {
         let mut guard = self.inner.write();
-        if guard.samples.len() >= self.max_samples {
-            let excess = guard.samples.len() + 1 - self.max_samples;
-            for i in 0..excess {
-                let (k, m) = (
-                    kind_idx(guard.samples[i].kind),
-                    mode_idx(guard.samples[i].mode),
-                );
-                guard.counts[k][m] -= 1;
+        let idx = par_idx(sample.mode, sample.kind);
+        guard.parts[idx].absorb(&sample);
+        if self.layer == StoreLayer::Exact {
+            while guard.retained >= self.max_samples {
+                guard.evict_oldest();
             }
-            guard.samples.drain(0..excess);
+            let seq = guard.next_seq;
+            guard.next_seq += 1;
+            guard.parts[idx].fifo.push_back((seq, sample));
+            guard.retained += 1;
         }
-        guard.bump(&sample, 1);
-        guard.samples.push(sample);
-        guard.check_counts();
         self.generation.fetch_add(1, Ordering::Release);
     }
 
@@ -347,9 +555,18 @@ impl SampleStore {
         }
     }
 
+    fn partition_count(&self, inner: &Inner, mode: SpeculationMode, kind: BoundKind) -> usize {
+        let part = &inner.parts[par_idx(mode, kind)];
+        match self.layer {
+            StoreLayer::Exact => part.fifo.len(),
+            StoreLayer::Sketched => usize::try_from(part.lifetime).unwrap_or(usize::MAX),
+        }
+    }
+
     /// Count samples available for a given mode and bound kind, O(1).
     pub fn count_for(&self, mode: SpeculationMode, kind: BoundKind) -> usize {
-        self.inner.read().counts[kind_idx(kind)][mode_idx(mode)]
+        let guard = self.inner.read();
+        self.partition_count(&guard, mode, kind)
     }
 
     /// Count samples available for both modes of one bound kind under a single lock
@@ -359,8 +576,8 @@ impl SampleStore {
     pub fn counts_for_kind(&self, kind: BoundKind) -> (usize, usize) {
         let guard = self.inner.read();
         (
-            guard.counts[kind_idx(kind)][mode_idx(SpeculationMode::Gs)],
-            guard.counts[kind_idx(kind)][mode_idx(SpeculationMode::Ras)],
+            self.partition_count(&guard, SpeculationMode::Gs, kind),
+            self.partition_count(&guard, SpeculationMode::Ras, kind),
         )
     }
 
@@ -372,12 +589,12 @@ impl SampleStore {
         StoreCounts {
             generation: self.generation.load(Ordering::Acquire),
             deadline: (
-                guard.counts[kind_idx(BoundKind::Deadline)][mode_idx(SpeculationMode::Gs)],
-                guard.counts[kind_idx(BoundKind::Deadline)][mode_idx(SpeculationMode::Ras)],
+                self.partition_count(&guard, SpeculationMode::Gs, BoundKind::Deadline),
+                self.partition_count(&guard, SpeculationMode::Ras, BoundKind::Deadline),
             ),
             error: (
-                guard.counts[kind_idx(BoundKind::Error)][mode_idx(SpeculationMode::Gs)],
-                guard.counts[kind_idx(BoundKind::Error)][mode_idx(SpeculationMode::Ras)],
+                self.partition_count(&guard, SpeculationMode::Gs, BoundKind::Error),
+                self.partition_count(&guard, SpeculationMode::Ras, BoundKind::Error),
             ),
         }
     }
@@ -385,6 +602,12 @@ impl SampleStore {
     /// Predict the task-completion rate (tasks/second) of running pure `mode` under
     /// the query context, as a similarity-weighted mean over stored samples. Returns
     /// `None` when fewer than `min_samples` relevant samples exist.
+    ///
+    /// Exact stores scan the one relevant partition in insertion order — the same
+    /// samples, kernel and float summation order as the historical whole-store scan,
+    /// so results are bit-identical. Sketched stores answer from the binned
+    /// aggregates in O(bins): the result is a convex combination of the recorded
+    /// rates with bin-centre kernel weights.
     pub fn predict_rate(
         &self,
         mode: SpeculationMode,
@@ -393,33 +616,50 @@ impl SampleStore {
         min_samples: usize,
     ) -> Option<f64> {
         let guard = self.inner.read();
-        let mut weight_sum = 0.0;
-        let mut weighted_rate = 0.0;
-        let mut count = 0usize;
-        for s in guard
-            .samples
-            .iter()
-            .filter(|s| s.mode == mode && s.kind == ctx.kind)
-        {
-            let mut w = 1.0 / (1.0 + f64::from(s.size_bucket.distance(&ctx.size_bucket)));
-            if factors.bound {
-                let ratio = log_ratio(s.bound_value, ctx.bound_value);
-                w *= 1.0 / (1.0 + ratio);
+        let part = &guard.parts[par_idx(mode, ctx.kind)];
+        match self.layer {
+            StoreLayer::Exact => {
+                let mut weight_sum = 0.0;
+                let mut weighted_rate = 0.0;
+                let mut count = 0usize;
+                for (_, s) in part.fifo.iter() {
+                    let mut w = 1.0 / (1.0 + f64::from(s.size_bucket.distance(&ctx.size_bucket)));
+                    if factors.bound {
+                        let ratio = log_ratio(s.bound_value, ctx.bound_value);
+                        w *= 1.0 / (1.0 + ratio);
+                    }
+                    if factors.utilization {
+                        w *= 1.0 / (1.0 + 5.0 * (s.utilization - ctx.utilization).abs());
+                    }
+                    if factors.accuracy {
+                        w *= 1.0 / (1.0 + 5.0 * (s.accuracy - ctx.accuracy).abs());
+                    }
+                    weight_sum += w;
+                    weighted_rate += w * s.rate();
+                    count += 1;
+                }
+                if count < min_samples || weight_sum <= 0.0 {
+                    return None;
+                }
+                Some(weighted_rate / weight_sum)
             }
-            if factors.utilization {
-                w *= 1.0 / (1.0 + 5.0 * (s.utilization - ctx.utilization).abs());
+            StoreLayer::Sketched => {
+                if usize::try_from(part.lifetime).unwrap_or(usize::MAX) < min_samples {
+                    return None;
+                }
+                let mut weight_sum = 0.0;
+                let mut weighted_rate = 0.0;
+                for (key, agg) in &part.bins {
+                    let q = query_weight(key, ctx, factors);
+                    weight_sum += q * agg.w_sum;
+                    weighted_rate += q * agg.wr_sum;
+                }
+                if weight_sum <= 0.0 {
+                    return None;
+                }
+                Some(weighted_rate / weight_sum)
             }
-            if factors.accuracy {
-                w *= 1.0 / (1.0 + 5.0 * (s.accuracy - ctx.accuracy).abs());
-            }
-            weight_sum += w;
-            weighted_rate += w * s.rate();
-            count += 1;
         }
-        if count < min_samples || weight_sum <= 0.0 {
-            return None;
-        }
-        Some(weighted_rate / weight_sum)
     }
 
     /// Predict how many input tasks a job of this context would complete if it ran
@@ -466,11 +706,71 @@ impl SampleStore {
         Some(tasks / rate)
     }
 
-    /// Drop every stored sample.
+    /// Drop every stored sample (both layers).
     pub fn clear(&self) {
         let mut guard = self.inner.write();
-        guard.samples.clear();
-        guard.counts = [[0; 2]; 2];
+        *guard = Inner::default();
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Retained samples matching `(mode, kind)` in insertion order — a test /
+    /// diagnostics accessor (always empty for sketched stores, which retain none).
+    pub fn samples_for(&self, mode: SpeculationMode, kind: BoundKind) -> Vec<Sample> {
+        self.inner.read().parts[par_idx(mode, kind)]
+            .fifo
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect()
+    }
+
+    /// Total number of occupied sketched-layer bins across all partitions — the
+    /// quantity that stays bounded while job count grows without limit.
+    pub fn sketch_bins(&self) -> usize {
+        self.inner.read().parts.iter().map(|p| p.bins.len()).sum()
+    }
+
+    /// Approximate `q`-quantile of the task-completion rates ever observed for
+    /// `(mode, kind)` (within a factor of 2; see [`QuantileSketch`]). Available on
+    /// both layers; `None` if the partition has no observations.
+    pub fn rate_quantile(&self, mode: SpeculationMode, kind: BoundKind, q: f64) -> Option<f64> {
+        self.inner.read().parts[par_idx(mode, kind)]
+            .rates
+            .quantile(q)
+    }
+
+    /// Snapshot of the sketched layer (binned aggregates + rate sketches + lifetime
+    /// counts) for exchange with other stores. Never contains raw samples; its
+    /// encoded form is canonical (deterministic bin order, bit-exact floats).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let guard = self.inner.read();
+        let mut snap = StoreSnapshot::default();
+        for (idx, part) in guard.parts.iter().enumerate() {
+            snap.parts[idx] = PartSnapshot {
+                lifetime: part.lifetime,
+                rates: part.rates.clone(),
+                bins: part.bins.clone(),
+            };
+        }
+        snap
+    }
+
+    /// Fold a peer's snapshot into this store's *sketched layer*. Exact stores keep
+    /// their retained samples (and therefore their exact predictions and pinned
+    /// digests) untouched — the merged state shows up in snapshots, rate quantiles
+    /// and, on sketched stores, in counts and predictions.
+    pub fn merge(&self, snapshot: &StoreSnapshot) {
+        let mut guard = self.inner.write();
+        for (idx, peer) in snapshot.parts.iter().enumerate() {
+            let part = &mut guard.parts[idx];
+            part.lifetime += peer.lifetime;
+            part.rates.merge(&peer.rates);
+            for (key, agg) in &peer.bins {
+                let mine = part.bins.entry(*key).or_default();
+                mine.count += agg.count;
+                mine.w_sum += agg.w_sum;
+                mine.wr_sum += agg.wr_sum;
+            }
+        }
         self.generation.fetch_add(1, Ordering::Release);
     }
 }
@@ -483,9 +783,203 @@ fn log_ratio(a: f64, b: f64) -> f64 {
     (a / b).log2().abs()
 }
 
+/// Sketched layer of one partition, as carried by a [`StoreSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+struct PartSnapshot {
+    lifetime: u64,
+    rates: QuantileSketch,
+    bins: BTreeMap<BinKey, BinAgg>,
+}
+
+/// Portable, mergeable snapshot of a store's sketched layer.
+///
+/// The wire form (see [`encode`](Self::encode) / [`decode`](Self::decode)) is
+/// line-oriented text with floats carried as hexadecimal IEEE-754 bit patterns, so a
+/// round trip is bit-exact and two equal snapshots always encode to identical bytes.
+/// Merging is exactly commutative; counts and sketches merge exactly associatively,
+/// while the `Σw` / `Σw·rate` float sums are associative only up to rounding (IEEE
+/// addition is commutative but not associative).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreSnapshot {
+    parts: [PartSnapshot; NUM_PARTITIONS],
+}
+
+impl StoreSnapshot {
+    /// Total lifetime observations across every partition.
+    pub fn total_samples(&self) -> u64 {
+        self.parts.iter().map(|p| p.lifetime).sum()
+    }
+
+    /// Whether the snapshot carries no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total_samples() == 0
+    }
+
+    /// Fold another snapshot into this one (same semantics as
+    /// [`SampleStore::merge`]).
+    pub fn merge(&mut self, other: &StoreSnapshot) {
+        for (mine, theirs) in self.parts.iter_mut().zip(other.parts.iter()) {
+            mine.lifetime += theirs.lifetime;
+            mine.rates.merge(&theirs.rates);
+            for (key, agg) in &theirs.bins {
+                let slot = mine.bins.entry(*key).or_default();
+                slot.count += agg.count;
+                slot.w_sum += agg.w_sum;
+                slot.wr_sum += agg.wr_sum;
+            }
+        }
+    }
+
+    /// Canonical text encoding. Partitions appear in index order, bins in `BinKey`
+    /// order, sketch buckets ascending; empty partitions are omitted.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("storesnap v1\n");
+        for (idx, part) in self.parts.iter().enumerate() {
+            if part.lifetime == 0 && part.bins.is_empty() && part.rates.is_empty() {
+                continue;
+            }
+            let (mode, kind) = par_mode_kind(idx);
+            let _ = write!(
+                out,
+                "part idx={idx} kind={} mode={} lifetime={}",
+                match kind {
+                    BoundKind::Deadline => "deadline",
+                    BoundKind::Error => "error",
+                },
+                match mode {
+                    SpeculationMode::Gs => "gs",
+                    SpeculationMode::Ras => "ras",
+                },
+                part.lifetime
+            );
+            let buckets: Vec<String> = part
+                .rates
+                .entries()
+                .map(|(b, c)| format!("{b}:{c}"))
+                .collect();
+            if !buckets.is_empty() {
+                let _ = write!(out, " sketch={}", buckets.join(","));
+            }
+            out.push('\n');
+            for (key, agg) in &part.bins {
+                let _ = writeln!(
+                    out,
+                    "bin part={idx} size={} bound={} util={} acc={} count={} w={:016x} wr={:016x}",
+                    key.size,
+                    key.bound,
+                    key.util,
+                    key.acc,
+                    agg.count,
+                    agg.w_sum.to_bits(),
+                    agg.wr_sum.to_bits(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Strict inverse of [`encode`](Self::encode).
+    pub fn decode(text: &str) -> Result<StoreSnapshot, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("storesnap v1") => {}
+            other => return Err(format!("bad snapshot header: {other:?}")),
+        }
+        let mut snap = StoreSnapshot::default();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("part") => {
+                    let mut idx: Option<usize> = None;
+                    let mut lifetime: Option<u64> = None;
+                    let mut sketch: Option<&str> = None;
+                    for field in fields {
+                        let (k, v) = field
+                            .split_once('=')
+                            .ok_or_else(|| format!("bad part field '{field}'"))?;
+                        match k {
+                            "idx" => idx = Some(parse_num(v, "part idx")?),
+                            "lifetime" => lifetime = Some(parse_num(v, "part lifetime")?),
+                            "sketch" => sketch = Some(v),
+                            "kind" | "mode" => {} // informational; idx is authoritative
+                            other => return Err(format!("unknown part field '{other}'")),
+                        }
+                    }
+                    let idx = idx.ok_or("part line missing idx")?;
+                    if idx >= NUM_PARTITIONS {
+                        return Err(format!("part idx {idx} out of range"));
+                    }
+                    let part = &mut snap.parts[idx];
+                    part.lifetime = lifetime.ok_or("part line missing lifetime")?;
+                    if let Some(spec) = sketch {
+                        for entry in spec.split(',') {
+                            let (b, c) = entry
+                                .split_once(':')
+                                .ok_or_else(|| format!("bad sketch entry '{entry}'"))?;
+                            let bucket: usize = parse_num(b, "sketch bucket")?;
+                            let count: u64 = parse_num(c, "sketch count")?;
+                            part.rates.add_bucket(bucket, count);
+                        }
+                    }
+                }
+                Some("bin") => {
+                    let mut idx: Option<usize> = None;
+                    let mut key = BinKey {
+                        size: 0,
+                        bound: 0,
+                        util: 0,
+                        acc: 0,
+                    };
+                    let mut agg = BinAgg::default();
+                    for field in fields {
+                        let (k, v) = field
+                            .split_once('=')
+                            .ok_or_else(|| format!("bad bin field '{field}'"))?;
+                        match k {
+                            "part" => idx = Some(parse_num(v, "bin part")?),
+                            "size" => key.size = parse_num(v, "bin size")?,
+                            "bound" => key.bound = parse_num(v, "bin bound")?,
+                            "util" => key.util = parse_num(v, "bin util")?,
+                            "acc" => key.acc = parse_num(v, "bin acc")?,
+                            "count" => agg.count = parse_num(v, "bin count")?,
+                            "w" => agg.w_sum = parse_hex_f64(v, "bin w")?,
+                            "wr" => agg.wr_sum = parse_hex_f64(v, "bin wr")?,
+                            other => return Err(format!("unknown bin field '{other}'")),
+                        }
+                    }
+                    let idx = idx.ok_or("bin line missing part")?;
+                    if idx >= NUM_PARTITIONS {
+                        return Err(format!("bin part {idx} out of range"));
+                    }
+                    snap.parts[idx].bins.insert(key, agg);
+                }
+                Some(other) => return Err(format!("unknown snapshot line '{other}'")),
+                None => {}
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad {what} value '{value}'"))
+}
+
+fn parse_hex_f64(value: &str, what: &str) -> Result<f64, String> {
+    u64::from_str_radix(value, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad {what} value '{value}'"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grass::reference::ReferenceSampleStore;
     use crate::task::JobId;
 
     fn sample(mode: SpeculationMode, kind: BoundKind, bound: f64, perf: f64) -> Sample {
@@ -628,6 +1122,45 @@ mod tests {
     }
 
     #[test]
+    fn eviction_order_and_counts_match_the_frozen_reference() {
+        // Satellite pin: the ring-buffer eviction must walk the same global FIFO as
+        // the historical front-drain, across partitions. Drive both stores through
+        // an irregular mixed-partition overflow sequence and compare retained
+        // samples per partition, in order.
+        let store = SampleStore::with_capacity(5);
+        let oracle = ReferenceSampleStore::with_capacity(5);
+        let mix = [
+            (SpeculationMode::Gs, BoundKind::Deadline),
+            (SpeculationMode::Gs, BoundKind::Deadline),
+            (SpeculationMode::Ras, BoundKind::Error),
+            (SpeculationMode::Gs, BoundKind::Error),
+            (SpeculationMode::Ras, BoundKind::Deadline),
+            (SpeculationMode::Gs, BoundKind::Deadline),
+            (SpeculationMode::Ras, BoundKind::Error),
+        ];
+        for i in 0..23 {
+            let (mode, kind) = mix[(i * i) % mix.len()];
+            let s = sample(mode, kind, 10.0 + i as f64, 20.0 + i as f64);
+            store.record(s.clone());
+            oracle.record(s);
+            for (m, k) in [
+                (SpeculationMode::Gs, BoundKind::Deadline),
+                (SpeculationMode::Ras, BoundKind::Deadline),
+                (SpeculationMode::Gs, BoundKind::Error),
+                (SpeculationMode::Ras, BoundKind::Error),
+            ] {
+                assert_eq!(
+                    store.samples_for(m, k),
+                    oracle.samples_for(m, k),
+                    "partition ({m:?}, {k:?}) diverged after record {i}"
+                );
+                assert_eq!(store.count_for(m, k), oracle.count_for(m, k));
+            }
+            assert_eq!(store.len(), oracle.len());
+        }
+    }
+
+    #[test]
     fn prediction_requires_min_samples() {
         let store = SampleStore::new();
         store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
@@ -754,5 +1287,146 @@ mod tests {
             ..outcome
         };
         assert!(Sample::from_outcome(SpeculationMode::Ras, &zero_duration).is_none());
+    }
+
+    #[test]
+    fn sketched_store_predicts_within_recorded_rate_range() {
+        let store = SampleStore::sketched();
+        assert!(store.is_sketched());
+        // Rates 1.0 and 4.0 tasks/s in the same partition, different bound bins.
+        store.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 10.0));
+        store.record(sample(
+            SpeculationMode::Gs,
+            BoundKind::Deadline,
+            50.0,
+            200.0,
+        ));
+        let c = ctx(BoundKind::Deadline, 10.0);
+        let rate = store
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        // Convex combination of recorded rates.
+        assert!(
+            (1.0..=4.0).contains(&rate),
+            "{rate} outside recorded rate range"
+        );
+        // min_samples gate uses lifetime counts.
+        assert!(store
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 3)
+            .is_none());
+        assert!(store
+            .predict_rate(SpeculationMode::Ras, &c, FactorSet::all(), 1)
+            .is_none());
+        // No raw samples are retained; counts report lifetime observations.
+        assert!(store
+            .samples_for(SpeculationMode::Gs, BoundKind::Deadline)
+            .is_empty());
+        assert_eq!(store.count_for(SpeculationMode::Gs, BoundKind::Deadline), 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn sketched_identical_samples_reproduce_the_exact_prediction() {
+        // All mass in one bin => the weighted mean collapses to the common rate.
+        let exact = SampleStore::new();
+        let sketched = SampleStore::sketched();
+        for _ in 0..7 {
+            let s = sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0);
+            exact.record(s.clone());
+            sketched.record(s);
+        }
+        let c = ctx(BoundKind::Deadline, 10.0);
+        let re = exact
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        let rs = sketched
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        assert!((re - rs).abs() < 1e-12, "exact {re} vs sketched {rs}");
+        assert_eq!(sketched.sketch_bins(), 1);
+    }
+
+    #[test]
+    fn sketched_memory_is_bounded_by_bins_not_samples() {
+        let store = SampleStore::sketched();
+        for i in 0..10_000u64 {
+            store.record(sample(
+                SpeculationMode::Gs,
+                BoundKind::Deadline,
+                10.0 + (i % 16) as f64,
+                20.0 + (i % 64) as f64,
+            ));
+        }
+        assert_eq!(store.len(), 10_000);
+        // Bins are keyed by coarse factor bins: this workload spans only a handful.
+        assert!(
+            store.sketch_bins() <= 64,
+            "bins should stay coarse, got {}",
+            store.sketch_bins()
+        );
+        assert!(store
+            .rate_quantile(SpeculationMode::Gs, BoundKind::Deadline, 0.5)
+            .is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let store = SampleStore::new();
+        for i in 0..25 {
+            let (mode, kind) = if i % 3 == 0 {
+                (SpeculationMode::Ras, BoundKind::Error)
+            } else {
+                (SpeculationMode::Gs, BoundKind::Deadline)
+            };
+            store.record(sample(mode, kind, 3.0 + i as f64, 11.0 + i as f64));
+        }
+        let snap = store.snapshot();
+        let encoded = snap.encode();
+        let decoded = StoreSnapshot::decode(&encoded).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.encode(), encoded);
+        assert_eq!(snap.total_samples(), 25);
+
+        // Empty snapshot is a bare header.
+        let empty = SampleStore::new().snapshot();
+        assert!(empty.is_empty());
+        assert_eq!(empty.encode(), "storesnap v1\n");
+        assert_eq!(StoreSnapshot::decode("storesnap v1\n").unwrap(), empty);
+        assert!(StoreSnapshot::decode("nonsense").is_err());
+    }
+
+    #[test]
+    fn merge_folds_peer_state_into_the_sketched_layer() {
+        let a = SampleStore::sketched();
+        let b = SampleStore::sketched();
+        for _ in 0..3 {
+            a.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
+            b.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 30.0));
+        }
+        let g_before = a.generation();
+        a.merge(&b.snapshot());
+        assert!(a.generation() > g_before);
+        assert_eq!(a.count_for(SpeculationMode::Gs, BoundKind::Deadline), 6);
+        let c = ctx(BoundKind::Deadline, 10.0);
+        let rate = a
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        // 3 samples at 2 tasks/s + 3 at 3 tasks/s => strictly between.
+        assert!(rate > 2.0 && rate < 3.0, "merged rate {rate}");
+
+        // Merging into an exact store leaves exact predictions untouched.
+        let exact = SampleStore::new();
+        exact.record(sample(SpeculationMode::Gs, BoundKind::Deadline, 10.0, 20.0));
+        let before = exact
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        exact.merge(&b.snapshot());
+        let after = exact
+            .predict_rate(SpeculationMode::Gs, &c, FactorSet::all(), 1)
+            .unwrap();
+        assert_eq!(before.to_bits(), after.to_bits());
+        assert_eq!(exact.count_for(SpeculationMode::Gs, BoundKind::Deadline), 1);
+        // ...but the merged observations are visible in the snapshot it re-exports.
+        assert_eq!(exact.snapshot().total_samples(), 4);
     }
 }

@@ -128,6 +128,11 @@ impl PolicyKind {
         PolicyKind::Grass(GrassConfig::with_xi(xi))
     }
 
+    /// Default GRASS backed by the sketched (flat-memory) sample store.
+    pub fn grass_sketched() -> Self {
+        PolicyKind::Grass(GrassConfig::sketched())
+    }
+
     /// Display name used in tables.
     pub fn label(&self) -> String {
         match self {
@@ -175,7 +180,7 @@ pub fn run_once(
         PolicyKind::RasOnly => run_simulation(&sim, jobs, &RasFactory).outcomes,
         PolicyKind::Oracle => run_simulation(&sim, jobs, &OracleFactory).outcomes,
         PolicyKind::Grass(cfg) => {
-            let store = warmed_store(exp, source, &sim, seed);
+            let store = warmed_store(exp, source, &sim, seed, cfg.sketched_store);
             let factory = GrassFactory::with_store(*cfg, store, seed ^ 0x9A55);
             run_simulation(&sim, jobs, &factory).outcomes
         }
@@ -201,8 +206,13 @@ fn warmed_store(
     source: &dyn JobSource,
     sim: &SimConfig,
     seed: u64,
+    sketched: bool,
 ) -> Arc<SampleStore> {
-    let store = Arc::new(SampleStore::new());
+    let store = Arc::new(if sketched {
+        SampleStore::sketched()
+    } else {
+        SampleStore::new()
+    });
     if exp.warmup_fraction <= 0.0 {
         return store;
     }

@@ -414,9 +414,11 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, String> {
         "gs" => Ok(PolicyKind::GsOnly),
         "ras" => Ok(PolicyKind::RasOnly),
         "grass" => Ok(PolicyKind::grass()),
+        "grass-sketch" => Ok(PolicyKind::grass_sketched()),
         "oracle" => Ok(PolicyKind::Oracle),
         other => Err(format!(
-            "unknown policy '{other}'; expected late, mantri, nospec, gs, ras, grass or oracle"
+            "unknown policy '{other}'; expected late, mantri, nospec, gs, ras, grass, \
+             grass-sketch or oracle"
         )),
     }
 }

@@ -287,6 +287,9 @@ fn apply_request(state: &mut GridState, shared: &Shared, request: &Request) -> O
             state.fail(worker, *cell, *lease, now_ms);
             Some(Response::Ok)
         }
+        Request::Sync { worker, payload } => Some(Response::State {
+            payload: state.sync(worker, payload.clone()),
+        }),
         Request::Bye { .. } => Some(Response::Ok),
     }
 }

@@ -17,6 +17,8 @@
 //! <- ok | stale
 //! -> fail worker=w1 cell=3 lease=7 error=<escaped>
 //! <- ok
+//! -> sync worker=w1 payload=<escaped>        (offer learned state, get peers')
+//! <- state payload=<escaped>
 //! -> bye worker=w1
 //! <- ok
 //! ```
@@ -24,7 +26,14 @@
 use grass_trace::codec::{escape, unescape};
 
 /// Protocol version carried in `welcome`; workers refuse a mismatch.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version history: 1 = initial broker/worker protocol; 2 = added the
+/// `sync`/`state` learned-state exchange frames.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Separator between individual peer snapshots inside a `state` payload. Chosen as
+/// an ASCII control character that never appears in snapshot encodings (which are
+/// printable text), and that `split_whitespace` does not treat as whitespace.
+pub const SYNC_SEPARATOR: char = '\x1f';
 
 /// Frames a worker sends to the broker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +58,9 @@ pub enum Request {
         lease: u64,
         error: String,
     },
+    /// Offer this worker's learned-state snapshot to the fleet; answered by
+    /// [`Response::State`] carrying the other workers' snapshots.
+    Sync { worker: String, payload: String },
     /// Clean shutdown: the broker must not treat the disconnect as a crash.
     Bye { worker: String },
 }
@@ -69,6 +81,11 @@ pub enum Response {
     },
     Wait {
         ms: u64,
+    },
+    /// Answer to [`Request::Sync`]: every *other* worker's most recent snapshot,
+    /// joined with [`SYNC_SEPARATOR`] (empty when no peer has synced yet).
+    State {
+        payload: String,
     },
     Finished,
     Ok,
@@ -107,6 +124,9 @@ impl Request {
                 escape(worker),
                 escape(error)
             ),
+            Request::Sync { worker, payload } => {
+                format!("sync worker={} payload={}", escape(worker), escape(payload))
+            }
             Request::Bye { worker } => format!("bye worker={}", escape(worker)),
         }
     }
@@ -137,6 +157,10 @@ impl Request {
                 lease: frame.number("lease")?,
                 error: frame.text("error")?,
             }),
+            "sync" => Ok(Request::Sync {
+                worker: frame.text("worker")?,
+                payload: frame.text("payload")?,
+            }),
             "bye" => Ok(Request::Bye {
                 worker: frame.text("worker")?,
             }),
@@ -152,6 +176,7 @@ impl Request {
             | Request::Heartbeat { worker, .. }
             | Request::Complete { worker, .. }
             | Request::Fail { worker, .. }
+            | Request::Sync { worker, .. }
             | Request::Bye { worker } => worker,
         }
     }
@@ -175,6 +200,7 @@ impl Response {
                 escape(spec)
             ),
             Response::Wait { ms } => format!("wait ms={ms}"),
+            Response::State { payload } => format!("state payload={}", escape(payload)),
             Response::Finished => "finished".to_string(),
             Response::Ok => "ok".to_string(),
             Response::Stale => "stale".to_string(),
@@ -199,6 +225,9 @@ impl Response {
             }),
             "wait" => Ok(Response::Wait {
                 ms: frame.number("ms")?,
+            }),
+            "state" => Ok(Response::State {
+                payload: frame.text("payload")?,
             }),
             "finished" => Ok(Response::Finished),
             "ok" => Ok(Response::Ok),
@@ -277,6 +306,10 @@ mod tests {
                 lease: 1,
                 error: "boom: café".into(),
             },
+            Request::Sync {
+                worker: "w".into(),
+                payload: "storesnap v1\npart idx=0 lifetime=3".into(),
+            },
             Request::Bye { worker: "w".into() },
         ];
         for req in cases {
@@ -301,6 +334,12 @@ mod tests {
                 spec: "machines=50 policy=grass trace=/tmp/a b.trace".into(),
             },
             Response::Wait { ms: 25 },
+            Response::State {
+                payload: format!("snap one{SYNC_SEPARATOR}snap two\nwith a second line"),
+            },
+            Response::State {
+                payload: String::new(),
+            },
             Response::Finished,
             Response::Ok,
             Response::Stale,

@@ -17,6 +17,17 @@ use std::time::Duration;
 /// it (subject to the retry cap), so a runner error is not fatal to the fleet.
 pub trait CellRunner: Sync {
     fn run(&self, cell: usize, spec: &str) -> Result<String, String>;
+
+    /// Learned-state snapshot to offer the fleet after each accepted completion.
+    /// `None` (the default) disables the sync exchange entirely.
+    fn snapshot(&self) -> Option<String> {
+        None
+    }
+
+    /// Absorb the peer snapshots returned by the broker (joined with
+    /// [`SYNC_SEPARATOR`](crate::protocol::SYNC_SEPARATOR); never called with an
+    /// empty payload). Default: ignore them.
+    fn absorb(&self, _snapshots: &str) {}
 }
 
 impl<F> CellRunner for F
@@ -37,6 +48,8 @@ pub struct WorkerReport {
     pub stale: usize,
     /// Cells the runner failed.
     pub failed: usize,
+    /// Learned-state sync exchanges performed with the broker.
+    pub syncs: usize,
 }
 
 /// Writes protocol lines; shared with the heartbeat thread behind a mutex so
@@ -114,6 +127,24 @@ pub fn run_worker(
                             Response::Ok => report.completed += 1,
                             Response::Stale => report.stale += 1,
                             other => return Err(unexpected("ok|stale", &other)),
+                        }
+                        // Learned-state exchange: offer our snapshot, absorb the
+                        // peers'. The heartbeat thread is already joined, so no
+                        // other frame can interleave with this request/response.
+                        if let Some(snapshot) = runner.snapshot() {
+                            writer.send(&Request::Sync {
+                                worker: worker.clone(),
+                                payload: snapshot,
+                            })?;
+                            match recv(&mut reader)? {
+                                Response::State { payload } => {
+                                    if !payload.is_empty() {
+                                        runner.absorb(&payload);
+                                    }
+                                    report.syncs += 1;
+                                }
+                                other => return Err(unexpected("state", &other)),
+                            }
                         }
                     }
                     Err(error) => {
